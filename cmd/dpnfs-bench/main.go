@@ -1,0 +1,56 @@
+// dpnfs-bench regenerates the paper's evaluation figures (§6) from the
+// command line.
+//
+// Usage:
+//
+//	dpnfs-bench -fig 6a                 # one figure at the paper's sizes
+//	dpnfs-bench -fig all -scale 0.1     # everything, 10% data sizes
+//	dpnfs-bench -fig 8d -clients 1,4,8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dpnfs/directpnfs"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure id (6a..6e, 7a..7d, 8a..8d, ssh) or 'all'")
+	scale := flag.Float64("scale", 1.0, "data-size scale factor (1.0 = paper sizes)")
+	clients := flag.String("clients", "", "comma-separated client counts (default: per figure)")
+	flag.Parse()
+
+	opt := directpnfs.FigureOptions{Scale: *scale}
+	if *clients != "" {
+		for _, part := range strings.Split(*clients, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "bad client count %q\n", part)
+				os.Exit(2)
+			}
+			opt.Clients = append(opt.Clients, n)
+		}
+	}
+
+	ids := []string{*fig}
+	if *fig == "all" {
+		ids = directpnfs.FigureIDs
+	}
+	for _, id := range ids {
+		gen, ok := directpnfs.Figures[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown figure %q; known: %v\n", id, directpnfs.FigureIDs)
+			os.Exit(2)
+		}
+		figure, err := gen(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(figure)
+	}
+}

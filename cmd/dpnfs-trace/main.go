@@ -1,0 +1,52 @@
+// dpnfs-trace runs one IOR workload on a chosen architecture and dumps
+// per-node utilization — which resource (NIC, CPU, disk) each back-end node
+// spent its time on.  This is the bottleneck analysis behind the paper's
+// §6.2.1 discussion.
+//
+// Usage:
+//
+//	dpnfs-trace -arch direct-pnfs -clients 8 -mb 100 -block 2097152
+//	dpnfs-trace -arch pnfs-2tier -read
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dpnfs/directpnfs"
+)
+
+func main() {
+	arch := flag.String("arch", "direct-pnfs", "architecture: direct-pnfs, pvfs2, pnfs-2tier, pnfs-3tier, nfsv4")
+	clients := flag.Int("clients", 4, "number of clients")
+	mb := flag.Int64("mb", 100, "per-client data volume in MB")
+	block := flag.Int64("block", 2<<20, "application request size in bytes")
+	read := flag.Bool("read", false, "measure reads (warm server cache) instead of writes")
+	flag.Parse()
+
+	cl := directpnfs.New(directpnfs.Config{Arch: directpnfs.Arch(*arch), Clients: *clients})
+	res, err := directpnfs.IOR(cl, directpnfs.IORConfig{
+		FileSize: *mb << 20,
+		Block:    *block,
+		Separate: true,
+		Read:     *read,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	mode := "write"
+	if *read {
+		mode = "read"
+	}
+	fmt.Printf("%s %s: %d clients × %d MB @ %d B blocks → %.1f MB/s aggregate (%v virtual)\n\n",
+		*arch, mode, *clients, *mb, *block, res.ThroughputMBs(), res.Elapsed.Round(1e6))
+	fmt.Printf("%-6s %12s %12s %12s %12s %8s %8s %8s\n",
+		"node", "nic-tx", "nic-rx", "cpu", "disk", "reads", "writes", "misses")
+	for _, s := range cl.Stats() {
+		fmt.Printf("%-6s %12v %12v %12v %12v %8d %8d %8d\n",
+			s.Name, s.NICTx.Round(1e6), s.NICRx.Round(1e6), s.CPUBusy.Round(1e6),
+			s.DiskBusy.Round(1e6), s.DiskReads, s.DiskWrites, s.DiskCacheMisses)
+	}
+}

@@ -1,0 +1,11 @@
+// Package dpnfs is a full reproduction of "Direct-pNFS: Scalable,
+// transparent, and versatile access to parallel file systems" (Dean
+// Hildebrand and Peter Honeyman, HPDC 2007).
+//
+// The public API lives in dpnfs/directpnfs; see README.md for the
+// architecture overview, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The benchmarks in bench_test.go regenerate every figure of the paper's
+// evaluation section at a reduced scale; cmd/dpnfs-bench regenerates them
+// at the paper's full data sizes.
+package dpnfs

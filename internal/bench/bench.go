@@ -1,0 +1,344 @@
+// Package bench regenerates every figure in the paper's evaluation
+// (Figures 6, 7, and 8, plus the §6.4.3 SSH-build study).  Each figure
+// function builds fresh clusters per (architecture, client-count) point,
+// runs the corresponding workload, and returns a Figure whose series can be
+// printed as the table the paper plots.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"dpnfs/internal/cluster"
+	"dpnfs/internal/simnet"
+	"dpnfs/internal/workload"
+)
+
+// Point is one (clients, value) sample.
+type Point struct {
+	X int
+	Y float64
+}
+
+// Series is one line on a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is a regenerated paper figure.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Options tunes figure regeneration.
+type Options struct {
+	// Scale multiplies data-set sizes and transaction counts (1.0 = the
+	// paper's sizes).  Benchmarks and tests use smaller scales; shapes are
+	// scale-stable because the bottlenecks are rate-based.
+	Scale float64
+	// Clients overrides the client counts swept.
+	Clients []int
+	// Archs restricts the architecture set.
+	Archs []cluster.Arch
+}
+
+func (o Options) withDefaults(clients []int, archs []cluster.Arch) Options {
+	if o.Scale <= 0 {
+		o.Scale = 1.0
+	}
+	if len(o.Clients) == 0 {
+		o.Clients = clients
+	}
+	if len(o.Archs) == 0 {
+		o.Archs = archs
+	}
+	return o
+}
+
+func scaleBytes(b int64, s float64) int64 {
+	v := int64(float64(b) * s)
+	if v < 1<<20 {
+		v = 1 << 20
+	}
+	return v
+}
+
+// archLabel renders the paper's series names.
+func archLabel(a cluster.Arch) string {
+	switch a {
+	case cluster.ArchDirectPNFS:
+		return "Direct-pNFS"
+	case cluster.ArchPVFS2:
+		return "PVFS2"
+	case cluster.ArchPNFS2Tier:
+		return "pNFS-2tier"
+	case cluster.ArchPNFS3Tier:
+		return "pNFS-3tier"
+	case cluster.ArchNFSv4:
+		return "NFSv4"
+	}
+	return string(a)
+}
+
+// String renders the figure as an aligned table, one row per client count.
+func (f Figure) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %s (%s)\n", f.ID, f.Title, f.YLabel)
+	xs := map[int]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	var xList []int
+	for x := range xs {
+		xList = append(xList, x)
+	}
+	sort.Ints(xList)
+	fmt.Fprintf(&sb, "%-9s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&sb, "%14s", s.Label)
+	}
+	sb.WriteByte('\n')
+	for _, x := range xList {
+		fmt.Fprintf(&sb, "%-9d", x)
+		for _, s := range f.Series {
+			v := ""
+			for _, p := range s.Points {
+				if p.X == x {
+					v = fmt.Sprintf("%.1f", p.Y)
+					break
+				}
+			}
+			fmt.Fprintf(&sb, "%14s", v)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Value returns the Y value for (label, x), or -1 if absent.
+func (f Figure) Value(label string, x int) float64 {
+	for _, s := range f.Series {
+		if s.Label != label {
+			continue
+		}
+		for _, p := range s.Points {
+			if p.X == x {
+				return p.Y
+			}
+		}
+	}
+	return -1
+}
+
+// iorFigure sweeps client counts × architectures for one IOR setting.
+func iorFigure(id, title string, opt Options, netBPS float64, ior workload.IORConfig, archs []cluster.Arch) (Figure, error) {
+	opt = opt.withDefaults([]int{1, 2, 3, 4, 5, 6, 7, 8}, archs)
+	fig := Figure{ID: id, Title: title, XLabel: "clients", YLabel: "aggregate MB/s"}
+	ior.FileSize = scaleBytes(500<<20, opt.Scale)
+	for _, arch := range opt.Archs {
+		s := Series{Label: archLabel(arch)}
+		for _, n := range opt.Clients {
+			cl := cluster.New(cluster.Config{Arch: arch, Clients: n, NetBPS: netBPS})
+			res, err := workload.IOR(cl, ior)
+			if err != nil {
+				return fig, fmt.Errorf("%s/%s/%d clients: %w", id, arch, n, err)
+			}
+			s.Points = append(s.Points, Point{X: n, Y: res.ThroughputMBs()})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig6a: aggregate write throughput, separate files, large block.
+func Fig6a(opt Options) (Figure, error) {
+	return iorFigure("Fig6a", "write, separate files, 2 MB block", opt, 0,
+		workload.IORConfig{Block: 2 << 20, Separate: true}, cluster.Archs)
+}
+
+// Fig6b: aggregate write throughput, single file, large block.
+func Fig6b(opt Options) (Figure, error) {
+	return iorFigure("Fig6b", "write, single file, 2 MB block", opt, 0,
+		workload.IORConfig{Block: 2 << 20}, cluster.Archs)
+}
+
+// Fig6c: write, separate files, 100 Mbps Ethernet (three systems).
+func Fig6c(opt Options) (Figure, error) {
+	return iorFigure("Fig6c", "write, separate files, 100 Mbps", opt, simnet.FastEther,
+		workload.IORConfig{Block: 2 << 20, Separate: true},
+		[]cluster.Arch{cluster.ArchDirectPNFS, cluster.ArchPVFS2, cluster.ArchPNFS2Tier})
+}
+
+// Fig6d: write, separate files, 8 KB block.
+func Fig6d(opt Options) (Figure, error) {
+	return iorFigure("Fig6d", "write, separate files, 8 KB block", opt, 0,
+		workload.IORConfig{Block: 8 << 10, Separate: true}, cluster.Archs)
+}
+
+// Fig6e: write, single file, 8 KB block.
+func Fig6e(opt Options) (Figure, error) {
+	return iorFigure("Fig6e", "write, single file, 8 KB block", opt, 0,
+		workload.IORConfig{Block: 8 << 10}, cluster.Archs)
+}
+
+// Fig7a: read (warm server cache), separate files, large block.
+func Fig7a(opt Options) (Figure, error) {
+	return iorFigure("Fig7a", "read, separate files, 2 MB block", opt, 0,
+		workload.IORConfig{Block: 2 << 20, Separate: true, Read: true}, cluster.Archs)
+}
+
+// Fig7b: read, single file, large block.
+func Fig7b(opt Options) (Figure, error) {
+	return iorFigure("Fig7b", "read, single file, 2 MB block", opt, 0,
+		workload.IORConfig{Block: 2 << 20, Read: true}, cluster.Archs)
+}
+
+// Fig7c: read, separate files, 8 KB block.
+func Fig7c(opt Options) (Figure, error) {
+	return iorFigure("Fig7c", "read, separate files, 8 KB block", opt, 0,
+		workload.IORConfig{Block: 8 << 10, Separate: true, Read: true}, cluster.Archs)
+}
+
+// Fig7d: read, single file, 8 KB block.
+func Fig7d(opt Options) (Figure, error) {
+	return iorFigure("Fig7d", "read, single file, 8 KB block", opt, 0,
+		workload.IORConfig{Block: 8 << 10, Read: true}, cluster.Archs)
+}
+
+var fig8Archs = []cluster.Arch{cluster.ArchDirectPNFS, cluster.ArchPVFS2}
+
+// Fig8a: ATLAS Digitization write replay, 1/4/8 clients.
+func Fig8a(opt Options) (Figure, error) {
+	opt = opt.withDefaults([]int{1, 4, 8}, fig8Archs)
+	fig := Figure{ID: "Fig8a", Title: "ATLAS digitization replay", XLabel: "clients", YLabel: "aggregate MB/s"}
+	for _, arch := range opt.Archs {
+		s := Series{Label: archLabel(arch)}
+		for _, n := range opt.Clients {
+			cl := cluster.New(cluster.Config{Arch: arch, Clients: n})
+			res, err := workload.ATLAS(cl, workload.ATLASConfig{TotalBytes: scaleBytes(650<<20, opt.Scale)})
+			if err != nil {
+				return fig, err
+			}
+			s.Points = append(s.Points, Point{X: n, Y: res.ThroughputMBs()})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig8b: BTIO running time (seconds, lower is better), 1/4/9 clients.
+func Fig8b(opt Options) (Figure, error) {
+	opt = opt.withDefaults([]int{1, 4, 9}, fig8Archs)
+	fig := Figure{ID: "Fig8b", Title: "NAS BT-IO class A", XLabel: "clients", YLabel: "time (s)"}
+	for _, arch := range opt.Archs {
+		s := Series{Label: archLabel(arch)}
+		for _, n := range opt.Clients {
+			cl := cluster.New(cluster.Config{Arch: arch, Clients: n})
+			res, err := workload.BTIO(cl, workload.BTIOConfig{CheckpointBytes: scaleBytes(400<<20, opt.Scale)})
+			if err != nil {
+				return fig, err
+			}
+			s.Points = append(s.Points, Point{X: n, Y: res.Elapsed.Seconds()})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig8c: OLTP aggregate throughput, 1/4/8 clients.
+func Fig8c(opt Options) (Figure, error) {
+	opt = opt.withDefaults([]int{1, 4, 8}, fig8Archs)
+	fig := Figure{ID: "Fig8c", Title: "OLTP 8 KB read-modify-write", XLabel: "clients", YLabel: "aggregate MB/s"}
+	txns := int(20000 * opt.Scale)
+	if txns < 50 {
+		txns = 50
+	}
+	for _, arch := range opt.Archs {
+		s := Series{Label: archLabel(arch)}
+		for _, n := range opt.Clients {
+			cl := cluster.New(cluster.Config{Arch: arch, Clients: n})
+			res, err := workload.OLTP(cl, workload.OLTPConfig{
+				Transactions: txns,
+				FileBytes:    scaleBytes(512<<20, opt.Scale),
+			})
+			if err != nil {
+				return fig, err
+			}
+			s.Points = append(s.Points, Point{X: n, Y: res.ThroughputMBs()})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig8d: Postmark transactions per second, 1/4/8 clients.  The paper runs
+// this configuration with 64 KB stripe, wsize, and rsize.
+func Fig8d(opt Options) (Figure, error) {
+	opt = opt.withDefaults([]int{1, 4, 8}, fig8Archs)
+	fig := Figure{ID: "Fig8d", Title: "Postmark", XLabel: "clients", YLabel: "transactions/s"}
+	txns := int(2000 * opt.Scale)
+	if txns < 25 {
+		txns = 25
+	}
+	for _, arch := range opt.Archs {
+		s := Series{Label: archLabel(arch)}
+		for _, n := range opt.Clients {
+			cl := cluster.New(cluster.Config{
+				Arch: arch, Clients: n,
+				StripeSize: 64 << 10, WSize: 64 << 10, RSize: 64 << 10,
+			})
+			res, err := workload.Postmark(cl, workload.PostmarkConfig{Transactions: txns})
+			if err != nil {
+				return fig, err
+			}
+			s.Points = append(s.Points, Point{X: n, Y: res.TPS()})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// SSHBuild regenerates the §6.4.3 phase comparison.
+func SSHBuild(opt Options) (Figure, error) {
+	opt = opt.withDefaults([]int{1}, fig8Archs)
+	fig := Figure{ID: "SSH", Title: "OpenSSH build phases", XLabel: "phase", YLabel: "time (s)"}
+	for _, arch := range opt.Archs {
+		cl := cluster.New(cluster.Config{Arch: arch, Clients: 1})
+		res, err := workload.SSHBuild(cl, 0)
+		if err != nil {
+			return fig, err
+		}
+		fig.Series = append(fig.Series, Series{
+			Label: archLabel(arch),
+			Points: []Point{
+				{X: 1, Y: res.Uncompress.Seconds()}, // 1 = uncompress
+				{X: 2, Y: res.Configure.Seconds()},  // 2 = configure
+				{X: 3, Y: res.Build.Seconds()},      // 3 = build
+			},
+		})
+	}
+	return fig, nil
+}
+
+// All maps figure IDs to their generators.
+var All = map[string]func(Options) (Figure, error){
+	"6a": Fig6a, "6b": Fig6b, "6c": Fig6c, "6d": Fig6d, "6e": Fig6e,
+	"7a": Fig7a, "7b": Fig7b, "7c": Fig7c, "7d": Fig7d,
+	"8a": Fig8a, "8b": Fig8b, "8c": Fig8c, "8d": Fig8d,
+	"ssh": SSHBuild,
+}
+
+// IDs lists figure IDs in presentation order.
+var IDs = []string{"6a", "6b", "6c", "6d", "6e", "7a", "7b", "7c", "7d", "8a", "8b", "8c", "8d", "ssh"}
+
+// Elapsed wraps a duration for table rendering.
+func Elapsed(d time.Duration) float64 { return d.Seconds() }

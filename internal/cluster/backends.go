@@ -1,0 +1,416 @@
+package cluster
+
+import (
+	"time"
+
+	"dpnfs/internal/fserr"
+	"dpnfs/internal/nfs"
+	"dpnfs/internal/payload"
+	"dpnfs/internal/pnfs"
+	"dpnfs/internal/pvfs"
+	"dpnfs/internal/rpc"
+	"dpnfs/internal/simnet"
+	"dpnfs/internal/vfs"
+)
+
+// directDSBackend is the Direct-pNFS data server: the NFS server accesses
+// the co-located PVFS2 storage daemon through a loopback conduit (paper
+// §5), so offsets arriving from clients address the stripe objects
+// directly.  All daemon costs (CPU, fixed buffer pool, disk) are charged by
+// calling the daemon's handler in-process.
+type directDSBackend struct {
+	storage *pvfs.StorageServer
+	node    *simnet.Node
+	costs   pvfs.Costs
+}
+
+// conduit charges the loopback PVFS2 client cost on the data server node —
+// the prototype funnels NFS I/O through the local PVFS2 client and loopback
+// device rather than direct VFS access (paper §5).
+func (b *directDSBackend) conduit(ctx *rpc.Ctx, bytes int64) {
+	ctx.UseCPU(b.node.CPU, b.costs.ClientPerOp/2+perMB(time.Millisecond, bytes))
+}
+
+func (b *directDSBackend) Read(ctx *rpc.Ctx, fh uint64, off, n int64, wantReal bool) (payload.Payload, bool, error) {
+	b.conduit(ctx, n)
+	resp, status := b.storage.Handle(ctx, pvfs.ProcIORead, &pvfs.IOReadArgs{
+		Handle: pvfs.Handle(fh), Off: off, Len: n, WantReal: wantReal,
+	})
+	if status != rpc.StatusOK {
+		return payload.Payload{}, false, fserr.ErrIO
+	}
+	rep := resp.(*pvfs.IOReadRep)
+	if rep.Errno != 0 {
+		return payload.Payload{}, false, rep.Errno.Err()
+	}
+	return rep.Data, rep.Eof, nil
+}
+
+func (b *directDSBackend) Write(ctx *rpc.Ctx, fh uint64, off int64, data payload.Payload, stable bool) (int64, error) {
+	b.conduit(ctx, data.Len())
+	resp, status := b.storage.Handle(ctx, pvfs.ProcIOWrite, &pvfs.IOWriteArgs{
+		Handle: pvfs.Handle(fh), Off: off, Data: data, Sync: stable,
+	})
+	if status != rpc.StatusOK {
+		return 0, fserr.ErrIO
+	}
+	rep := resp.(*pvfs.IOWriteRep)
+	return rep.ObjSize, rep.Errno.Err()
+}
+
+func (b *directDSBackend) Commit(ctx *rpc.Ctx, fh uint64) error {
+	b.conduit(ctx, 0)
+	resp, status := b.storage.Handle(ctx, pvfs.ProcIOFlush, &pvfs.IOFlushArgs{Handle: pvfs.Handle(fh)})
+	if status != rpc.StatusOK {
+		return fserr.ErrIO
+	}
+	return resp.(*pvfs.IOFlushRep).Errno.Err()
+}
+
+// Data servers perform no namespace or layout duties.
+func (b *directDSBackend) Root() uint64 { return 1 }
+func (b *directDSBackend) Lookup(*rpc.Ctx, uint64, string) (uint64, nfs.Attr, error) {
+	return 0, nfs.Attr{}, vfs.ErrInval
+}
+func (b *directDSBackend) Create(*rpc.Ctx, uint64, string) (uint64, nfs.Attr, error) {
+	return 0, nfs.Attr{}, vfs.ErrInval
+}
+func (b *directDSBackend) Mkdir(*rpc.Ctx, uint64, string) (uint64, nfs.Attr, error) {
+	return 0, nfs.Attr{}, vfs.ErrInval
+}
+func (b *directDSBackend) Remove(*rpc.Ctx, uint64, string) error         { return vfs.ErrInval }
+func (b *directDSBackend) Rename(*rpc.Ctx, uint64, string, string) error { return vfs.ErrInval }
+func (b *directDSBackend) ReadDir(*rpc.Ctx, uint64) ([]string, error)    { return nil, vfs.ErrInval }
+func (b *directDSBackend) GetAttr(ctx *rpc.Ctx, fh uint64) (nfs.Attr, error) {
+	// A data server can report its local object size; clients do not use
+	// this (sizes come from the MDS), but it keeps GETATTR well-defined.
+	return nfs.Attr{Size: b.storage.ObjectSize(pvfs.Handle(fh))}, nil
+}
+func (b *directDSBackend) SetSize(*rpc.Ctx, uint64, int64) error { return vfs.ErrInval }
+func (b *directDSBackend) DevList(*rpc.Ctx) ([]pnfs.DeviceInfo, error) {
+	return nil, nfs.ErrNoPNFS
+}
+func (b *directDSBackend) LayoutGet(*rpc.Ctx, uint64) (*pnfs.FileLayout, error) {
+	return nil, nfs.ErrNoPNFS
+}
+func (b *directDSBackend) LayoutCommit(*rpc.Ctx, uint64, int64) error { return nfs.ErrNoPNFS }
+
+// directMDSBackend is the Direct-pNFS metadata server: co-located with the
+// PVFS2 metadata manager (direct in-process calls — no overlapping
+// metadata protocols, paper §4.1), serving layouts through the layout
+// translator.  File sizes are maintained locally from LAYOUTCOMMITs, so
+// GETATTR never ripples into the parallel FS.
+type directMDSBackend struct {
+	meta    *pvfs.MetaServer
+	devices []pnfs.DeviceInfo
+	agg     string
+	aggP    []int64
+	proxy   *pvfs.Client // fallback I/O path through the MDS
+}
+
+// metaCall invokes the co-located PVFS2 metadata manager in-process.
+func (b *directMDSBackend) metaCall(ctx *rpc.Ctx, proc uint32, req any) (any, error) {
+	resp, status := b.meta.Handle(ctx, proc, req)
+	if status != rpc.StatusOK {
+		return nil, fserr.ErrIO
+	}
+	return resp, nil
+}
+
+func (b *directMDSBackend) Root() uint64 { return uint64(b.meta.RootHandle()) }
+
+func (b *directMDSBackend) Lookup(ctx *rpc.Ctx, dir uint64, name string) (uint64, nfs.Attr, error) {
+	resp, err := b.metaCall(ctx, pvfs.ProcLookupH, &pvfs.DirOpArgs{Dir: pvfs.Handle(dir), Name: name})
+	if err != nil {
+		return 0, nfs.Attr{}, err
+	}
+	rep := resp.(*pvfs.LookupRep)
+	if rep.Errno != 0 {
+		return 0, nfs.Attr{}, rep.Errno.Err()
+	}
+	at, _ := b.meta.Namespace().GetAttr(vfs.FileID(rep.Handle))
+	return uint64(rep.Handle), nfs.Attr{IsDir: rep.IsDir, Size: at.Size, Change: at.Change}, nil
+}
+
+func (b *directMDSBackend) Create(ctx *rpc.Ctx, dir uint64, name string) (uint64, nfs.Attr, error) {
+	resp, err := b.metaCall(ctx, pvfs.ProcCreateH, &pvfs.DirOpArgs{Dir: pvfs.Handle(dir), Name: name})
+	if err != nil {
+		return 0, nfs.Attr{}, err
+	}
+	rep := resp.(*pvfs.CreateRep)
+	if rep.Errno != 0 {
+		return 0, nfs.Attr{}, rep.Errno.Err()
+	}
+	return uint64(rep.Handle), nfs.Attr{}, nil
+}
+
+func (b *directMDSBackend) Mkdir(ctx *rpc.Ctx, dir uint64, name string) (uint64, nfs.Attr, error) {
+	resp, err := b.metaCall(ctx, pvfs.ProcMkdirH, &pvfs.DirOpArgs{Dir: pvfs.Handle(dir), Name: name})
+	if err != nil {
+		return 0, nfs.Attr{}, err
+	}
+	rep := resp.(*pvfs.MkdirRep)
+	if rep.Errno != 0 {
+		return 0, nfs.Attr{}, rep.Errno.Err()
+	}
+	return uint64(rep.Handle), nfs.Attr{IsDir: true}, nil
+}
+
+func (b *directMDSBackend) Remove(ctx *rpc.Ctx, dir uint64, name string) error {
+	resp, err := b.metaCall(ctx, pvfs.ProcRemoveH, &pvfs.DirOpArgs{Dir: pvfs.Handle(dir), Name: name})
+	if err != nil {
+		return err
+	}
+	return resp.(*pvfs.RemoveRep).Errno.Err()
+}
+
+func (b *directMDSBackend) Rename(ctx *rpc.Ctx, dir uint64, src, dst string) error {
+	resp, err := b.metaCall(ctx, pvfs.ProcRenameH, &pvfs.RenameHArgs{Dir: pvfs.Handle(dir), Src: src, Dst: dst})
+	if err != nil {
+		return err
+	}
+	return resp.(*pvfs.RemoveRep).Errno.Err()
+}
+
+func (b *directMDSBackend) ReadDir(ctx *rpc.Ctx, dir uint64) ([]string, error) {
+	resp, err := b.metaCall(ctx, pvfs.ProcReadDirH, &pvfs.ReadDirHArgs{Dir: pvfs.Handle(dir)})
+	if err != nil {
+		return nil, err
+	}
+	rep := resp.(*pvfs.ReadDirRep)
+	if rep.Errno != 0 {
+		return nil, rep.Errno.Err()
+	}
+	return rep.Names, nil
+}
+
+// GetAttr serves from the MDS-local namespace: sizes arrive via
+// LAYOUTCOMMIT, so no parallel-FS metadata ripple occurs (paper §4.1).
+func (b *directMDSBackend) GetAttr(ctx *rpc.Ctx, fh uint64) (nfs.Attr, error) {
+	at, err := b.meta.Namespace().GetAttr(vfs.FileID(fh))
+	if err != nil {
+		return nfs.Attr{}, err
+	}
+	return nfs.Attr{IsDir: at.IsDir, Size: at.Size, Change: at.Change}, nil
+}
+
+func (b *directMDSBackend) SetSize(ctx *rpc.Ctx, fh uint64, size int64) error {
+	resp, err := b.metaCall(ctx, pvfs.ProcTruncate, &pvfs.TruncateArgs{Handle: pvfs.Handle(fh), Size: size})
+	if err != nil {
+		return err
+	}
+	if e := resp.(*pvfs.TruncateRep).Errno; e != 0 {
+		return e.Err()
+	}
+	return b.meta.Namespace().Truncate(vfs.FileID(fh), size)
+}
+
+// Read and Write proxy through the co-located PVFS2 client; they are a
+// fallback only — Direct-pNFS clients hold layouts and go to the data
+// servers directly.
+func (b *directMDSBackend) Read(ctx *rpc.Ctx, fh uint64, off, n int64, wantReal bool) (payload.Payload, bool, error) {
+	f := b.proxy.OpenHandle(pvfs.Handle(fh), b.meta.Dist())
+	data, got, err := b.proxy.Read(ctx, f, off, n, wantReal)
+	return data, got < n, err
+}
+
+func (b *directMDSBackend) Write(ctx *rpc.Ctx, fh uint64, off int64, data payload.Payload, stable bool) (int64, error) {
+	f := b.proxy.OpenHandle(pvfs.Handle(fh), b.meta.Dist())
+	size, err := b.proxy.Write(ctx, f, off, data, stable)
+	if err == nil {
+		b.meta.Namespace().SetSize(vfs.FileID(fh), size)
+	}
+	return size, err
+}
+
+func (b *directMDSBackend) Commit(ctx *rpc.Ctx, fh uint64) error {
+	f := b.proxy.OpenHandle(pvfs.Handle(fh), b.meta.Dist())
+	return b.proxy.Sync(ctx, f)
+}
+
+func (b *directMDSBackend) DevList(*rpc.Ctx) ([]pnfs.DeviceInfo, error) {
+	return b.devices, nil
+}
+
+// LayoutGet translates the parallel FS's native layout into a pNFS
+// file-based layout (paper §4.2): exact distribution, direct offsets.
+func (b *directMDSBackend) LayoutGet(ctx *rpc.Ctx, fh uint64) (*pnfs.FileLayout, error) {
+	agg := b.agg
+	params := b.aggP
+	if agg == "" {
+		agg = pnfs.AggRoundRobin
+		params = []int64{b.meta.Dist().StripeSize}
+	}
+	nodes := make([]string, len(b.devices))
+	for i, d := range b.devices {
+		nodes[i] = d.Addr
+	}
+	native := pnfs.NativeLayout{
+		Aggregation:  agg,
+		Params:       params,
+		StorageNodes: nodes,
+		ObjectHandle: fh,
+	}
+	return pnfs.Translate(native, func(node string) (pnfs.DeviceID, bool) {
+		for _, d := range b.devices {
+			if d.Addr == node {
+				return d.ID, true
+			}
+		}
+		return 0, false
+	})
+}
+
+// LayoutCommit records the client-reported size in the MDS namespace
+// ("informs the NFSv4.1 server of changes to file metadata", paper §5).
+func (b *directMDSBackend) LayoutCommit(ctx *rpc.Ctx, fh uint64, newSize int64) error {
+	return b.meta.Namespace().SetSize(vfs.FileID(fh), newSize)
+}
+
+// blindLayouts generates the two/three-tier file-based layouts: logical
+// round-robin striping across the data servers with no knowledge of the
+// underlying distribution (paper §4.1: "forces them to distribute I/O
+// requests among data servers without regard for the actual location").
+//
+// The pNFS server's device ordering is arbitrary relative to the parallel
+// FS's internal device order — alignment would be coincidental — so the
+// generated layouts rotate the device list by shift, which makes stripe
+// unit u land on the data server one past the storage node that actually
+// holds it (the general, misaligned case the paper measures).
+type blindLayouts struct {
+	stripe  int64
+	devices []pnfs.DeviceInfo
+	shift   int
+}
+
+// exportBackend serves NFS from a PVFS2 client — the single-server NFSv4
+// export and the two/three-tier data and metadata servers.
+//
+// The conduit costs model the kernel NFSD ↔ PVFS2 kernel-module data path:
+// reads stream with little extra copying, but writes cross the user/kernel
+// boundary several times before the cacheless PVFS2 client pushes them out
+// synchronously — the asymmetry behind NFSv4's flat, low write curve
+// against its NIC-bound read curve (Figures 6a vs 7a).
+type exportBackend struct {
+	pv      *pvfs.Client
+	node    *simnet.Node
+	dist    pvfs.DistParams
+	layouts *blindLayouts // non-nil on the pNFS MDS of 2/3-tier setups
+}
+
+const (
+	exportReadPerMB  = 2 * time.Millisecond
+	exportWritePerMB = 30 * time.Millisecond
+)
+
+func (b *exportBackend) conduit(ctx *rpc.Ctx, perMBCost time.Duration, bytes int64) {
+	if b.node != nil {
+		ctx.UseCPU(b.node.CPU, perMB(perMBCost, bytes))
+	}
+}
+
+func (b *exportBackend) Root() uint64 { return uint64(b.pv.RootHandle()) }
+
+func (b *exportBackend) Lookup(ctx *rpc.Ctx, dir uint64, name string) (uint64, nfs.Attr, error) {
+	h, isDir, err := b.pv.LookupH(ctx, pvfs.Handle(dir), name)
+	if err != nil {
+		return 0, nfs.Attr{}, err
+	}
+	return uint64(h), nfs.Attr{IsDir: isDir}, nil
+}
+
+func (b *exportBackend) Create(ctx *rpc.Ctx, dir uint64, name string) (uint64, nfs.Attr, error) {
+	f, err := b.pv.CreateH(ctx, pvfs.Handle(dir), name)
+	if err != nil {
+		return 0, nfs.Attr{}, err
+	}
+	return uint64(f.Handle), nfs.Attr{}, nil
+}
+
+func (b *exportBackend) Mkdir(ctx *rpc.Ctx, dir uint64, name string) (uint64, nfs.Attr, error) {
+	h, err := b.pv.MkdirH(ctx, pvfs.Handle(dir), name)
+	if err != nil {
+		return 0, nfs.Attr{}, err
+	}
+	return uint64(h), nfs.Attr{IsDir: true}, nil
+}
+
+func (b *exportBackend) Remove(ctx *rpc.Ctx, dir uint64, name string) error {
+	return b.pv.RemoveH(ctx, pvfs.Handle(dir), name)
+}
+
+func (b *exportBackend) Rename(ctx *rpc.Ctx, dir uint64, src, dst string) error {
+	return b.pv.RenameH(ctx, pvfs.Handle(dir), src, dst)
+}
+
+func (b *exportBackend) ReadDir(ctx *rpc.Ctx, dir uint64) ([]string, error) {
+	return b.pv.ReadDirH(ctx, pvfs.Handle(dir))
+}
+
+// GetAttr ripples into the parallel file system: the PVFS2 client gathers
+// datafile sizes from every storage node (paper §3.4.1's metadata ripple).
+func (b *exportBackend) GetAttr(ctx *rpc.Ctx, fh uint64) (nfs.Attr, error) {
+	isDir, size, change, err := b.pv.GetAttrH(ctx, pvfs.Handle(fh))
+	if err != nil {
+		return nfs.Attr{}, err
+	}
+	return nfs.Attr{IsDir: isDir, Size: size, Change: change}, nil
+}
+
+func (b *exportBackend) SetSize(ctx *rpc.Ctx, fh uint64, size int64) error {
+	return b.pv.TruncateH(ctx, pvfs.Handle(fh), size)
+}
+
+// Read interprets logical file offsets through the PVFS2 client — the
+// indirection that costs the two/three-tier architectures their direct
+// access.
+func (b *exportBackend) Read(ctx *rpc.Ctx, fh uint64, off, n int64, wantReal bool) (payload.Payload, bool, error) {
+	b.conduit(ctx, exportReadPerMB, n)
+	f := b.pv.OpenHandle(pvfs.Handle(fh), b.dist)
+	data, got, err := b.pv.Read(ctx, f, off, n, wantReal)
+	return data, got < n, err
+}
+
+func (b *exportBackend) Write(ctx *rpc.Ctx, fh uint64, off int64, data payload.Payload, stable bool) (int64, error) {
+	b.conduit(ctx, exportWritePerMB, data.Len())
+	f := b.pv.OpenHandle(pvfs.Handle(fh), b.dist)
+	return b.pv.Write(ctx, f, off, data, stable)
+}
+
+func (b *exportBackend) Commit(ctx *rpc.Ctx, fh uint64) error {
+	f := b.pv.OpenHandle(pvfs.Handle(fh), b.dist)
+	return b.pv.Sync(ctx, f)
+}
+
+func (b *exportBackend) DevList(*rpc.Ctx) ([]pnfs.DeviceInfo, error) {
+	if b.layouts == nil {
+		return nil, nfs.ErrNoPNFS
+	}
+	return b.layouts.devices, nil
+}
+
+func (b *exportBackend) LayoutGet(ctx *rpc.Ctx, fh uint64) (*pnfs.FileLayout, error) {
+	if b.layouts == nil {
+		return nil, nfs.ErrNoPNFS
+	}
+	l := &pnfs.FileLayout{
+		Aggregation: pnfs.AggRoundRobin,
+		Params:      []int64{b.layouts.stripe},
+		Direct:      false,
+	}
+	n := len(b.layouts.devices)
+	for i := range b.layouts.devices {
+		d := b.layouts.devices[(i+b.layouts.shift)%n]
+		l.Devices = append(l.Devices, d.ID)
+		l.FHs = append(l.FHs, fh)
+	}
+	return l, nil
+}
+
+// LayoutCommit is metadata-free here: sizes are always reconstructed from
+// the datafiles, so there is nothing to publish.
+func (b *exportBackend) LayoutCommit(*rpc.Ctx, uint64, int64) error { return nil }
+
+func perMB(d time.Duration, n int64) time.Duration {
+	return time.Duration(float64(d) * float64(n) / (1 << 20))
+}

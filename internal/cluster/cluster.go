@@ -1,0 +1,436 @@
+// Package cluster assembles the five architectures the paper evaluates
+// (§6.1) onto a simulated fabric with the testbed's geometry: six back-end
+// nodes with one disk each (one doubling as metadata manager), gigabit
+// Ethernet, 2 MB stripes, 2 MB wsize/rsize, and eight NFS server threads.
+//
+//	ArchDirectPNFS — pNFS servers co-located on every PVFS2 storage node;
+//	                 the layout translator hands clients exact layouts and
+//	                 the NFSv4 storage protocol goes direct to storage.
+//	ArchPVFS2      — native PVFS2 striping clients (the exported FS).
+//	ArchPNFS2Tier  — file-based pNFS with data servers on the storage
+//	                 nodes but blind logical striping: data servers fetch
+//	                 most bytes from their peers.
+//	ArchPNFS3Tier  — file-based pNFS with three dedicated data servers in
+//	                 front of three storage nodes (two disks each).
+//	ArchNFSv4      — one NFSv4 server exporting the PVFS2 cluster.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"dpnfs/internal/nfs"
+	"dpnfs/internal/pnfs"
+	"dpnfs/internal/pvfs"
+	"dpnfs/internal/rpc"
+	"dpnfs/internal/sim"
+	"dpnfs/internal/simdisk"
+	"dpnfs/internal/simnet"
+)
+
+// Arch selects one of the five evaluated architectures.
+type Arch string
+
+// The five architectures of §6.
+const (
+	ArchDirectPNFS Arch = "direct-pnfs"
+	ArchPVFS2      Arch = "pvfs2"
+	ArchPNFS2Tier  Arch = "pnfs-2tier"
+	ArchPNFS3Tier  Arch = "pnfs-3tier"
+	ArchNFSv4      Arch = "nfsv4"
+)
+
+// Archs lists all architectures in the paper's presentation order.
+var Archs = []Arch{ArchDirectPNFS, ArchPVFS2, ArchPNFS2Tier, ArchPNFS3Tier, ArchNFSv4}
+
+// Service names on the fabric.  Metadata and data roles co-exist on one
+// node in several architectures, so they get distinct services.
+const (
+	ServiceMDS = "nfs-mds"
+	ServiceDS  = "nfs-ds"
+)
+
+// Config describes one simulated cluster.
+type Config struct {
+	Arch     Arch
+	Clients  int
+	Backends int // back-end nodes incl. the metadata manager (paper: 6)
+
+	StripeSize   int64   // parallel FS stripe (paper: 2 MB)
+	WSize, RSize int64   // NFS transfer sizes (paper: 2 MB)
+	NetBPS       float64 // NIC bandwidth (paper: gigabit; Fig 6c: 100 Mbps)
+	Threads      int     // NFS server threads (paper: 8)
+
+	NFSCosts  nfs.Costs
+	PVFSCosts pvfs.Costs
+	Disk      simdisk.Config // template; Name is overridden per node
+
+	Seed int64
+	Real bool // carry real bytes end to end (tests/demos)
+
+	// Aggregation optionally overrides the layout's aggregation scheme for
+	// Direct-pNFS (paper §4.3 pluggable drivers).  Empty means round-robin.
+	Aggregation string
+	AggParams   []int64
+}
+
+// Defaults fills in the paper's testbed values.
+func (c Config) withDefaults() Config {
+	if c.Clients <= 0 {
+		c.Clients = 1
+	}
+	if c.Backends <= 0 {
+		c.Backends = 6
+	}
+	if c.StripeSize <= 0 {
+		c.StripeSize = 2 << 20
+	}
+	if c.WSize <= 0 {
+		c.WSize = 2 << 20
+	}
+	if c.RSize <= 0 {
+		c.RSize = 2 << 20
+	}
+	if c.NetBPS == 0 {
+		c.NetBPS = simnet.Gigabit
+	}
+	if c.Threads <= 0 {
+		c.Threads = 8
+	}
+	if c.NFSCosts == (nfs.Costs{}) {
+		c.NFSCosts = nfs.DefaultCosts()
+	}
+	if c.PVFSCosts == (pvfs.Costs{}) {
+		c.PVFSCosts = pvfs.DefaultCosts()
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Cluster is a fully wired simulated deployment.
+type Cluster struct {
+	Cfg    Config
+	K      *sim.Kernel
+	Fabric *simnet.Fabric
+
+	Storage  []*pvfs.StorageServer
+	Disks    []*simdisk.Disk
+	PVFSMeta *pvfs.MetaServer
+	mounts   []*Mount
+
+	storageNodes []*simnet.Node
+	mdsNode      *simnet.Node
+}
+
+// New builds a cluster for the configuration.
+func New(cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	k := sim.NewKernel(cfg.Seed)
+	f := simnet.NewFabric(k)
+	cl := &Cluster{Cfg: cfg, K: k, Fabric: f}
+
+	switch cfg.Arch {
+	case ArchDirectPNFS:
+		cl.buildBackend(cfg.Backends, 1.0)
+		cl.buildDirect()
+	case ArchPVFS2:
+		cl.buildBackend(cfg.Backends, 1.0)
+		cl.buildPVFS2()
+	case ArchPNFS2Tier:
+		cl.buildBackend(cfg.Backends, 1.0)
+		cl.build2Tier()
+	case ArchPNFS3Tier:
+		// Half the nodes become storage (two disks each: more bandwidth,
+		// but shared CPU/bus keeps it below 2x — paper §6.2), the other
+		// half become dedicated data servers.
+		cl.buildBackend(cfg.Backends/2, 1.7)
+		cl.build3Tier()
+	case ArchNFSv4:
+		cl.buildBackend(cfg.Backends, 1.0)
+		cl.buildNFSv4()
+	default:
+		panic(fmt.Sprintf("cluster: unknown architecture %q", cfg.Arch))
+	}
+	return cl
+}
+
+// buildBackend creates the PVFS2 storage nodes and metadata manager.  The
+// metadata manager runs on storage node 0 ("one storage node doubling as a
+// metadata manager", §6.1).
+func (cl *Cluster) buildBackend(nodes int, diskScale float64) {
+	cfg := cl.Cfg
+	var ioConnsFromMDS []rpc.Conn
+	for i := 0; i < nodes; i++ {
+		n := cl.Fabric.AddNode(simnet.NodeConfig{
+			Name:        fmt.Sprintf("io%d", i),
+			BytesPerSec: cfg.NetBPS,
+		})
+		cl.storageNodes = append(cl.storageNodes, n)
+		dcfg := cfg.Disk
+		dcfg.Name = n.Name + "/disk"
+		if dcfg.ReadBPS == 0 {
+			dcfg = simdisk.DefaultConfig(dcfg.Name)
+		}
+		dcfg.ReadBPS *= diskScale
+		dcfg.WriteBPS *= diskScale
+		disk := simdisk.New(dcfg)
+		cl.Disks = append(cl.Disks, disk)
+		cl.Storage = append(cl.Storage, pvfs.NewStorageServer(pvfs.StorageConfig{
+			Fabric: cl.Fabric, Node: n, Disk: disk, Costs: cfg.PVFSCosts,
+		}))
+	}
+	cl.mdsNode = cl.storageNodes[0]
+	for _, n := range cl.storageNodes {
+		ioConnsFromMDS = append(ioConnsFromMDS, &rpc.SimTransport{
+			Fabric: cl.Fabric, Src: cl.mdsNode, Dst: n, Service: pvfs.ServiceIO,
+		})
+	}
+	cl.PVFSMeta = pvfs.NewMetaServer(pvfs.MetaConfig{
+		Fabric: cl.Fabric, Node: cl.mdsNode, Costs: cfg.PVFSCosts,
+		Dist:    pvfs.DistParams{StripeSize: cfg.StripeSize, NumServers: uint32(len(cl.storageNodes))},
+		IOConns: ioConnsFromMDS,
+	})
+}
+
+// pvfsClientAt builds a PVFS2 client library instance on the given node.
+func (cl *Cluster) pvfsClientAt(n *simnet.Node) *pvfs.Client {
+	var io []rpc.Conn
+	for _, s := range cl.storageNodes {
+		io = append(io, &rpc.SimTransport{Fabric: cl.Fabric, Src: n, Dst: s, Service: pvfs.ServiceIO})
+	}
+	return pvfs.NewClient(pvfs.ClientConfig{
+		Node:  n,
+		Costs: cl.Cfg.PVFSCosts,
+		Meta:  &rpc.SimTransport{Fabric: cl.Fabric, Src: n, Dst: cl.mdsNode, Service: pvfs.ServiceMeta},
+		IO:    io,
+	})
+}
+
+// clientNode creates the i-th application client node.
+func (cl *Cluster) clientNode(i int) *simnet.Node {
+	return cl.Fabric.AddNode(simnet.NodeConfig{
+		Name:        fmt.Sprintf("c%d", i),
+		BytesPerSec: cl.Cfg.NetBPS,
+	})
+}
+
+// nfsMountAt builds an NFSv4.1 mount on node n against the MDS node.
+func (cl *Cluster) nfsMountAt(n *simnet.Node, mdsNode *simnet.Node) *nfs.Client {
+	return nfs.NewClient(nfs.ClientConfig{
+		Fabric: cl.Fabric, Node: n, Costs: cl.Cfg.NFSCosts,
+		Name: n.Name,
+		MDS:  &rpc.SimTransport{Fabric: cl.Fabric, Src: n, Dst: mdsNode, Service: ServiceMDS},
+		DialDS: func(addr string) rpc.Conn {
+			return &rpc.SimTransport{Fabric: cl.Fabric, Src: n, Dst: cl.Fabric.Node(addr), Service: ServiceDS}
+		},
+		WSize: cl.Cfg.WSize, RSize: cl.Cfg.RSize,
+		MaxReadAhead: 8 * cl.Cfg.RSize,
+		Real:         cl.Cfg.Real,
+	})
+}
+
+// buildDirect wires Direct-pNFS: an NFS data server on every storage node
+// (loopback conduit to the local daemon) and the metadata server co-located
+// with the PVFS2 MDS, serving translated layouts.
+func (cl *Cluster) buildDirect() {
+	for i, n := range cl.storageNodes {
+		nfsServeOn(cl, n, ServiceDS, &directDSBackend{
+			storage: cl.Storage[i],
+			node:    n,
+			costs:   cl.Cfg.PVFSCosts,
+		})
+	}
+	mdsBackend := &directMDSBackend{
+		meta:    cl.PVFSMeta,
+		devices: cl.deviceList(cl.storageNodes),
+		agg:     cl.Cfg.Aggregation,
+		aggP:    cl.Cfg.AggParams,
+		proxy:   cl.pvfsClientAt(cl.mdsNode),
+	}
+	nfsServeOn(cl, cl.mdsNode, ServiceMDS, mdsBackend)
+	for i := 0; i < cl.Cfg.Clients; i++ {
+		n := cl.clientNode(i)
+		cl.mounts = append(cl.mounts, &Mount{cl: cl, node: n, nfsc: cl.nfsMountAt(n, cl.mdsNode)})
+	}
+}
+
+// buildPVFS2 wires native PVFS2 clients.
+func (cl *Cluster) buildPVFS2() {
+	for i := 0; i < cl.Cfg.Clients; i++ {
+		n := cl.clientNode(i)
+		cl.mounts = append(cl.mounts, &Mount{cl: cl, node: n, pv: cl.pvfsClientAt(n)})
+	}
+}
+
+// build2Tier wires file-based pNFS with data servers co-located with the
+// storage nodes but striping blindly over logical offsets.
+func (cl *Cluster) build2Tier() {
+	for _, n := range cl.storageNodes {
+		nfsServeOn(cl, n, ServiceDS, &exportBackend{pv: cl.pvfsClientAt(n), node: n, dist: cl.PVFSMeta.Dist()})
+	}
+	mds := &exportBackend{
+		pv:      cl.pvfsClientAt(cl.mdsNode),
+		node:    cl.mdsNode,
+		dist:    cl.PVFSMeta.Dist(),
+		layouts: &blindLayouts{stripe: cl.Cfg.WSize, devices: cl.deviceList(cl.storageNodes), shift: 1},
+	}
+	nfsServeOn(cl, cl.mdsNode, ServiceMDS, mds)
+	for i := 0; i < cl.Cfg.Clients; i++ {
+		n := cl.clientNode(i)
+		cl.mounts = append(cl.mounts, &Mount{cl: cl, node: n, nfsc: cl.nfsMountAt(n, cl.mdsNode)})
+	}
+}
+
+// build3Tier wires file-based pNFS with dedicated data-server nodes in
+// front of the storage nodes.
+func (cl *Cluster) build3Tier() {
+	nDS := cl.Cfg.Backends - len(cl.storageNodes)
+	var dsNodes []*simnet.Node
+	for i := 0; i < nDS; i++ {
+		n := cl.Fabric.AddNode(simnet.NodeConfig{
+			Name:        fmt.Sprintf("ds%d", i),
+			BytesPerSec: cl.Cfg.NetBPS,
+		})
+		dsNodes = append(dsNodes, n)
+		nfsServeOn(cl, n, ServiceDS, &exportBackend{pv: cl.pvfsClientAt(n), node: n, dist: cl.PVFSMeta.Dist()})
+	}
+	mds := &exportBackend{
+		pv:      cl.pvfsClientAt(dsNodes[0]),
+		node:    dsNodes[0],
+		dist:    cl.PVFSMeta.Dist(),
+		layouts: &blindLayouts{stripe: cl.Cfg.WSize, devices: cl.deviceList(dsNodes), shift: 1},
+	}
+	nfsServeOn(cl, dsNodes[0], ServiceMDS, mds)
+	for i := 0; i < cl.Cfg.Clients; i++ {
+		n := cl.clientNode(i)
+		cl.mounts = append(cl.mounts, &Mount{cl: cl, node: n, nfsc: cl.nfsMountAt(n, dsNodes[0])})
+	}
+}
+
+// buildNFSv4 wires the single-server export.
+func (cl *Cluster) buildNFSv4() {
+	srv := cl.Fabric.AddNode(simnet.NodeConfig{Name: "nfssrv", BytesPerSec: cl.Cfg.NetBPS})
+	nfsServeOn(cl, srv, ServiceMDS, &exportBackend{pv: cl.pvfsClientAt(srv), node: srv, dist: cl.PVFSMeta.Dist()})
+	for i := 0; i < cl.Cfg.Clients; i++ {
+		n := cl.clientNode(i)
+		cl.mounts = append(cl.mounts, &Mount{cl: cl, node: n, nfsc: cl.nfsMountAt(n, srv)})
+	}
+}
+
+// deviceList builds pNFS device infos for a node set.
+func (cl *Cluster) deviceList(nodes []*simnet.Node) []pnfs.DeviceInfo {
+	out := make([]pnfs.DeviceInfo, len(nodes))
+	for i, n := range nodes {
+		out[i] = pnfs.DeviceInfo{ID: pnfs.DeviceID(i), Addr: n.Name}
+	}
+	return out
+}
+
+// nfsServeOn registers an NFS server for a backend under an explicit
+// service name.
+func nfsServeOn(cl *Cluster, n *simnet.Node, service string, b nfs.Backend) {
+	srv := nfs.NewServer(nfs.ServerConfig{Backend: b, Costs: cl.Cfg.NFSCosts, Node: n, Threads: cl.Cfg.Threads})
+	rpc.ServeSim(rpc.ServerConfig{
+		Fabric: cl.Fabric, Node: n, Service: service,
+		Threads: cl.Cfg.Threads, Handler: srv.Handle,
+	})
+}
+
+// Mounts returns the per-client application mounts.
+func (cl *Cluster) Mounts() []*Mount { return cl.mounts }
+
+// Run drives the simulation with fn as client i's application process and
+// returns the virtual duration from start to when every application process
+// has finished.
+func (cl *Cluster) Run(fn func(ctx *rpc.Ctx, m *Mount, i int) error) (time.Duration, error) {
+	return cl.runSubset(cl.mounts, fn)
+}
+
+// RunClient runs fn only on client i's mount (setup phases).
+func (cl *Cluster) RunClient(i int, fn func(ctx *rpc.Ctx, m *Mount, i int) error) (time.Duration, error) {
+	return cl.runSubset(cl.mounts[i:i+1], fn)
+}
+
+func (cl *Cluster) runSubset(mounts []*Mount, fn func(ctx *rpc.Ctx, m *Mount, i int) error) (time.Duration, error) {
+	errs := make([]error, len(mounts))
+	start := cl.K.Now()
+	finish := start
+	for i, m := range mounts {
+		i, m := i, m
+		cl.K.Go(fmt.Sprintf("app%d", i), func(p *sim.Proc) {
+			ctx := &rpc.Ctx{P: p}
+			if err := m.mount(ctx); err != nil {
+				errs[i] = err
+				return
+			}
+			if err := fn(ctx, m, i); err != nil {
+				errs[i] = err
+			}
+			if p.Now() > finish {
+				finish = p.Now()
+			}
+		})
+	}
+	if err := cl.K.Run(); err != nil {
+		return 0, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return time.Duration(finish - start), nil
+}
+
+// NodeStats is a utilization snapshot for one back-end node.
+type NodeStats struct {
+	Name            string
+	NICTx, NICRx    time.Duration
+	CPUBusy         time.Duration
+	DiskBusy        time.Duration
+	DiskReads       uint64
+	DiskWrites      uint64
+	DiskCacheHits   uint64
+	DiskCacheMisses uint64
+}
+
+// Stats reports per-storage-node utilization accumulated so far — the raw
+// material for bottleneck analysis (cmd/dpnfs-trace).
+func (cl *Cluster) Stats() []NodeStats {
+	out := make([]NodeStats, len(cl.storageNodes))
+	for i, n := range cl.storageNodes {
+		s := NodeStats{
+			Name:    n.Name,
+			NICTx:   n.NIC.TxBusy(),
+			NICRx:   n.NIC.RxBusy(),
+			CPUBusy: n.CPU.BusyTime(),
+		}
+		if i < len(cl.Disks) {
+			d := cl.Disks[i]
+			s.DiskBusy = d.BusyTime()
+			s.DiskReads, s.DiskWrites, s.DiskCacheHits, s.DiskCacheMisses, _, _ = d.Stats()
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Now returns the cluster's current virtual time.
+func (cl *Cluster) Now() time.Duration { return time.Duration(cl.K.Now()) }
+
+// WarmCaches marks every storage node's disk cache resident for the named
+// file, reproducing the paper's warm-server-cache read setup (§6.2).
+func (cl *Cluster) WarmCaches(path string) error {
+	at, err := cl.PVFSMeta.Namespace().LookupPath(path)
+	if err != nil {
+		return err
+	}
+	h := uint64(at.ID)
+	for i, s := range cl.Storage {
+		size := s.ObjectSize(pvfs.Handle(h))
+		cl.Disks[i].Warm(h, 0, size)
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+// Package fserr maps between Go file-system errors (package vfs) and the
+// numeric error codes carried in protocol replies, shared by the PVFS2 and
+// NFSv4.1 wire formats.
+package fserr
+
+import (
+	"fmt"
+
+	"dpnfs/internal/vfs"
+)
+
+// Errno is a wire-level error code.  OK is zero.
+type Errno uint32
+
+// Wire error codes.
+const (
+	OK Errno = iota
+	NoEnt
+	Exist
+	IsDir
+	NotDir
+	NotEmpty
+	Inval
+	Stale // handle no longer valid
+	IO
+)
+
+// ToErrno converts a vfs (or nil) error into a wire code.
+func ToErrno(err error) Errno {
+	switch err {
+	case nil:
+		return OK
+	case vfs.ErrNotExist:
+		return NoEnt
+	case vfs.ErrExist:
+		return Exist
+	case vfs.ErrIsDir:
+		return IsDir
+	case vfs.ErrNotDir:
+		return NotDir
+	case vfs.ErrNotEmpty:
+		return NotEmpty
+	case vfs.ErrInval:
+		return Inval
+	default:
+		return IO
+	}
+}
+
+// Err converts a wire code back to a Go error; OK yields nil.
+func (e Errno) Err() error {
+	switch e {
+	case OK:
+		return nil
+	case NoEnt:
+		return vfs.ErrNotExist
+	case Exist:
+		return vfs.ErrExist
+	case IsDir:
+		return vfs.ErrIsDir
+	case NotDir:
+		return vfs.ErrNotDir
+	case NotEmpty:
+		return vfs.ErrNotEmpty
+	case Inval:
+		return vfs.ErrInval
+	case Stale:
+		return ErrStale
+	default:
+		return ErrIO
+	}
+}
+
+// ErrStale and ErrIO are protocol-level errors with no vfs counterpart.
+var (
+	ErrStale = fmt.Errorf("fserr: stale file handle")
+	ErrIO    = fmt.Errorf("fserr: I/O error")
+)

@@ -1,0 +1,749 @@
+package nfs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"dpnfs/internal/payload"
+	"dpnfs/internal/pnfs"
+	"dpnfs/internal/rpc"
+	"dpnfs/internal/sim"
+	"dpnfs/internal/simnet"
+	"dpnfs/internal/stripe"
+)
+
+// ClientConfig wires an NFSv4.1 client (one mount) to its node and servers.
+type ClientConfig struct {
+	Fabric *simnet.Fabric
+	Node   *simnet.Node
+	MDS    rpc.Conn
+	// DialDS opens a connection to a data server by device address.  Nil
+	// disables pNFS even if the server offers layouts.
+	DialDS func(addr string) rpc.Conn
+	Costs  Costs
+	Name   string // client identity for EXCHANGE_ID
+
+	WSize, RSize int64 // write/read transfer sizes (paper: 2 MB)
+	Slots        uint32
+	// MaxReadAhead bounds the readahead window (0 disables readahead).
+	MaxReadAhead int64
+	// FlushParallel bounds concurrent asynchronous write-back flushes.
+	FlushParallel int
+	// Real makes reads and writes carry actual bytes end to end.
+	Real bool
+}
+
+// Client is one NFSv4.1 mount: session state, device connections, and the
+// page-cache machinery that gives NFS its small-I/O performance (write
+// gathering to WSize, readahead to RSize).
+type Client struct {
+	cfg      ClientConfig
+	clientID uint64
+	session  uint64
+
+	// Slot table: free slot IDs and per-slot sequence numbers.
+	slotSem   *sim.Semaphore
+	slotMu    sync.Mutex
+	freeSlots []uint32
+	slotSeq   []uint32
+
+	root    uint64
+	pnfsOK  bool
+	devices map[pnfs.DeviceID]rpc.Conn
+
+	flushSem *sim.Semaphore
+	layouts  map[uint64]*pnfs.FileLayout
+	// inodeCache retains page caches across open/close per filehandle,
+	// with close-to-open consistency: the cache is reused only when the
+	// server's change attribute still matches (Linux NFS inode cache).
+	inodeCache map[uint64]*inodeState
+
+	// Stats
+	RPCs    uint64
+	metrics *Metrics
+}
+
+// Metrics returns the mount's per-operation latency/volume table.
+func (c *Client) Metrics() *Metrics { return c.metrics }
+
+type inodeState struct {
+	change uint64
+	pc     *pageCache
+}
+
+// NewClient applies defaults; call Mount before use.
+func NewClient(cfg ClientConfig) *Client {
+	if cfg.WSize <= 0 {
+		cfg.WSize = 2 << 20
+	}
+	if cfg.RSize <= 0 {
+		cfg.RSize = 2 << 20
+	}
+	if cfg.Slots == 0 {
+		cfg.Slots = 64
+	}
+	if cfg.FlushParallel <= 0 {
+		cfg.FlushParallel = 16
+	}
+	if cfg.Name == "" {
+		cfg.Name = "client"
+	}
+	c := &Client{
+		cfg:        cfg,
+		devices:    make(map[pnfs.DeviceID]rpc.Conn),
+		layouts:    make(map[uint64]*pnfs.FileLayout),
+		inodeCache: make(map[uint64]*inodeState),
+		metrics:    newMetrics(),
+	}
+	c.slotSem = sim.NewSemaphore(cfg.Name+"/slots", int(cfg.Slots))
+	c.flushSem = sim.NewSemaphore(cfg.Name+"/flush", cfg.FlushParallel)
+	for i := int(cfg.Slots) - 1; i >= 0; i-- {
+		c.freeSlots = append(c.freeSlots, uint32(i))
+	}
+	c.slotSeq = make([]uint32, cfg.Slots)
+	return c
+}
+
+func (c *Client) chargeOp(ctx *rpc.Ctx, nOps int, bytes int64) {
+	var cpu *sim.KServer
+	if c.cfg.Node != nil {
+		cpu = c.cfg.Node.CPU
+	}
+	ctx.UseCPU(cpu, time.Duration(nOps)*c.cfg.Costs.ClientPerOp+perMB(c.cfg.Costs.ClientPerMB, bytes))
+}
+
+// chargeCache accounts for a page-cache-only operation: a buffered write or
+// a cache-hit read (no RPC).
+func (c *Client) chargeCache(ctx *rpc.Ctx, bytes int64) {
+	var cpu *sim.KServer
+	if c.cfg.Node != nil {
+		cpu = c.cfg.Node.CPU
+	}
+	ctx.UseCPU(cpu, c.cfg.Costs.CachePerOp+perMB(c.cfg.Costs.ClientPerMB, bytes))
+}
+
+// call sends a compound.  Sessioned calls (to the MDS) occupy a slot; data
+// server compounds ride sessionless as in the prototype's special-stateid
+// data path.
+func (c *Client) call(ctx *rpc.Ctx, conn rpc.Conn, sessioned bool, ops ...Op) (*CompoundRep, error) {
+	c.chargeOp(ctx, len(ops), 0)
+	args := &CompoundArgs{Ops: ops}
+	if sessioned && c.session != 0 {
+		if ctx.P != nil {
+			c.slotSem.Acquire(ctx.P, 1)
+			defer c.slotSem.Release(1)
+		}
+		c.slotMu.Lock()
+		slot := c.freeSlots[len(c.freeSlots)-1]
+		c.freeSlots = c.freeSlots[:len(c.freeSlots)-1]
+		c.slotSeq[slot]++
+		args.Session = c.session
+		args.Slot = slot
+		args.Seq = c.slotSeq[slot]
+		c.slotMu.Unlock()
+		defer func() {
+			c.slotMu.Lock()
+			c.freeSlots = append(c.freeSlots, slot)
+			c.slotMu.Unlock()
+		}()
+	}
+	c.RPCs++
+	start := ctx.Now()
+	var rep CompoundRep
+	err := conn.Call(ctx, ProcCompound, args, &rep)
+	elapsed := time.Duration(ctx.Now() - start)
+	for _, op := range ops {
+		var bytes int64
+		switch o := op.(type) {
+		case *OpWrite:
+			bytes = o.Data.Len()
+		case *OpRead:
+			bytes = o.Len
+		}
+		c.metrics.record(op.Num(), elapsed, bytes, err)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if rep.Status != 0 {
+		return &rep, rep.Status.Err()
+	}
+	return &rep, nil
+}
+
+// Mount establishes the session and discovers pNFS data servers.
+func (c *Client) Mount(ctx *rpc.Ctx) error {
+	rep, err := c.call(ctx, c.cfg.MDS, false,
+		&OpExchangeID{ClientName: c.cfg.Name},
+		&OpCreateSession{Slots: c.cfg.Slots},
+	)
+	if err != nil {
+		return fmt.Errorf("nfs: mount handshake: %w", err)
+	}
+	c.clientID = rep.Results[0].(*ResExchangeID).ClientID
+	cs := rep.Results[1].(*ResCreateSession)
+	c.session = cs.Session
+	// A fresh session starts every slot's sequence at zero.
+	c.slotMu.Lock()
+	c.slotSeq = make([]uint32, c.cfg.Slots)
+	c.slotMu.Unlock()
+
+	rep, err = c.call(ctx, c.cfg.MDS, true, &OpPutRootFH{}, &OpGetDevList{})
+	if err != nil {
+		// A server without pNFS support fails the GETDEVLIST op; the mount
+		// proceeds with proxied I/O through the server.
+		if rep == nil || len(rep.Results) < 2 {
+			return fmt.Errorf("nfs: mount root: %w", err)
+		}
+		if _, ok := rep.Results[1].(*ResGetDevList); !ok {
+			return fmt.Errorf("nfs: mount root: %w", err)
+		}
+		c.root = c.rootFromRep()
+		return nil
+	}
+	c.root = c.rootFromRep()
+	if dl, ok := rep.Results[1].(*ResGetDevList); ok && dl.Errno == 0 && c.cfg.DialDS != nil {
+		for _, dev := range dl.Devices {
+			c.devices[dev.ID] = c.cfg.DialDS(dev.Addr)
+		}
+		c.pnfsOK = len(c.devices) > 0
+	}
+	return nil
+}
+
+// rootFromRep is a placeholder for servers whose root is implicit: the
+// protocol's PUTROOTFH establishes the cursor server-side, and our servers
+// expose Root() = 1 by construction.
+func (c *Client) rootFromRep() uint64 { return 1 }
+
+// PNFS reports whether the mount obtained a device list.
+func (c *Client) PNFS() bool { return c.pnfsOK }
+
+// DropCaches discards all retained inode page caches (echo 3 >
+// /proc/sys/vm/drop_caches) — benchmark methodology between phases.
+func (c *Client) DropCaches() { c.inodeCache = make(map[uint64]*inodeState) }
+
+// File is an open file on a mount.
+type File struct {
+	c       *Client
+	Path    string
+	fh      uint64
+	stateID uint64
+	size    int64
+	change  uint64
+
+	layout *pnfs.FileLayout
+	mapper stripe.Mapper
+
+	cache *pageCache
+
+	// Async write-back state.
+	pendMu    sync.Mutex
+	pending   sim.WaitGroup
+	asyncErr  error
+	touched   map[int]bool // device indices with unstable writes (-1 = MDS)
+	committed int64        // size last published via LAYOUTCOMMIT
+
+	// Readahead state.
+	seqEnd     int64
+	raWindow   int64
+	raFrontier int64 // furthest byte already requested by readahead
+	inflight   []*raFlight
+}
+
+type raFlight struct {
+	ext  extent
+	done bool
+	wg   sim.WaitGroup
+}
+
+// Size returns the client's view of the file size.
+func (f *File) Size() int64 { return f.size }
+
+// walkOps builds the lookup chain for a path's directory components.
+func walkOps(path string) ([]Op, string) {
+	parts := strings.Split(strings.Trim(path, "/"), "/")
+	ops := []Op{&OpPutRootFH{}}
+	for _, dir := range parts[:len(parts)-1] {
+		if dir == "" {
+			continue
+		}
+		ops = append(ops, &OpLookup{Name: dir})
+	}
+	return ops, parts[len(parts)-1]
+}
+
+// open opens or creates path.
+func (c *Client) open(ctx *rpc.Ctx, path string, create bool) (*File, error) {
+	ops, name := walkOps(path)
+	ops = append(ops, &OpOpen{Name: name, Create: create}, &OpGetAttr{})
+	rep, err := c.call(ctx, c.cfg.MDS, true, ops...)
+	if err != nil {
+		return nil, err
+	}
+	or := rep.Results[len(rep.Results)-2].(*ResOpen)
+	ga := rep.Results[len(rep.Results)-1].(*ResGetAttr)
+	// Close-to-open consistency: reuse the inode's page cache if no other
+	// client changed the file since we last saw it.
+	pc := newPageCache(c.cfg.Real)
+	if st, ok := c.inodeCache[or.FH]; ok && st.change == ga.Attr.Change {
+		pc = st.pc
+	}
+	f := &File{
+		c:         c,
+		Path:      path,
+		fh:        or.FH,
+		stateID:   or.StateID,
+		size:      ga.Attr.Size,
+		change:    ga.Attr.Change,
+		cache:     pc,
+		touched:   make(map[int]bool),
+		committed: ga.Attr.Size,
+	}
+	if c.pnfsOK {
+		if err := f.fetchLayout(ctx); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// Open opens an existing file.
+func (c *Client) Open(ctx *rpc.Ctx, path string) (*File, error) {
+	return c.open(ctx, path, false)
+}
+
+// Create opens a file, creating it if absent.
+func (c *Client) Create(ctx *rpc.Ctx, path string) (*File, error) {
+	return c.open(ctx, path, true)
+}
+
+// fetchLayout gets (or reuses) the file's layout.  Layouts apply to the
+// whole file and stay valid for the lifetime of the inode (paper §5).
+func (f *File) fetchLayout(ctx *rpc.Ctx) error {
+	if l, ok := f.c.layouts[f.fh]; ok {
+		f.layout = l
+	} else {
+		rep, err := f.c.call(ctx, f.c.cfg.MDS, true, &OpPutFH{FH: f.fh}, &OpLayoutGet{})
+		if err != nil {
+			return err
+		}
+		lg := rep.Results[1].(*ResLayoutGet)
+		f.layout = &lg.Layout
+		f.c.layouts[f.fh] = f.layout
+	}
+	m, err := f.layout.Mapper()
+	if err != nil {
+		return fmt.Errorf("nfs: layout for %s: %w", f.Path, err)
+	}
+	f.mapper = m
+	for _, id := range f.layout.Devices {
+		if _, ok := f.c.devices[id]; !ok {
+			return fmt.Errorf("nfs: layout references unknown device %d", id)
+		}
+	}
+	return nil
+}
+
+// Write buffers data at off in the page cache and asynchronously flushes
+// full WSize runs (the write gathering that keeps small-block workloads at
+// large-block speed, Figures 6d/6e).
+func (c *Client) Write(ctx *rpc.Ctx, f *File, off int64, data payload.Payload) error {
+	c.chargeCache(ctx, data.Len())
+	f.cache.write(off, data)
+	if end := off + data.Len(); end > f.size {
+		f.size = end
+	}
+	for {
+		run, ok := f.cache.dirtyRunAtLeast(c.cfg.WSize)
+		if !ok {
+			break
+		}
+		chunk := extent{run.Off, run.Off + c.cfg.WSize}
+		f.cache.clean(chunk.Off, chunk.End)
+		c.flushAsync(ctx, f, chunk)
+	}
+	return nil
+}
+
+// flushAsync writes back one chunk without blocking the caller (simulation);
+// in real-time mode it flushes synchronously.
+func (c *Client) flushAsync(ctx *rpc.Ctx, f *File, chunk extent) {
+	data := f.cache.slice(chunk.Off, chunk.len())
+	if ctx.P == nil {
+		if err := c.writeRange(ctx, f, chunk.Off, data); err != nil {
+			f.asyncErr = err
+		}
+		return
+	}
+	f.pending.Add(1)
+	k := ctx.P.Kernel()
+	k.Go(c.cfg.Name+"/flush", func(p *sim.Proc) {
+		defer f.pending.Done()
+		c.flushSem.Acquire(p, 1)
+		defer c.flushSem.Release(1)
+		if err := c.writeRange(&rpc.Ctx{P: p}, f, chunk.Off, data); err != nil {
+			f.asyncErr = err
+		}
+	})
+}
+
+// writeRange sends one gathered chunk to storage: striped across data
+// servers under a pNFS layout, or to the MDS otherwise.
+func (c *Client) writeRange(ctx *rpc.Ctx, f *File, off int64, data payload.Payload) error {
+	if f.mapper == nil {
+		_, err := c.call(ctx, c.cfg.MDS, true,
+			&OpPutFH{FH: f.fh},
+			&OpWrite{StateID: f.stateID, Off: off, Data: data},
+		)
+		if err == nil {
+			f.pendMu.Lock()
+			f.touched[-1] = true
+			f.pendMu.Unlock()
+		}
+		return err
+	}
+	extents := f.mapper.Map(off, data.Len())
+	errs := make([]error, len(extents))
+	rpc.Parallel(ctx, len(extents), func(ctx *rpc.Ctx, i int) {
+		e := extents[i]
+		conn := c.devices[f.layout.Devices[e.Dev]]
+		devOff := e.Off
+		if f.layout.Direct {
+			devOff = e.DevOff
+		}
+		chunk := data.Slice(e.Off-off, e.Len)
+		_, err := c.call(ctx, conn, false,
+			&OpPutFH{FH: f.layout.FHs[e.Dev]},
+			&OpWrite{StateID: f.stateID, Off: devOff, Data: chunk},
+		)
+		if err != nil {
+			// Data server failure: fall back through the metadata server,
+			// which proxies I/O into the parallel file system.
+			_, err = c.call(ctx, c.cfg.MDS, true,
+				&OpPutFH{FH: f.fh},
+				&OpWrite{StateID: f.stateID, Off: e.Off, Data: chunk},
+			)
+			if err == nil {
+				f.pendMu.Lock()
+				f.touched[-1] = true
+				f.pendMu.Unlock()
+			}
+			errs[i] = err
+			return
+		}
+		f.pendMu.Lock()
+		f.touched[e.Dev] = true
+		f.pendMu.Unlock()
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fsync flushes all dirty data, commits unstable writes on every touched
+// server, and publishes metadata via LAYOUTCOMMIT — the paper's prototype
+// semantics: data reaches stable storage on fsync/close only (§5).
+func (c *Client) Fsync(ctx *rpc.Ctx, f *File) error {
+	c.chargeOp(ctx, 1, 0)
+	// Flush every remaining dirty run, WSize bytes at a time.
+	for {
+		run, ok := f.cache.dirty.first()
+		if !ok {
+			break
+		}
+		end := run.End
+		if end > run.Off+c.cfg.WSize {
+			end = run.Off + c.cfg.WSize
+		}
+		f.cache.clean(run.Off, end)
+		c.flushAsync(ctx, f, extent{run.Off, end})
+	}
+	if ctx.P != nil {
+		f.pending.Wait(ctx.P)
+	}
+	if f.asyncErr != nil {
+		err := f.asyncErr
+		f.asyncErr = nil
+		return err
+	}
+	// COMMIT on every server that took unstable writes.
+	f.pendMu.Lock()
+	devs := make([]int, 0, len(f.touched))
+	for dev := range f.touched {
+		devs = append(devs, dev)
+	}
+	f.touched = make(map[int]bool)
+	f.pendMu.Unlock()
+	errs := make([]error, len(devs))
+	rpc.Parallel(ctx, len(devs), func(ctx *rpc.Ctx, i int) {
+		dev := devs[i]
+		if dev < 0 {
+			_, errs[i] = c.call(ctx, c.cfg.MDS, true, &OpPutFH{FH: f.fh}, &OpCommit{})
+			return
+		}
+		conn := c.devices[f.layout.Devices[dev]]
+		_, errs[i] = c.call(ctx, conn, false, &OpPutFH{FH: f.layout.FHs[dev]}, &OpCommit{})
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	// Publish the (possibly extended) size to the metadata server.
+	if f.layout != nil && len(devs) > 0 && f.size > f.committed {
+		if _, err := c.call(ctx, c.cfg.MDS, true,
+			&OpPutFH{FH: f.fh}, &OpLayoutCommit{NewSize: f.size}); err != nil {
+			return err
+		}
+		f.committed = f.size
+	}
+	return nil
+}
+
+// Close fsyncs and releases the open state, retaining the page cache in
+// the inode cache keyed by the post-flush change attribute.
+func (c *Client) Close(ctx *rpc.Ctx, f *File) error {
+	if err := c.Fsync(ctx, f); err != nil {
+		return err
+	}
+	rep, err := c.call(ctx, c.cfg.MDS, true,
+		&OpPutFH{FH: f.fh}, &OpGetAttr{}, &OpClose{StateID: f.stateID})
+	if err != nil {
+		return err
+	}
+	c.inodeCache[f.fh] = &inodeState{
+		change: rep.Results[1].(*ResGetAttr).Attr.Change,
+		pc:     f.cache,
+	}
+	return nil
+}
+
+// Read returns up to n bytes at off, serving from the page cache, fetching
+// RSize-rounded chunks on miss, and prefetching ahead on sequential access.
+func (c *Client) Read(ctx *rpc.Ctx, f *File, off, n int64) (payload.Payload, int64, error) {
+	c.chargeCache(ctx, n)
+	if off >= f.size {
+		return payload.Synthetic(0), 0, nil
+	}
+	if off+n > f.size {
+		n = f.size - off
+	}
+	// Wait for overlapping in-flight prefetches rather than re-fetching.
+	if ctx.P != nil {
+		for _, fl := range f.inflight {
+			if !fl.done && fl.ext.Off < off+n && off < fl.ext.End {
+				fl.wg.Wait(ctx.P)
+			}
+		}
+	}
+	// Fetch what is still missing, rounded out to RSize chunks.
+	missing := f.cache.resident.missing(off, off+n)
+	var chunks []extent
+	for _, gap := range missing {
+		lo := gap.Off / c.cfg.RSize * c.cfg.RSize
+		hi := (gap.End + c.cfg.RSize - 1) / c.cfg.RSize * c.cfg.RSize
+		if hi > f.size {
+			hi = f.size
+		}
+		for _, sub := range f.cache.resident.missing(lo, hi) {
+			chunks = append(chunks, sub)
+		}
+	}
+	errs := make([]error, len(chunks))
+	rpc.Parallel(ctx, len(chunks), func(ctx *rpc.Ctx, i int) {
+		errs[i] = c.readRange(ctx, f, chunks[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return payload.Payload{}, 0, err
+		}
+	}
+	// Sequential readahead: extend the window while the pattern holds.
+	if c.cfg.MaxReadAhead > 0 && ctx.P != nil {
+		if off == f.seqEnd {
+			f.raWindow *= 2
+			if f.raWindow < c.cfg.RSize {
+				f.raWindow = c.cfg.RSize
+			}
+			if f.raWindow > c.cfg.MaxReadAhead {
+				f.raWindow = c.cfg.MaxReadAhead
+			}
+			c.prefetch(ctx, f, off+n, f.raWindow)
+		} else {
+			f.raWindow = 0
+		}
+	}
+	f.seqEnd = off + n
+	return f.cache.slice(off, n), n, nil
+}
+
+// prefetch advances the readahead frontier toward start+window, issuing
+// whole RSize chunks asynchronously.  The frontier keeps successive small
+// sequential reads from each spawning a sliver fetch.
+func (c *Client) prefetch(ctx *rpc.Ctx, f *File, start, window int64) {
+	end := start + window
+	if end > f.size {
+		end = f.size
+	}
+	if f.raFrontier < start {
+		f.raFrontier = start
+	}
+	for f.raFrontier < end {
+		chunkEnd := f.raFrontier + c.cfg.RSize
+		if chunkEnd > f.size {
+			chunkEnd = f.size
+		}
+		if chunkEnd < end && chunkEnd-f.raFrontier < c.cfg.RSize {
+			break // only issue whole chunks unless finishing the file
+		}
+		if chunkEnd > end && chunkEnd < f.size {
+			break // window does not yet cover a whole chunk
+		}
+		for _, gap := range f.cache.resident.missing(f.raFrontier, chunkEnd) {
+			fl := &raFlight{ext: gap}
+			fl.wg.Add(1)
+			f.inflight = append(f.inflight, fl)
+			k := ctx.P.Kernel()
+			k.Go(c.cfg.Name+"/readahead", func(p *sim.Proc) {
+				defer func() {
+					fl.done = true
+					fl.wg.Done()
+				}()
+				if err := c.readRange(&rpc.Ctx{P: p}, f, fl.ext); err != nil {
+					f.asyncErr = err
+				}
+			})
+		}
+		f.raFrontier = chunkEnd
+	}
+	// Drop completed flights.
+	live := f.inflight[:0]
+	for _, fl := range f.inflight {
+		if !fl.done {
+			live = append(live, fl)
+		}
+	}
+	f.inflight = live
+}
+
+// readRange fetches one chunk into the cache: striped across data servers
+// under a layout, or from the MDS otherwise.
+func (c *Client) readRange(ctx *rpc.Ctx, f *File, chunk extent) error {
+	want := c.cfg.Real
+	if f.mapper == nil {
+		rep, err := c.call(ctx, c.cfg.MDS, true,
+			&OpPutFH{FH: f.fh},
+			&OpRead{StateID: f.stateID, Off: chunk.Off, Len: chunk.len(), WantReal: want},
+		)
+		if err != nil {
+			return err
+		}
+		f.cache.fill(chunk.Off, rep.Results[1].(*ResRead).Data)
+		return nil
+	}
+	extents := f.mapper.ReadMap(chunk.Off, chunk.len(), chunk.Off/c.cfg.RSize)
+	errs := make([]error, len(extents))
+	rpc.Parallel(ctx, len(extents), func(ctx *rpc.Ctx, i int) {
+		e := extents[i]
+		conn := c.devices[f.layout.Devices[e.Dev]]
+		devOff := e.Off
+		if f.layout.Direct {
+			devOff = e.DevOff
+		}
+		rep, err := c.call(ctx, conn, false,
+			&OpPutFH{FH: f.layout.FHs[e.Dev]},
+			&OpRead{StateID: f.stateID, Off: devOff, Len: e.Len, WantReal: want},
+		)
+		if err != nil {
+			// Data server failure: fall back through the metadata server.
+			rep, err = c.call(ctx, c.cfg.MDS, true,
+				&OpPutFH{FH: f.fh},
+				&OpRead{StateID: f.stateID, Off: e.Off, Len: e.Len, WantReal: want},
+			)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+		}
+		f.cache.fill(e.Off, rep.Results[1].(*ResRead).Data)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GetAttr refreshes attributes from the metadata server.
+func (c *Client) GetAttr(ctx *rpc.Ctx, f *File) (Attr, error) {
+	rep, err := c.call(ctx, c.cfg.MDS, true, &OpPutFH{FH: f.fh}, &OpGetAttr{})
+	if err != nil {
+		return Attr{}, err
+	}
+	at := rep.Results[1].(*ResGetAttr).Attr
+	if at.Size > f.size {
+		f.size = at.Size
+	}
+	return at, nil
+}
+
+// Truncate sets the file size.
+func (c *Client) Truncate(ctx *rpc.Ctx, f *File, size int64) error {
+	_, err := c.call(ctx, c.cfg.MDS, true, &OpPutFH{FH: f.fh}, &OpSetAttr{Size: size})
+	if err != nil {
+		return err
+	}
+	f.size = size
+	f.committed = size
+	f.cache.resident = f.cache.resident.subtract(size, 1<<62)
+	f.cache.dirty = f.cache.dirty.subtract(size, 1<<62)
+	return nil
+}
+
+// Mkdir creates a directory.
+func (c *Client) Mkdir(ctx *rpc.Ctx, path string) error {
+	ops, name := walkOps(path)
+	_, err := c.call(ctx, c.cfg.MDS, true, append(ops, &OpCreate{Name: name})...)
+	return err
+}
+
+// Remove unlinks a file or empty directory.
+func (c *Client) Remove(ctx *rpc.Ctx, path string) error {
+	ops, name := walkOps(path)
+	_, err := c.call(ctx, c.cfg.MDS, true, append(ops, &OpRemove{Name: name})...)
+	return err
+}
+
+// Rename renames src to dst within directory dirPath.
+func (c *Client) Rename(ctx *rpc.Ctx, dirPath, src, dst string) error {
+	ops := []Op{&OpPutRootFH{}}
+	for _, dir := range strings.Split(strings.Trim(dirPath, "/"), "/") {
+		if dir != "" {
+			ops = append(ops, &OpLookup{Name: dir})
+		}
+	}
+	_, err := c.call(ctx, c.cfg.MDS, true, append(ops, &OpRename{Src: src, Dst: dst})...)
+	return err
+}
+
+// ReadDir lists a directory.
+func (c *Client) ReadDir(ctx *rpc.Ctx, path string) ([]string, error) {
+	ops := []Op{&OpPutRootFH{}}
+	for _, dir := range strings.Split(strings.Trim(path, "/"), "/") {
+		if dir != "" {
+			ops = append(ops, &OpLookup{Name: dir})
+		}
+	}
+	rep, err := c.call(ctx, c.cfg.MDS, true, append(ops, &OpReadDir{})...)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Results[len(rep.Results)-1].(*ResReadDir).Names, nil
+}

@@ -1,0 +1,182 @@
+package nfs
+
+import (
+	"fmt"
+
+	"dpnfs/internal/fserr"
+	"dpnfs/internal/rpc"
+	"dpnfs/internal/xdr"
+)
+
+// CompoundArgs is a COMPOUND request: session header plus an op list.  A
+// zero Session means an unsessioned compound (only EXCHANGE_ID /
+// CREATE_SESSION compounds are accepted without a session).
+type CompoundArgs struct {
+	Tag     string
+	Session uint64
+	Slot    uint32
+	Seq     uint32
+	Ops     []Op
+}
+
+// CompoundRep is a COMPOUND reply: overall status plus results for every
+// executed op (execution stops at the first failure, whose result is last).
+type CompoundRep struct {
+	Status  fserr.Errno
+	Results []Result
+}
+
+// opCtor and resCtor construct empty ops/results by operation number for
+// decoding.
+var (
+	opCtor  = map[uint32]func() Op{}
+	resCtor = map[uint32]func() Result{}
+)
+
+func init() {
+	register := func(op func() Op, res func() Result) {
+		n := op().Num()
+		opCtor[n] = op
+		resCtor[n] = res
+	}
+	register(func() Op { return &OpPutRootFH{} }, func() Result { return &ResPutRootFH{} })
+	register(func() Op { return &OpPutFH{} }, func() Result { return &ResPutFH{} })
+	register(func() Op { return &OpLookup{} }, func() Result { return &ResLookup{} })
+	register(func() Op { return &OpOpen{} }, func() Result { return &ResOpen{} })
+	register(func() Op { return &OpClose{} }, func() Result { return &ResClose{} })
+	register(func() Op { return &OpGetAttr{} }, func() Result { return &ResGetAttr{} })
+	register(func() Op { return &OpSetAttr{} }, func() Result { return &ResSetAttr{} })
+	register(func() Op { return &OpRead{} }, func() Result { return &ResRead{} })
+	register(func() Op { return &OpWrite{} }, func() Result { return &ResWrite{} })
+	register(func() Op { return &OpCommit{} }, func() Result { return &ResCommit{} })
+	register(func() Op { return &OpCreate{} }, func() Result { return &ResCreate{} })
+	register(func() Op { return &OpRemove{} }, func() Result { return &ResRemove{} })
+	register(func() Op { return &OpRename{} }, func() Result { return &ResRename{} })
+	register(func() Op { return &OpReadDir{} }, func() Result { return &ResReadDir{} })
+	register(func() Op { return &OpGetDevList{} }, func() Result { return &ResGetDevList{} })
+	register(func() Op { return &OpLayoutGet{} }, func() Result { return &ResLayoutGet{} })
+	register(func() Op { return &OpLayoutCommit{} }, func() Result { return &ResLayoutCommit{} })
+	register(func() Op { return &OpLayoutReturn{} }, func() Result { return &ResLayoutReturn{} })
+	register(func() Op { return &OpExchangeID{} }, func() Result { return &ResExchangeID{} })
+	register(func() Op { return &OpCreateSession{} }, func() Result { return &ResCreateSession{} })
+}
+
+// MarshalXDR implements xdr.Marshaler.
+func (c *CompoundArgs) MarshalXDR(e *xdr.Encoder) {
+	e.String(c.Tag)
+	e.Uint64(c.Session)
+	e.Uint32(c.Slot)
+	e.Uint32(c.Seq)
+	e.Uint32(uint32(len(c.Ops)))
+	for _, op := range c.Ops {
+		e.Uint32(op.Num())
+		op.MarshalXDR(e)
+	}
+}
+
+// UnmarshalXDR implements xdr.Unmarshaler.
+func (c *CompoundArgs) UnmarshalXDR(d *xdr.Decoder) error {
+	var err error
+	if c.Tag, err = d.String(); err != nil {
+		return err
+	}
+	if c.Session, err = d.Uint64(); err != nil {
+		return err
+	}
+	if c.Slot, err = d.Uint32(); err != nil {
+		return err
+	}
+	if c.Seq, err = d.Uint32(); err != nil {
+		return err
+	}
+	n, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	if n > 1024 {
+		return xdr.ErrTooLong
+	}
+	c.Ops = make([]Op, n)
+	for i := range c.Ops {
+		num, err := d.Uint32()
+		if err != nil {
+			return err
+		}
+		ctor, ok := opCtor[num]
+		if !ok {
+			return fmt.Errorf("nfs: unknown operation %d", num)
+		}
+		c.Ops[i] = ctor()
+		if err := c.Ops[i].UnmarshalXDR(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WireSize sums per-op wire sizes without materializing bulk payloads.
+func (c *CompoundArgs) WireSize() int64 {
+	size := int64(xdr.SizeString(c.Tag)) + xdr.SizeUint64 + 3*xdr.SizeUint32
+	for _, op := range c.Ops {
+		size += xdr.SizeUint32 + rpc.WireSizeOf(op)
+	}
+	return size
+}
+
+// MarshalXDR implements xdr.Marshaler.
+func (c *CompoundRep) MarshalXDR(e *xdr.Encoder) {
+	e.Uint32(uint32(c.Status))
+	e.Uint32(uint32(len(c.Results)))
+	for _, r := range c.Results {
+		e.Uint32(r.Num())
+		r.MarshalXDR(e)
+	}
+}
+
+// UnmarshalXDR implements xdr.Unmarshaler.
+func (c *CompoundRep) UnmarshalXDR(d *xdr.Decoder) error {
+	v, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	c.Status = fserr.Errno(v)
+	n, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	if n > 1024 {
+		return xdr.ErrTooLong
+	}
+	c.Results = make([]Result, n)
+	for i := range c.Results {
+		num, err := d.Uint32()
+		if err != nil {
+			return err
+		}
+		ctor, ok := resCtor[num]
+		if !ok {
+			return fmt.Errorf("nfs: unknown result %d", num)
+		}
+		c.Results[i] = ctor()
+		if err := c.Results[i].UnmarshalXDR(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WireSize sums per-result wire sizes without materializing bulk payloads.
+func (c *CompoundRep) WireSize() int64 {
+	size := int64(2 * xdr.SizeUint32)
+	for _, r := range c.Results {
+		size += xdr.SizeUint32 + rpc.WireSizeOf(r)
+	}
+	return size
+}
+
+// Registry returns the rpc request registry for the NFS service (TCP mode).
+func Registry() *rpc.Registry {
+	reg := rpc.NewRegistry()
+	reg.Register(ProcCompound, func() xdr.Unmarshaler { return &CompoundArgs{} })
+	return reg
+}

@@ -1,0 +1,116 @@
+package nfs
+
+// extent is a half-open byte range [Off, End).
+type extent struct {
+	Off, End int64
+}
+
+func (e extent) len() int64 { return e.End - e.Off }
+
+// extList is a sorted, merged list of non-overlapping extents.  It tracks
+// page-cache residency and dirtiness at byte granularity.
+type extList []extent
+
+// insert adds [off, end), merging with neighbours.
+func (l extList) insert(off, end int64) extList {
+	if off >= end {
+		return l
+	}
+	out := make(extList, 0, len(l)+1)
+	i := 0
+	for ; i < len(l) && l[i].End < off; i++ {
+		out = append(out, l[i])
+	}
+	ne := extent{off, end}
+	for ; i < len(l) && l[i].Off <= end; i++ {
+		if l[i].Off < ne.Off {
+			ne.Off = l[i].Off
+		}
+		if l[i].End > ne.End {
+			ne.End = l[i].End
+		}
+	}
+	out = append(out, ne)
+	out = append(out, l[i:]...)
+	return out
+}
+
+// subtract removes [off, end).
+func (l extList) subtract(off, end int64) extList {
+	if off >= end {
+		return l
+	}
+	out := make(extList, 0, len(l)+1)
+	for _, e := range l {
+		if e.End <= off || e.Off >= end {
+			out = append(out, e)
+			continue
+		}
+		if e.Off < off {
+			out = append(out, extent{e.Off, off})
+		}
+		if e.End > end {
+			out = append(out, extent{end, e.End})
+		}
+	}
+	return out
+}
+
+// missing returns the gaps of [off, end) not covered by the list.
+func (l extList) missing(off, end int64) []extent {
+	var gaps []extent
+	cur := off
+	for _, e := range l {
+		if e.End <= cur {
+			continue
+		}
+		if e.Off >= end {
+			break
+		}
+		if e.Off > cur {
+			gaps = append(gaps, extent{cur, e.Off})
+		}
+		if e.End > cur {
+			cur = e.End
+		}
+		if cur >= end {
+			return gaps
+		}
+	}
+	if cur < end {
+		gaps = append(gaps, extent{cur, end})
+	}
+	return gaps
+}
+
+// contains reports whether [off, end) is fully covered.
+func (l extList) contains(off, end int64) bool {
+	return len(l.missing(off, end)) == 0
+}
+
+// overlaps reports whether any byte of [off, end) is covered.
+func (l extList) overlaps(off, end int64) bool {
+	for _, e := range l {
+		if e.Off < end && off < e.End {
+			return true
+		}
+	}
+	return false
+}
+
+// total returns the covered byte count.
+func (l extList) total() int64 {
+	var n int64
+	for _, e := range l {
+		n += e.len()
+	}
+	return n
+}
+
+// first returns the lowest extent, if any.
+func (l extList) first() (extent, bool) {
+	if len(l) == 0 {
+		return extent{}, false
+	}
+	return l[0], true
+}

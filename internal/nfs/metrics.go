@@ -1,0 +1,168 @@
+package nfs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// OpMetrics aggregates latency and volume for one NFSv4.1 operation type on
+// a client mount — the nfsstat/mountstats view of the protocol.
+type OpMetrics struct {
+	Count  uint64
+	Errors uint64
+	Bytes  int64         // payload bytes moved (READ/WRITE only)
+	Total  time.Duration // summed round-trip latency
+	Max    time.Duration
+	histo  [nBuckets]uint64
+}
+
+// Latency histogram buckets (upper bounds).
+var bucketBounds = []time.Duration{
+	100 * time.Microsecond,
+	300 * time.Microsecond,
+	1 * time.Millisecond,
+	3 * time.Millisecond,
+	10 * time.Millisecond,
+	30 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Duration(1<<62 - 1),
+}
+
+const nBuckets = 8
+
+// Mean returns the average round-trip latency.
+func (m *OpMetrics) Mean() time.Duration {
+	if m.Count == 0 {
+		return 0
+	}
+	return m.Total / time.Duration(m.Count)
+}
+
+// Percentile returns an upper bound for the p-th latency percentile from
+// the histogram (p in [0,100]).
+func (m *OpMetrics) Percentile(p float64) time.Duration {
+	if m.Count == 0 {
+		return 0
+	}
+	target := uint64(float64(m.Count) * p / 100)
+	var cum uint64
+	for i, n := range m.histo {
+		cum += n
+		if cum > target {
+			return bucketBounds[i]
+		}
+	}
+	return bucketBounds[nBuckets-1]
+}
+
+func (m *OpMetrics) record(d time.Duration, bytes int64, err error) {
+	m.Count++
+	m.Total += d
+	if d > m.Max {
+		m.Max = d
+	}
+	if err != nil {
+		m.Errors++
+	}
+	m.Bytes += bytes
+	for i, b := range bucketBounds {
+		if d <= b {
+			m.histo[i]++
+			return
+		}
+	}
+}
+
+// Metrics is the per-mount operation table.
+type Metrics struct {
+	ops map[uint32]*OpMetrics
+}
+
+func newMetrics() *Metrics { return &Metrics{ops: make(map[uint32]*OpMetrics)} }
+
+// Op returns the metrics for an operation number (nil if never issued).
+func (m *Metrics) Op(num uint32) *OpMetrics { return m.ops[num] }
+
+func (m *Metrics) record(num uint32, d time.Duration, bytes int64, err error) {
+	om := m.ops[num]
+	if om == nil {
+		om = &OpMetrics{}
+		m.ops[num] = om
+	}
+	om.record(d, bytes, err)
+}
+
+// opName renders the RFC 5661 operation names.
+func opName(num uint32) string {
+	switch num {
+	case OpNumClose:
+		return "CLOSE"
+	case OpNumCommit:
+		return "COMMIT"
+	case OpNumCreate:
+		return "CREATE"
+	case OpNumGetAttr:
+		return "GETATTR"
+	case OpNumLookup:
+		return "LOOKUP"
+	case OpNumOpen:
+		return "OPEN"
+	case OpNumPutFH:
+		return "PUTFH"
+	case OpNumPutRootFH:
+		return "PUTROOTFH"
+	case OpNumRead:
+		return "READ"
+	case OpNumReadDir:
+		return "READDIR"
+	case OpNumRemove:
+		return "REMOVE"
+	case OpNumRename:
+		return "RENAME"
+	case OpNumSetAttr:
+		return "SETATTR"
+	case OpNumWrite:
+		return "WRITE"
+	case OpNumExchangeID:
+		return "EXCHANGE_ID"
+	case OpNumCreateSession:
+		return "CREATE_SESSION"
+	case OpNumLayoutCommit:
+		return "LAYOUTCOMMIT"
+	case OpNumLayoutGet:
+		return "LAYOUTGET"
+	case OpNumLayoutReturn:
+		return "LAYOUTRETURN"
+	case OpNumSequence:
+		return "SEQUENCE"
+	case OpNumGetDevList:
+		return "GETDEVICELIST"
+	}
+	return fmt.Sprintf("OP_%d", num)
+}
+
+// String renders a mountstats-style table sorted by total time.
+func (m *Metrics) String() string {
+	type row struct {
+		num uint32
+		om  *OpMetrics
+	}
+	rows := make([]row, 0, len(m.ops))
+	for num, om := range m.ops {
+		rows = append(rows, row{num, om})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].om.Total > rows[j].om.Total })
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-14s %8s %7s %12s %10s %10s %10s\n",
+		"op", "count", "errors", "bytes", "mean", "p95", "max")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-14s %8d %7d %12d %10v %10v %10v\n",
+			opName(r.num), r.om.Count, r.om.Errors, r.om.Bytes,
+			r.om.Mean().Round(time.Microsecond),
+			r.om.Percentile(95).Round(time.Microsecond),
+			r.om.Max.Round(time.Microsecond))
+	}
+	return sb.String()
+}

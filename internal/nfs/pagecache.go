@@ -1,0 +1,85 @@
+package nfs
+
+import (
+	"dpnfs/internal/payload"
+	"dpnfs/internal/vfs"
+)
+
+// pageCache is the client-side cache for one open file: byte-granular
+// residency and dirtiness, with real content kept in a sparse store when
+// the mount operates on real bytes (integration tests and the TCP demo).
+// Benchmarks run synthetic, where only the extents matter.
+//
+// There is no eviction: the paper's working sets fit client RAM (≤ 650 MB
+// per client against 2 GB), and synthetic mode stores no bytes anyway.
+type pageCache struct {
+	resident extList
+	dirty    extList
+	store    *vfs.Store // nil in synthetic mode
+	file     vfs.FileID
+}
+
+func newPageCache(real bool) *pageCache {
+	pc := &pageCache{}
+	if real {
+		pc.store = vfs.New()
+		at, err := pc.store.Create(pc.store.Root(), "cache")
+		if err != nil {
+			panic("nfs: page cache init: " + err.Error())
+		}
+		pc.file = at.ID
+	}
+	return pc
+}
+
+// write installs data at off as resident and dirty.
+func (pc *pageCache) write(off int64, data payload.Payload) {
+	end := off + data.Len()
+	pc.resident = pc.resident.insert(off, end)
+	pc.dirty = pc.dirty.insert(off, end)
+	if pc.store != nil && data.Bytes != nil {
+		if _, err := pc.store.WriteAt(pc.file, off, data.Bytes); err != nil {
+			panic("nfs: page cache write: " + err.Error())
+		}
+	}
+}
+
+// fill installs fetched data at off as resident (clean).
+func (pc *pageCache) fill(off int64, data payload.Payload) {
+	pc.resident = pc.resident.insert(off, off+data.Len())
+	if pc.store != nil && data.Bytes != nil {
+		if _, err := pc.store.WriteAt(pc.file, off, data.Bytes); err != nil {
+			panic("nfs: page cache fill: " + err.Error())
+		}
+	}
+}
+
+// slice returns the cached content of [off, off+n) — the caller must have
+// established residency.  Synthetic mode returns a synthetic payload.
+func (pc *pageCache) slice(off, n int64) payload.Payload {
+	if pc.store == nil {
+		return payload.Synthetic(n)
+	}
+	buf := make([]byte, n)
+	// Bytes beyond the sparse store's size are holes; ReadAt zero-fills
+	// only up to size, so read what exists and leave the rest zero.
+	if _, err := pc.store.ReadAt(pc.file, off, buf); err != nil {
+		panic("nfs: page cache read: " + err.Error())
+	}
+	return payload.Real(buf)
+}
+
+// clean marks [off, end) as flushed.
+func (pc *pageCache) clean(off, end int64) {
+	pc.dirty = pc.dirty.subtract(off, end)
+}
+
+// dirtyRunAtLeast returns the lowest dirty extent of at least n bytes.
+func (pc *pageCache) dirtyRunAtLeast(n int64) (extent, bool) {
+	for _, e := range pc.dirty {
+		if e.len() >= n {
+			return e, true
+		}
+	}
+	return extent{}, false
+}

@@ -1,0 +1,462 @@
+package nfs
+
+import (
+	"errors"
+	"time"
+
+	"dpnfs/internal/fserr"
+	"dpnfs/internal/payload"
+	"dpnfs/internal/pnfs"
+	"dpnfs/internal/rpc"
+	"dpnfs/internal/sim"
+	"dpnfs/internal/simdisk"
+	"dpnfs/internal/simnet"
+	"dpnfs/internal/vfs"
+	"dpnfs/internal/xdr"
+)
+
+// ErrNoPNFS is returned by backends that do not serve layouts (plain NFSv4
+// exports); clients then fall back to proxied I/O through the server.
+var ErrNoPNFS = errors.New("nfs: backend does not support pNFS layouts")
+
+// Backend is the storage engine behind an NFSv4.1 server.  Different
+// architectures plug different engines in:
+//
+//   - a local in-memory store (VFSBackend, plain NFS servers and tests);
+//   - a PVFS2 client (the single-server NFSv4 export and the two/three-tier
+//     pNFS data servers);
+//   - the Direct-pNFS metadata server (PVFS2 MDS co-located, with the
+//     layout translator) and data server (loopback conduit to the local
+//     storage daemon).
+type Backend interface {
+	Root() uint64
+	Lookup(ctx *rpc.Ctx, dir uint64, name string) (uint64, Attr, error)
+	Create(ctx *rpc.Ctx, dir uint64, name string) (uint64, Attr, error)
+	Mkdir(ctx *rpc.Ctx, dir uint64, name string) (uint64, Attr, error)
+	Remove(ctx *rpc.Ctx, dir uint64, name string) error
+	Rename(ctx *rpc.Ctx, dir uint64, src, dst string) error
+	ReadDir(ctx *rpc.Ctx, dir uint64) ([]string, error)
+	GetAttr(ctx *rpc.Ctx, fh uint64) (Attr, error)
+	SetSize(ctx *rpc.Ctx, fh uint64, size int64) error
+	Read(ctx *rpc.Ctx, fh uint64, off, n int64, wantReal bool) (payload.Payload, bool, error)
+	Write(ctx *rpc.Ctx, fh uint64, off int64, data payload.Payload, stable bool) (int64, error)
+	Commit(ctx *rpc.Ctx, fh uint64) error
+	DevList(ctx *rpc.Ctx) ([]pnfs.DeviceInfo, error)
+	LayoutGet(ctx *rpc.Ctx, fh uint64) (*pnfs.FileLayout, error)
+	LayoutCommit(ctx *rpc.Ctx, fh uint64, newSize int64) error
+}
+
+// Costs is the CPU cost model for the in-kernel NFS implementation.  The
+// per-op costs are far below PVFS2's user-level daemon costs, which is what
+// lets the NFSv4 architectures win every small-I/O workload in §6.
+type Costs struct {
+	ServerPerOp time.Duration // per compound operation
+	ServerPerMB time.Duration // data movement on the server, per MiB
+	ClientPerOp time.Duration // client-side RPC construction, per compound op
+	ClientPerMB time.Duration // client-side page-cache copy, per MiB
+	CachePerOp  time.Duration // page-cache hit / buffered write, per call
+}
+
+// DefaultCosts models the paper's Linux 2.6.17 kernel NFS stack.
+func DefaultCosts() Costs {
+	return Costs{
+		ServerPerOp: 90 * time.Microsecond,
+		ServerPerMB: 3 * time.Millisecond,
+		ClientPerOp: 70 * time.Microsecond,
+		ClientPerMB: 5 * time.Millisecond,
+		CachePerOp:  4 * time.Microsecond,
+	}
+}
+
+// session is one NFSv4.1 session's slot table with per-slot replay state.
+type session struct {
+	lastSeq []uint32
+	lastRep []*CompoundRep
+}
+
+// ServerConfig wires a Server to its node and backend.
+type ServerConfig struct {
+	Fabric  *simnet.Fabric
+	Node    *simnet.Node
+	Backend Backend
+	Costs   Costs
+	Threads int // NFS server threads (paper: 8)
+}
+
+// Server is an NFSv4.1 server instance (metadata or data role is determined
+// entirely by its backend).
+type Server struct {
+	cfg      ServerConfig
+	nextID   uint64
+	sessions map[uint64]*session
+	clients  map[string]uint64
+}
+
+// NewServer creates the server and registers its simulated RPC service when
+// a fabric is configured.
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 8
+	}
+	s := &Server{
+		cfg:      cfg,
+		sessions: make(map[uint64]*session),
+		clients:  make(map[string]uint64),
+	}
+	if cfg.Fabric != nil {
+		rpc.ServeSim(rpc.ServerConfig{
+			Fabric:  cfg.Fabric,
+			Node:    cfg.Node,
+			Service: Service,
+			Threads: cfg.Threads,
+			Handler: s.Handle,
+		})
+	}
+	return s
+}
+
+// Handle dispatches one COMPOUND.
+func (s *Server) Handle(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshaler, rpc.Status) {
+	if proc != ProcCompound {
+		return nil, rpc.StatusProcUnavail
+	}
+	args, ok := req.(*CompoundArgs)
+	if !ok {
+		return nil, rpc.StatusGarbageArgs
+	}
+	var cpu *sim.KServer
+	if s.cfg.Node != nil {
+		cpu = s.cfg.Node.CPU
+	}
+	ctx.UseCPU(cpu, time.Duration(len(args.Ops))*s.cfg.Costs.ServerPerOp)
+
+	// Session check and replay cache.
+	var sess *session
+	if args.Session != 0 {
+		sess = s.sessions[args.Session]
+		if sess == nil {
+			return &CompoundRep{Status: fserr.Stale}, rpc.StatusOK
+		}
+		if int(args.Slot) >= len(sess.lastSeq) {
+			return &CompoundRep{Status: fserr.Inval}, rpc.StatusOK
+		}
+		if args.Seq == sess.lastSeq[args.Slot] && sess.lastRep[args.Slot] != nil {
+			// Retransmission: answer from the replay cache.
+			return sess.lastRep[args.Slot], rpc.StatusOK
+		}
+		if args.Seq != sess.lastSeq[args.Slot]+1 {
+			return &CompoundRep{Status: fserr.Inval}, rpc.StatusOK
+		}
+	}
+
+	rep := s.run(ctx, cpu, args)
+
+	if sess != nil {
+		sess.lastSeq[args.Slot] = args.Seq
+		sess.lastRep[args.Slot] = rep
+	}
+	return rep, rpc.StatusOK
+}
+
+// run executes the op list with a current-filehandle cursor.
+func (s *Server) run(ctx *rpc.Ctx, cpu *sim.KServer, args *CompoundArgs) *CompoundRep {
+	rep := &CompoundRep{}
+	b := s.cfg.Backend
+	var cur uint64
+	fail := func(r Result) *CompoundRep {
+		rep.Results = append(rep.Results, r)
+		rep.Status = r.Status()
+		return rep
+	}
+	for _, op := range args.Ops {
+		switch o := op.(type) {
+		case *OpExchangeID:
+			id, ok := s.clients[o.ClientName]
+			if !ok {
+				s.nextID++
+				id = s.nextID
+				s.clients[o.ClientName] = id
+			}
+			rep.Results = append(rep.Results, &ResExchangeID{ClientID: id})
+
+		case *OpCreateSession:
+			slots := o.Slots
+			if slots == 0 || slots > 256 {
+				slots = 64
+			}
+			s.nextID++
+			sid := s.nextID
+			s.sessions[sid] = &session{
+				lastSeq: make([]uint32, slots),
+				lastRep: make([]*CompoundRep, slots),
+			}
+			rep.Results = append(rep.Results, &ResCreateSession{Session: sid, Slots: slots})
+
+		case *OpPutRootFH:
+			cur = b.Root()
+			rep.Results = append(rep.Results, &ResPutRootFH{})
+
+		case *OpPutFH:
+			cur = o.FH
+			rep.Results = append(rep.Results, &ResPutFH{})
+
+		case *OpLookup:
+			fh, at, err := b.Lookup(ctx, cur, o.Name)
+			if err != nil {
+				return fail(&ResLookup{fhAttr{Errno: fserr.ToErrno(err)}})
+			}
+			cur = fh
+			rep.Results = append(rep.Results, &ResLookup{fhAttr{FH: fh, Attr: at}})
+
+		case *OpOpen:
+			fh, at, err := b.Lookup(ctx, cur, o.Name)
+			if err == vfs.ErrNotExist && o.Create {
+				fh, at, err = b.Create(ctx, cur, o.Name)
+			}
+			if err != nil {
+				return fail(&ResOpen{fhAttr: fhAttr{Errno: fserr.ToErrno(err)}})
+			}
+			cur = fh
+			s.nextID++
+			rep.Results = append(rep.Results, &ResOpen{
+				fhAttr:  fhAttr{FH: fh, Attr: at},
+				StateID: s.nextID,
+			})
+
+		case *OpClose:
+			rep.Results = append(rep.Results, &ResClose{})
+
+		case *OpGetAttr:
+			at, err := b.GetAttr(ctx, cur)
+			if err != nil {
+				return fail(&ResGetAttr{Errno: fserr.ToErrno(err)})
+			}
+			rep.Results = append(rep.Results, &ResGetAttr{Attr: at})
+
+		case *OpSetAttr:
+			if err := b.SetSize(ctx, cur, o.Size); err != nil {
+				return fail(&ResSetAttr{errnoOnly{Errno: fserr.ToErrno(err)}})
+			}
+			rep.Results = append(rep.Results, &ResSetAttr{})
+
+		case *OpRead:
+			ctx.UseCPU(cpu, perMB(s.cfg.Costs.ServerPerMB, o.Len))
+			data, eof, err := b.Read(ctx, cur, o.Off, o.Len, o.WantReal)
+			if err != nil {
+				return fail(&ResRead{Errno: fserr.ToErrno(err)})
+			}
+			rep.Results = append(rep.Results, &ResRead{Eof: eof, Data: data})
+
+		case *OpWrite:
+			ctx.UseCPU(cpu, perMB(s.cfg.Costs.ServerPerMB, o.Data.Len()))
+			newSize, err := b.Write(ctx, cur, o.Off, o.Data, o.Stable)
+			if err != nil {
+				return fail(&ResWrite{Errno: fserr.ToErrno(err)})
+			}
+			rep.Results = append(rep.Results, &ResWrite{Count: o.Data.Len(), NewSize: newSize})
+
+		case *OpCommit:
+			if err := b.Commit(ctx, cur); err != nil {
+				return fail(&ResCommit{errnoOnly{Errno: fserr.ToErrno(err)}})
+			}
+			rep.Results = append(rep.Results, &ResCommit{})
+
+		case *OpCreate:
+			fh, at, err := b.Mkdir(ctx, cur, o.Name)
+			if err != nil {
+				return fail(&ResCreate{fhAttr{Errno: fserr.ToErrno(err)}})
+			}
+			cur = fh
+			rep.Results = append(rep.Results, &ResCreate{fhAttr{FH: fh, Attr: at}})
+
+		case *OpRemove:
+			if err := b.Remove(ctx, cur, o.Name); err != nil {
+				return fail(&ResRemove{errnoOnly{Errno: fserr.ToErrno(err)}})
+			}
+			rep.Results = append(rep.Results, &ResRemove{})
+
+		case *OpRename:
+			if err := b.Rename(ctx, cur, o.Src, o.Dst); err != nil {
+				return fail(&ResRename{errnoOnly{Errno: fserr.ToErrno(err)}})
+			}
+			rep.Results = append(rep.Results, &ResRename{})
+
+		case *OpReadDir:
+			names, err := b.ReadDir(ctx, cur)
+			if err != nil {
+				return fail(&ResReadDir{Errno: fserr.ToErrno(err)})
+			}
+			rep.Results = append(rep.Results, &ResReadDir{Names: names})
+
+		case *OpGetDevList:
+			devs, err := b.DevList(ctx)
+			if err != nil {
+				return fail(&ResGetDevList{Errno: fserr.Inval})
+			}
+			rep.Results = append(rep.Results, &ResGetDevList{Devices: devs})
+
+		case *OpLayoutGet:
+			l, err := b.LayoutGet(ctx, cur)
+			if err != nil {
+				return fail(&ResLayoutGet{Errno: fserr.Inval})
+			}
+			rep.Results = append(rep.Results, &ResLayoutGet{Layout: *l})
+
+		case *OpLayoutCommit:
+			if err := b.LayoutCommit(ctx, cur, o.NewSize); err != nil {
+				return fail(&ResLayoutCommit{errnoOnly{Errno: fserr.ToErrno(err)}})
+			}
+			rep.Results = append(rep.Results, &ResLayoutCommit{})
+
+		case *OpLayoutReturn:
+			rep.Results = append(rep.Results, &ResLayoutReturn{})
+
+		default:
+			return fail(&ResPutFH{errnoOnly{Errno: fserr.Inval}})
+		}
+	}
+	return rep
+}
+
+func perMB(d time.Duration, n int64) time.Duration {
+	return time.Duration(float64(d) * float64(n) / (1 << 20))
+}
+
+// VFSBackend serves a local in-memory store, optionally charging a
+// simulated disk.  It is the backend for plain NFS servers in unit tests
+// and the TCP demo; it does not serve pNFS layouts.
+type VFSBackend struct {
+	Store *vfs.Store
+	Disk  *simdisk.Disk
+}
+
+// NewVFSBackend wraps a fresh store.
+func NewVFSBackend(disk *simdisk.Disk) *VFSBackend {
+	return &VFSBackend{Store: vfs.New(), Disk: disk}
+}
+
+// Root implements Backend.
+func (b *VFSBackend) Root() uint64 { return uint64(b.Store.Root()) }
+
+// Lookup implements Backend.
+func (b *VFSBackend) Lookup(_ *rpc.Ctx, dir uint64, name string) (uint64, Attr, error) {
+	at, err := b.Store.Lookup(vfs.FileID(dir), name)
+	if err != nil {
+		return 0, Attr{}, err
+	}
+	return uint64(at.ID), attrOf(at), nil
+}
+
+// Create implements Backend.
+func (b *VFSBackend) Create(_ *rpc.Ctx, dir uint64, name string) (uint64, Attr, error) {
+	at, err := b.Store.Create(vfs.FileID(dir), name)
+	if err != nil {
+		return 0, Attr{}, err
+	}
+	return uint64(at.ID), attrOf(at), nil
+}
+
+// Mkdir implements Backend.
+func (b *VFSBackend) Mkdir(_ *rpc.Ctx, dir uint64, name string) (uint64, Attr, error) {
+	at, err := b.Store.Mkdir(vfs.FileID(dir), name)
+	if err != nil {
+		return 0, Attr{}, err
+	}
+	return uint64(at.ID), attrOf(at), nil
+}
+
+// Remove implements Backend.
+func (b *VFSBackend) Remove(_ *rpc.Ctx, dir uint64, name string) error {
+	return b.Store.Remove(vfs.FileID(dir), name)
+}
+
+// Rename implements Backend.
+func (b *VFSBackend) Rename(_ *rpc.Ctx, dir uint64, src, dst string) error {
+	return b.Store.Rename(vfs.FileID(dir), src, vfs.FileID(dir), dst)
+}
+
+// ReadDir implements Backend.
+func (b *VFSBackend) ReadDir(_ *rpc.Ctx, dir uint64) ([]string, error) {
+	return b.Store.ReadDir(vfs.FileID(dir))
+}
+
+// GetAttr implements Backend.
+func (b *VFSBackend) GetAttr(_ *rpc.Ctx, fh uint64) (Attr, error) {
+	at, err := b.Store.GetAttr(vfs.FileID(fh))
+	if err != nil {
+		return Attr{}, err
+	}
+	return attrOf(at), nil
+}
+
+// SetSize implements Backend.
+func (b *VFSBackend) SetSize(_ *rpc.Ctx, fh uint64, size int64) error {
+	return b.Store.Truncate(vfs.FileID(fh), size)
+}
+
+// Read implements Backend.
+func (b *VFSBackend) Read(ctx *rpc.Ctx, fh uint64, off, n int64, wantReal bool) (payload.Payload, bool, error) {
+	at, err := b.Store.GetAttr(vfs.FileID(fh))
+	if err != nil {
+		return payload.Payload{}, false, err
+	}
+	if off >= at.Size {
+		n = 0
+	} else if off+n > at.Size {
+		n = at.Size - off
+	}
+	if ctx.P != nil && b.Disk != nil && n > 0 {
+		b.Disk.Read(ctx.P, fh, off, n)
+	}
+	eof := off+n >= at.Size
+	if !wantReal {
+		return payload.Synthetic(n), eof, nil
+	}
+	buf := make([]byte, n)
+	if _, err := b.Store.ReadAt(vfs.FileID(fh), off, buf); err != nil {
+		return payload.Payload{}, false, err
+	}
+	return payload.Real(buf), eof, nil
+}
+
+// Write implements Backend.
+func (b *VFSBackend) Write(ctx *rpc.Ctx, fh uint64, off int64, data payload.Payload, stable bool) (int64, error) {
+	var newSize int64
+	var err error
+	if data.IsSynthetic() {
+		newSize, err = b.Store.WriteSyntheticAt(vfs.FileID(fh), off, data.Len())
+	} else {
+		newSize, err = b.Store.WriteAt(vfs.FileID(fh), off, data.Bytes)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if ctx.P != nil && b.Disk != nil {
+		b.Disk.Write(ctx.P, fh, off, data.Len())
+		if stable {
+			b.Disk.Sync(ctx.P)
+		}
+	}
+	return newSize, nil
+}
+
+// Commit implements Backend.
+func (b *VFSBackend) Commit(ctx *rpc.Ctx, fh uint64) error {
+	if ctx.P != nil && b.Disk != nil {
+		b.Disk.Sync(ctx.P)
+	}
+	return nil
+}
+
+// DevList implements Backend: no pNFS.
+func (b *VFSBackend) DevList(*rpc.Ctx) ([]pnfs.DeviceInfo, error) { return nil, ErrNoPNFS }
+
+// LayoutGet implements Backend: no pNFS.
+func (b *VFSBackend) LayoutGet(*rpc.Ctx, uint64) (*pnfs.FileLayout, error) { return nil, ErrNoPNFS }
+
+// LayoutCommit implements Backend: no pNFS.
+func (b *VFSBackend) LayoutCommit(*rpc.Ctx, uint64, int64) error { return ErrNoPNFS }
+
+func attrOf(at vfs.Attr) Attr {
+	return Attr{IsDir: at.IsDir, Size: at.Size, Change: at.Change}
+}

@@ -1,0 +1,86 @@
+// Package payload represents bulk I/O data that can be either real bytes or
+// a synthetic length.  Benchmarks move hundreds of simulated gigabytes, so
+// the simulated transport passes typed messages by reference and charges the
+// NIC for Payload.WireSize() without materializing buffers; integration
+// tests and the TCP demo use real bytes end to end.
+package payload
+
+import (
+	"bytes"
+
+	"dpnfs/internal/xdr"
+)
+
+// Payload is a byte string of length N.  If Bytes is nil the content is
+// synthetic (all zeros, not materialized).
+type Payload struct {
+	N     int64
+	Bytes []byte
+}
+
+// Real wraps actual bytes.
+func Real(b []byte) Payload { return Payload{N: int64(len(b)), Bytes: b} }
+
+// Synthetic describes n bytes of content without materializing them.
+func Synthetic(n int64) Payload { return Payload{N: n} }
+
+// Len returns the payload length in bytes.
+func (p Payload) Len() int64 { return p.N }
+
+// IsSynthetic reports whether the content is not materialized.
+func (p Payload) IsSynthetic() bool { return p.Bytes == nil && p.N > 0 }
+
+// WireSize returns the XDR-encoded size (length word + padded body).
+func (p Payload) WireSize() int64 { return int64(xdr.SizeOpaque(int(p.N))) }
+
+// MarshalXDR encodes the payload as a variable-length opaque.  Synthetic
+// payloads encode as zeros — only the TCP transport ever calls this for
+// bulk data, and the demo keeps files small.
+func (p Payload) MarshalXDR(e *xdr.Encoder) {
+	if p.Bytes != nil {
+		e.Opaque(p.Bytes)
+		return
+	}
+	e.Opaque(make([]byte, p.N))
+}
+
+// UnmarshalXDR decodes a variable-length opaque as real bytes.
+func (p *Payload) UnmarshalXDR(d *xdr.Decoder) error {
+	b, err := d.Opaque()
+	if err != nil {
+		return err
+	}
+	p.Bytes = b
+	p.N = int64(len(b))
+	return nil
+}
+
+// Slice returns the sub-payload [off, off+n), preserving synthetic-ness.
+func (p Payload) Slice(off, n int64) Payload {
+	if off < 0 || n < 0 || off+n > p.N {
+		panic("payload: slice out of range")
+	}
+	if p.Bytes == nil {
+		return Synthetic(n)
+	}
+	return Real(p.Bytes[off : off+n])
+}
+
+// Equal reports whether two payloads have identical content, treating
+// synthetic payloads as zeros.
+func Equal(a, b Payload) bool {
+	if a.N != b.N {
+		return false
+	}
+	if a.Bytes == nil && b.Bytes == nil {
+		return true
+	}
+	az, bz := a.Bytes, b.Bytes
+	if az == nil {
+		az = make([]byte, a.N)
+	}
+	if bz == nil {
+		bz = make([]byte, b.N)
+	}
+	return bytes.Equal(az, bz)
+}

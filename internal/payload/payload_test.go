@@ -1,0 +1,105 @@
+package payload
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"dpnfs/internal/xdr"
+)
+
+func TestRealRoundTrip(t *testing.T) {
+	in := Real([]byte("some bytes"))
+	var out Payload
+	if err := xdr.Unmarshal(xdr.Marshal(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes, in.Bytes) || out.N != in.N {
+		t.Fatalf("round trip mangled payload: %+v", out)
+	}
+}
+
+func TestSyntheticMarshalsAsZeros(t *testing.T) {
+	in := Synthetic(10)
+	var out Payload
+	if err := xdr.Unmarshal(xdr.Marshal(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.N != 10 || !bytes.Equal(out.Bytes, make([]byte, 10)) {
+		t.Fatalf("synthetic should decode as zeros: %+v", out)
+	}
+}
+
+func TestWireSizeMatchesEncoding(t *testing.T) {
+	for _, p := range []Payload{Real(nil), Real([]byte("abc")), Synthetic(0), Synthetic(17)} {
+		if got, want := p.WireSize(), int64(len(xdr.Marshal(p))); got != want {
+			t.Errorf("payload %+v: WireSize %d != encoded %d", p, got, want)
+		}
+	}
+}
+
+func TestSlice(t *testing.T) {
+	p := Real([]byte("0123456789"))
+	s := p.Slice(2, 5)
+	if string(s.Bytes) != "23456" || s.N != 5 {
+		t.Fatalf("slice: %+v", s)
+	}
+	syn := Synthetic(100).Slice(10, 20)
+	if !syn.IsSynthetic() || syn.N != 20 {
+		t.Fatalf("synthetic slice: %+v", syn)
+	}
+}
+
+func TestSliceOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range slice did not panic")
+		}
+	}()
+	Real([]byte("ab")).Slice(1, 5)
+}
+
+func TestEqualTreatsSyntheticAsZeros(t *testing.T) {
+	if !Equal(Synthetic(4), Real(make([]byte, 4))) {
+		t.Fatal("synthetic != zeros")
+	}
+	if Equal(Synthetic(4), Real([]byte{0, 0, 1, 0})) {
+		t.Fatal("nonzero bytes equal synthetic")
+	}
+	if Equal(Synthetic(3), Synthetic(4)) {
+		t.Fatal("length mismatch ignored")
+	}
+	if !Equal(Synthetic(5), Synthetic(5)) {
+		t.Fatal("equal synthetics differ")
+	}
+}
+
+func TestIsSynthetic(t *testing.T) {
+	if Real([]byte("x")).IsSynthetic() {
+		t.Fatal("real payload reported synthetic")
+	}
+	if !Synthetic(1).IsSynthetic() {
+		t.Fatal("synthetic payload not reported")
+	}
+	// Zero-length payloads are trivially materialized.
+	if Synthetic(0).IsSynthetic() {
+		t.Fatal("empty payload reported synthetic")
+	}
+}
+
+// Property: slicing preserves content for any valid subrange.
+func TestPropertySlice(t *testing.T) {
+	f := func(data []byte, offRaw, nRaw uint8) bool {
+		p := Real(data)
+		if p.N == 0 {
+			return true
+		}
+		off := int64(offRaw) % p.N
+		n := int64(nRaw) % (p.N - off + 1)
+		s := p.Slice(off, n)
+		return bytes.Equal(s.Bytes, data[off:off+n])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

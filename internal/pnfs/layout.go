@@ -1,0 +1,241 @@
+// Package pnfs implements the pNFS layout machinery of NFSv4.1 plus the two
+// Direct-pNFS additions the paper contributes (§4):
+//
+//   - the layout translator, which converts a parallel file system's native
+//     layout into a pNFS file-based layout without interpreting file-system
+//     specific information, and
+//   - pluggable aggregation drivers, which let an unmodified client
+//     understand unconventional striping schemes (variable stripe size,
+//     replicated, hierarchical) beyond the two standard NFSv4.1 schemes
+//     (round-robin and cyclic device patterns).
+//
+// A layout tells the client, for any byte range, which data server holds
+// the bytes and under which file handle to address them.  Direct layouts
+// describe the exact physical distribution, so clients send device-space
+// offsets straight to the storage nodes; indirect (two/three-tier) layouts
+// stripe logical offsets across intermediary data servers.
+package pnfs
+
+import (
+	"fmt"
+
+	"dpnfs/internal/stripe"
+	"dpnfs/internal/xdr"
+)
+
+// DeviceID names a data server within a file system's device list.
+type DeviceID uint32
+
+// DeviceInfo is one GETDEVLIST entry: the addressing information for a data
+// server.
+type DeviceInfo struct {
+	ID   DeviceID
+	Addr string // node name (simulation) or host:port (TCP demo)
+}
+
+// Aggregation scheme names carried in layouts.  RoundRobin and Cyclic are
+// the NFSv4.1-standard schemes; the rest require a pluggable aggregation
+// driver on the client (paper §4.3).
+const (
+	AggRoundRobin     = "round-robin"
+	AggCyclic         = "cyclic"
+	AggVariableStripe = "variable-stripe"
+	AggReplicated     = "replicated"
+	AggHierarchical   = "hierarchical"
+)
+
+// FileLayout is a pNFS file-based layout (paper §3.4): aggregation type and
+// stripe size, data server identifiers, one file handle per data server,
+// and policy parameters.
+type FileLayout struct {
+	// Aggregation names the scheme; Params are its geometry constants
+	// (interpretation per scheme, see Mapper).
+	Aggregation string
+	Params      []int64
+	// Devices lists the data servers in stripe order; FHs holds the file
+	// handle valid on each.
+	Devices []DeviceID
+	FHs     []uint64
+	// Direct reports that offsets in the layout's device space address the
+	// storage objects themselves (Direct-pNFS).  When false, data servers
+	// interpret logical file offsets (two/three-tier file-based pNFS).
+	Direct bool
+}
+
+// Mapper instantiates the aggregation driver described by the layout.  The
+// standard schemes need no driver registration; the unconventional ones are
+// looked up in the driver registry.
+func (l *FileLayout) Mapper() (stripe.Mapper, error) {
+	n := len(l.Devices)
+	if n == 0 {
+		return nil, fmt.Errorf("pnfs: layout has no devices")
+	}
+	switch l.Aggregation {
+	case AggRoundRobin:
+		if len(l.Params) != 1 {
+			return nil, fmt.Errorf("pnfs: round-robin wants 1 param, got %d", len(l.Params))
+		}
+		return stripe.NewRoundRobin(l.Params[0], n), nil
+	case AggCyclic:
+		if len(l.Params) < 2 {
+			return nil, fmt.Errorf("pnfs: cyclic wants unit + order params")
+		}
+		order := make([]int, len(l.Params)-1)
+		for i, v := range l.Params[1:] {
+			order[i] = int(v)
+		}
+		return stripe.NewCyclic(l.Params[0], order), nil
+	default:
+		drv, ok := drivers[l.Aggregation]
+		if !ok {
+			return nil, fmt.Errorf("pnfs: no aggregation driver for %q", l.Aggregation)
+		}
+		return drv(l.Params, n)
+	}
+}
+
+// Driver builds an aggregation mapper from layout params and device count.
+type Driver func(params []int64, devices int) (stripe.Mapper, error)
+
+var drivers = make(map[string]Driver)
+
+// RegisterDriver installs a pluggable aggregation driver.  Drivers are
+// registered at init time; duplicate names panic.
+func RegisterDriver(name string, d Driver) {
+	if _, dup := drivers[name]; dup {
+		panic(fmt.Sprintf("pnfs: duplicate aggregation driver %q", name))
+	}
+	drivers[name] = d
+}
+
+func init() {
+	RegisterDriver(AggVariableStripe, func(params []int64, devices int) (stripe.Mapper, error) {
+		if len(params) != devices {
+			return nil, fmt.Errorf("pnfs: variable-stripe wants %d sizes, got %d", devices, len(params))
+		}
+		return stripe.NewVariableStripe(params), nil
+	})
+	RegisterDriver(AggReplicated, func(params []int64, devices int) (stripe.Mapper, error) {
+		if len(params) != 2 {
+			return nil, fmt.Errorf("pnfs: replicated wants [copies, unit], got %d params", len(params))
+		}
+		copies := int(params[0])
+		if copies <= 0 || devices%copies != 0 {
+			return nil, fmt.Errorf("pnfs: %d devices not divisible into %d replicas", devices, copies)
+		}
+		return stripe.NewReplicated(stripe.NewRoundRobin(params[1], devices/copies), copies), nil
+	})
+	RegisterDriver(AggHierarchical, func(params []int64, devices int) (stripe.Mapper, error) {
+		if len(params) != 3 {
+			return nil, fmt.Errorf("pnfs: hierarchical wants [outer, inner, groups], got %d params", len(params))
+		}
+		groups := int(params[2])
+		if groups <= 0 || devices%groups != 0 {
+			return nil, fmt.Errorf("pnfs: %d devices not divisible into %d groups", devices, groups)
+		}
+		return stripe.NewHierarchical(params[0], params[1], groups, devices/groups), nil
+	})
+}
+
+// MarshalXDR implements xdr.Marshaler.
+func (l *FileLayout) MarshalXDR(e *xdr.Encoder) {
+	e.String(l.Aggregation)
+	e.Uint32(uint32(len(l.Params)))
+	for _, p := range l.Params {
+		e.Int64(p)
+	}
+	e.Uint32(uint32(len(l.Devices)))
+	for i, d := range l.Devices {
+		e.Uint32(uint32(d))
+		e.Uint64(l.FHs[i])
+	}
+	e.Bool(l.Direct)
+}
+
+// UnmarshalXDR implements xdr.Unmarshaler.
+func (l *FileLayout) UnmarshalXDR(d *xdr.Decoder) error {
+	var err error
+	if l.Aggregation, err = d.String(); err != nil {
+		return err
+	}
+	np, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	if np > 4096 {
+		return xdr.ErrTooLong
+	}
+	l.Params = make([]int64, np)
+	for i := range l.Params {
+		if l.Params[i], err = d.Int64(); err != nil {
+			return err
+		}
+	}
+	nd, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	if nd > 4096 {
+		return xdr.ErrTooLong
+	}
+	l.Devices = make([]DeviceID, nd)
+	l.FHs = make([]uint64, nd)
+	for i := range l.Devices {
+		v, err := d.Uint32()
+		if err != nil {
+			return err
+		}
+		l.Devices[i] = DeviceID(v)
+		if l.FHs[i], err = d.Uint64(); err != nil {
+			return err
+		}
+	}
+	l.Direct, err = d.Bool()
+	return err
+}
+
+// Validate checks internal consistency (device/FH parity, instantiable
+// aggregation).
+func (l *FileLayout) Validate() error {
+	if len(l.Devices) != len(l.FHs) {
+		return fmt.Errorf("pnfs: %d devices but %d file handles", len(l.Devices), len(l.FHs))
+	}
+	_, err := l.Mapper()
+	return err
+}
+
+// NativeLayout is what the layout translator consumes: the parallel file
+// system's own description of a file's data placement, expressed only in
+// protocol-neutral terms (the translator never interprets file-system
+// internals, paper §4.2).
+type NativeLayout struct {
+	Aggregation string
+	Params      []int64
+	// StorageNodes lists the parallel FS storage nodes in device order.
+	StorageNodes []string
+	// ObjectHandle addresses the file's stripe objects on every node.
+	ObjectHandle uint64
+}
+
+// Translate converts a parallel file system's native layout into a pNFS
+// file-based layout whose devices are the NFSv4 servers co-located with the
+// storage nodes.  devFor maps a storage node name to its pNFS device ID.
+func Translate(n NativeLayout, devFor func(node string) (DeviceID, bool)) (*FileLayout, error) {
+	out := &FileLayout{
+		Aggregation: n.Aggregation,
+		Params:      append([]int64(nil), n.Params...),
+		Direct:      true,
+	}
+	for _, node := range n.StorageNodes {
+		id, ok := devFor(node)
+		if !ok {
+			return nil, fmt.Errorf("pnfs: storage node %q has no pNFS data server", node)
+		}
+		out.Devices = append(out.Devices, id)
+		out.FHs = append(out.FHs, n.ObjectHandle)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,240 @@
+package pnfs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dpnfs/internal/stripe"
+	"dpnfs/internal/xdr"
+)
+
+func sampleLayout() *FileLayout {
+	return &FileLayout{
+		Aggregation: AggRoundRobin,
+		Params:      []int64{2 << 20},
+		Devices:     []DeviceID{0, 1, 2, 3, 4, 5},
+		FHs:         []uint64{9, 9, 9, 9, 9, 9},
+		Direct:      true,
+	}
+}
+
+func TestLayoutXDRRoundTrip(t *testing.T) {
+	in := sampleLayout()
+	var out FileLayout
+	if err := xdr.Unmarshal(xdr.Marshal(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Aggregation != in.Aggregation || out.Direct != in.Direct ||
+		len(out.Devices) != len(in.Devices) || out.Params[0] != in.Params[0] {
+		t.Fatalf("round trip mangled layout: %+v", out)
+	}
+	for i := range in.Devices {
+		if out.Devices[i] != in.Devices[i] || out.FHs[i] != in.FHs[i] {
+			t.Fatalf("device %d mangled", i)
+		}
+	}
+}
+
+func TestPropertyLayoutXDRRoundTrip(t *testing.T) {
+	f := func(agg string, params []int64, ndev uint8, direct bool) bool {
+		n := int(ndev%16) + 1
+		in := &FileLayout{Aggregation: agg, Params: params, Direct: direct}
+		for i := 0; i < n; i++ {
+			in.Devices = append(in.Devices, DeviceID(i))
+			in.FHs = append(in.FHs, uint64(i)*7+1)
+		}
+		var out FileLayout
+		if err := xdr.Unmarshal(xdr.Marshal(in), &out); err != nil {
+			return false
+		}
+		if out.Aggregation != in.Aggregation || out.Direct != in.Direct {
+			return false
+		}
+		if len(out.Params) != len(in.Params) || len(out.Devices) != len(in.Devices) {
+			return false
+		}
+		for i := range in.Params {
+			if out.Params[i] != in.Params[i] {
+				return false
+			}
+		}
+		for i := range in.Devices {
+			if out.Devices[i] != in.Devices[i] || out.FHs[i] != in.FHs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapperStandardSchemes(t *testing.T) {
+	l := sampleLayout()
+	m, err := l.Mapper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumDevices() != 6 || m.Name() != "round-robin" {
+		t.Fatalf("unexpected mapper %s/%d", m.Name(), m.NumDevices())
+	}
+
+	cy := &FileLayout{
+		Aggregation: AggCyclic,
+		Params:      []int64{1 << 20, 0, 2, 4, 1, 3, 5},
+		Devices:     []DeviceID{0, 1, 2, 3, 4, 5},
+		FHs:         make([]uint64, 6),
+	}
+	m, err = cy.Mapper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "cyclic" {
+		t.Fatalf("cyclic mapper is %s", m.Name())
+	}
+}
+
+func TestMapperPluggableDrivers(t *testing.T) {
+	cases := []struct {
+		agg    string
+		params []int64
+		ndev   int
+		want   string
+	}{
+		{AggVariableStripe, []int64{4 << 10, 64 << 10, 1 << 20}, 3, "variable-stripe"},
+		{AggReplicated, []int64{2, 1 << 20}, 6, "replicated+round-robin"},
+		{AggHierarchical, []int64{4 << 20, 1 << 20, 2}, 6, "hierarchical"},
+	}
+	for _, c := range cases {
+		l := &FileLayout{Aggregation: c.agg, Params: c.params,
+			Devices: make([]DeviceID, c.ndev), FHs: make([]uint64, c.ndev)}
+		m, err := l.Mapper()
+		if err != nil {
+			t.Fatalf("%s: %v", c.agg, err)
+		}
+		if m.Name() != c.want {
+			t.Errorf("%s: mapper %q, want %q", c.agg, m.Name(), c.want)
+		}
+		// The driver must cover a byte range over all its devices.
+		var ext []stripe.Extent = m.Map(0, 32<<20)
+		var total int64
+		for _, e := range ext {
+			total += e.Len
+		}
+		if total < 32<<20 {
+			t.Errorf("%s: map covered %d of %d bytes", c.agg, total, 32<<20)
+		}
+	}
+}
+
+func TestMapperErrors(t *testing.T) {
+	cases := []*FileLayout{
+		{Aggregation: AggRoundRobin, Params: nil, Devices: []DeviceID{0}, FHs: []uint64{1}},
+		{Aggregation: "alien-scheme", Devices: []DeviceID{0}, FHs: []uint64{1}},
+		{Aggregation: AggRoundRobin, Params: []int64{1 << 20}},                                                          // no devices
+		{Aggregation: AggReplicated, Params: []int64{4, 1 << 20}, Devices: make([]DeviceID, 6), FHs: make([]uint64, 6)}, // 6 % 4 != 0
+	}
+	for i, l := range cases {
+		if _, err := l.Mapper(); err == nil {
+			t.Errorf("case %d: bad layout produced a mapper", i)
+		}
+	}
+}
+
+func TestValidateChecksParity(t *testing.T) {
+	l := sampleLayout()
+	l.FHs = l.FHs[:3]
+	if err := l.Validate(); err == nil {
+		t.Fatal("device/FH count mismatch not caught")
+	}
+}
+
+func TestDuplicateDriverPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate driver registration did not panic")
+		}
+	}()
+	RegisterDriver(AggVariableStripe, nil)
+}
+
+func TestTranslate(t *testing.T) {
+	native := NativeLayout{
+		Aggregation:  AggRoundRobin,
+		Params:       []int64{2 << 20},
+		StorageNodes: []string{"io0", "io1", "io2"},
+		ObjectHandle: 42,
+	}
+	devs := map[string]DeviceID{"io0": 0, "io1": 1, "io2": 2}
+	l, err := Translate(native, func(n string) (DeviceID, bool) {
+		d, ok := devs[n]
+		return d, ok
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Direct {
+		t.Fatal("translated layout must be direct")
+	}
+	for i, want := range []DeviceID{0, 1, 2} {
+		if l.Devices[i] != want || l.FHs[i] != 42 {
+			t.Fatalf("device %d: %v/%v", i, l.Devices[i], l.FHs[i])
+		}
+	}
+	// The translator preserves the aggregation untouched (it never
+	// interprets parallel-FS internals).
+	if l.Aggregation != native.Aggregation || l.Params[0] != native.Params[0] {
+		t.Fatal("translator altered aggregation parameters")
+	}
+}
+
+func TestTranslateUnknownNode(t *testing.T) {
+	native := NativeLayout{
+		Aggregation:  AggRoundRobin,
+		Params:       []int64{1 << 20},
+		StorageNodes: []string{"ghost"},
+	}
+	if _, err := Translate(native, func(string) (DeviceID, bool) { return 0, false }); err == nil {
+		t.Fatal("unknown storage node not rejected")
+	}
+}
+
+// Property: a translated direct layout maps byte ranges identically to the
+// parallel file system's own mapper — the invariant Direct-pNFS relies on
+// for direct access.
+func TestPropertyTranslatedLayoutMatchesNative(t *testing.T) {
+	f := func(offRaw uint32, lenRaw uint16) bool {
+		native := NativeLayout{
+			Aggregation:  AggRoundRobin,
+			Params:       []int64{64 << 10},
+			StorageNodes: []string{"a", "b", "c", "d"},
+			ObjectHandle: 7,
+		}
+		l, err := Translate(native, func(n string) (DeviceID, bool) {
+			return DeviceID(n[0] - 'a'), true
+		})
+		if err != nil {
+			return false
+		}
+		lm, err := l.Mapper()
+		if err != nil {
+			return false
+		}
+		nm := stripe.NewRoundRobin(64<<10, 4)
+		off, n := int64(offRaw%(1<<24)), int64(lenRaw)+1
+		a, b := lm.Map(off, n), nm.Map(off, n)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,292 @@
+package pvfs
+
+import (
+	"fmt"
+
+	"dpnfs/internal/payload"
+	"dpnfs/internal/rpc"
+	"dpnfs/internal/sim"
+	"dpnfs/internal/simnet"
+	"dpnfs/internal/stripe"
+)
+
+// ClientConfig describes one PVFS2 client library instance.
+type ClientConfig struct {
+	Node  *simnet.Node
+	Meta  rpc.Conn
+	IO    []rpc.Conn // one per storage daemon, in device order
+	Costs Costs
+	// MaxFlight bounds concurrent outstanding I/O requests ("limited
+	// request parallelization", paper §5).
+	MaxFlight int
+	// MaxTransfer caps a single I/O request's payload; larger extents are
+	// split ("large transfer buffers").
+	MaxTransfer int64
+}
+
+// Client is the PVFS2 client library: stateless, no data cache, no
+// write-back — every Read/Write goes to the daemons synchronously.
+type Client struct {
+	cfg ClientConfig
+}
+
+// NewClient returns a client with defaults applied.
+func NewClient(cfg ClientConfig) *Client {
+	if cfg.MaxFlight <= 0 {
+		cfg.MaxFlight = 8
+	}
+	if cfg.MaxTransfer <= 0 {
+		cfg.MaxTransfer = 256 << 10 // PVFS2 flow buffer size
+	}
+	return &Client{cfg: cfg}
+}
+
+// File is an open PVFS2 file reference.
+type File struct {
+	Handle Handle
+	Dist   DistParams
+	mapper *stripe.RoundRobin
+}
+
+func (c *Client) chargeOp(ctx *rpc.Ctx, bytes int64) {
+	var cpu *sim.KServer
+	if c.cfg.Node != nil {
+		cpu = c.cfg.Node.CPU
+	}
+	ctx.UseCPU(cpu, c.cfg.Costs.ClientPerOp+perMB(c.cfg.Costs.ClientPerMB, bytes))
+}
+
+func (c *Client) newFile(h Handle, dist DistParams) *File {
+	return &File{
+		Handle: h,
+		Dist:   dist,
+		mapper: stripe.NewRoundRobin(dist.StripeSize, int(dist.NumServers)),
+	}
+}
+
+// Create makes a new file and returns an open reference.
+func (c *Client) Create(ctx *rpc.Ctx, path string) (*File, error) {
+	c.chargeOp(ctx, 0)
+	var rep CreateRep
+	if err := c.cfg.Meta.Call(ctx, ProcCreate, &CreateArgs{Path: path}, &rep); err != nil {
+		return nil, err
+	}
+	if rep.Errno != 0 {
+		return nil, rep.Errno.Err()
+	}
+	return c.newFile(rep.Handle, rep.Dist), nil
+}
+
+// Open resolves an existing file.
+func (c *Client) Open(ctx *rpc.Ctx, path string) (*File, error) {
+	c.chargeOp(ctx, 0)
+	var rep LookupRep
+	if err := c.cfg.Meta.Call(ctx, ProcLookup, &LookupArgs{Path: path}, &rep); err != nil {
+		return nil, err
+	}
+	if rep.Errno != 0 {
+		return nil, rep.Errno.Err()
+	}
+	if rep.IsDir {
+		return nil, fmt.Errorf("pvfs: %s is a directory", path)
+	}
+	return c.newFile(rep.Handle, rep.Dist), nil
+}
+
+// ioRequest is one storage-daemon request derived from an extent.
+type ioRequest struct {
+	dev    int
+	off    int64 // logical
+	devOff int64
+	n      int64
+}
+
+// split breaks extents into MaxTransfer-sized requests.
+func (c *Client) split(extents []stripe.Extent) []ioRequest {
+	var reqs []ioRequest
+	for _, e := range extents {
+		for off := int64(0); off < e.Len; off += c.cfg.MaxTransfer {
+			n := c.cfg.MaxTransfer
+			if off+n > e.Len {
+				n = e.Len - off
+			}
+			reqs = append(reqs, ioRequest{dev: e.Dev, off: e.Off + off, devOff: e.DevOff + off, n: n})
+		}
+	}
+	return reqs
+}
+
+// runBounded executes requests with at most MaxFlight in flight, in waves.
+func (c *Client) runBounded(ctx *rpc.Ctx, reqs []ioRequest, fn func(ctx *rpc.Ctx, r ioRequest) error) error {
+	var firstErr error
+	for start := 0; start < len(reqs); start += c.cfg.MaxFlight {
+		end := start + c.cfg.MaxFlight
+		if end > len(reqs) {
+			end = len(reqs)
+		}
+		batch := reqs[start:end]
+		errs := make([]error, len(batch))
+		rpc.Parallel(ctx, len(batch), func(ctx *rpc.Ctx, i int) {
+			errs[i] = fn(ctx, batch[i])
+		})
+		for _, err := range errs {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if firstErr != nil {
+			return firstErr
+		}
+	}
+	return nil
+}
+
+// Write stores data at off.  Sync forces the touched daemons to flush to
+// stable storage before returning.  It returns the file's new logical size
+// as reconstructed from the daemons' object sizes.
+func (c *Client) Write(ctx *rpc.Ctx, f *File, off int64, data payload.Payload, syncData bool) (int64, error) {
+	c.chargeOp(ctx, data.Len())
+	reqs := c.split(f.mapper.Map(off, data.Len()))
+	var logical int64
+	err := c.runBounded(ctx, reqs, func(ctx *rpc.Ctx, r ioRequest) error {
+		var rep IOWriteRep
+		args := &IOWriteArgs{
+			Handle: f.Handle,
+			Off:    r.devOff,
+			Data:   data.Slice(r.off-off, r.n),
+			Sync:   syncData,
+		}
+		if err := c.cfg.IO[r.dev].Call(ctx, ProcIOWrite, args, &rep); err != nil {
+			return err
+		}
+		if rep.Errno != 0 {
+			return rep.Errno.Err()
+		}
+		if end := f.mapper.LogicalEnd(r.dev, rep.ObjSize); end > logical {
+			logical = end
+		}
+		return nil
+	})
+	return logical, err
+}
+
+// Read fetches up to n bytes at off.  It returns the data (real bytes only
+// if wantReal) and the number of logical bytes before EOF.
+func (c *Client) Read(ctx *rpc.Ctx, f *File, off, n int64, wantReal bool) (payload.Payload, int64, error) {
+	c.chargeOp(ctx, n)
+	seed := off / f.Dist.StripeSize
+	reqs := c.split(f.mapper.ReadMap(off, n, seed))
+	var buf []byte
+	if wantReal {
+		buf = make([]byte, n)
+	}
+	// maxEnd tracks the furthest logical byte any daemon returned; bytes
+	// below it that a daemon skipped are holes (zeros).
+	var maxEnd int64
+	err := c.runBounded(ctx, reqs, func(ctx *rpc.Ctx, r ioRequest) error {
+		var rep IOReadRep
+		args := &IOReadArgs{Handle: f.Handle, Off: r.devOff, Len: r.n, WantReal: wantReal}
+		if err := c.cfg.IO[r.dev].Call(ctx, ProcIORead, args, &rep); err != nil {
+			return err
+		}
+		if rep.Errno != 0 {
+			return rep.Errno.Err()
+		}
+		got := rep.Data.Len()
+		if got > 0 {
+			if end := r.off + got; end > maxEnd {
+				maxEnd = end
+			}
+			if wantReal && rep.Data.Bytes != nil {
+				copy(buf[r.off-off:], rep.Data.Bytes)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return payload.Payload{}, 0, err
+	}
+	valid := maxEnd - off
+	if valid < 0 {
+		valid = 0
+	}
+	if wantReal {
+		return payload.Real(buf[:valid]), valid, nil
+	}
+	return payload.Synthetic(valid), valid, nil
+}
+
+// Sync flushes the file's buffered data on every storage daemon.  The
+// flushes are issued serially, matching the sequential datafile flush in
+// the PVFS2 client's fsync path — one source of its poor synchronous
+// small-I/O performance (§6.4.1).
+func (c *Client) Sync(ctx *rpc.Ctx, f *File) error {
+	c.chargeOp(ctx, 0)
+	for i := range c.cfg.IO {
+		var rep IOFlushRep
+		if err := c.cfg.IO[i].Call(ctx, ProcIOFlush, &IOFlushArgs{Handle: f.Handle}, &rep); err != nil {
+			return err
+		}
+		if rep.Errno != 0 {
+			return rep.Errno.Err()
+		}
+	}
+	return nil
+}
+
+// GetAttr returns the file's logical size (reconstructed by the MDS from
+// every storage daemon).
+func (c *Client) GetAttr(ctx *rpc.Ctx, f *File) (int64, error) {
+	c.chargeOp(ctx, 0)
+	var rep GetAttrRep
+	if err := c.cfg.Meta.Call(ctx, ProcGetAttr, &GetAttrArgs{Handle: f.Handle}, &rep); err != nil {
+		return 0, err
+	}
+	if rep.Errno != 0 {
+		return 0, rep.Errno.Err()
+	}
+	return rep.Size, nil
+}
+
+// Truncate sets the file's logical size.
+func (c *Client) Truncate(ctx *rpc.Ctx, f *File, size int64) error {
+	c.chargeOp(ctx, 0)
+	var rep TruncateRep
+	if err := c.cfg.Meta.Call(ctx, ProcTruncate, &TruncateArgs{Handle: f.Handle, Size: size}, &rep); err != nil {
+		return err
+	}
+	return rep.Errno.Err()
+}
+
+// Mkdir creates a directory.
+func (c *Client) Mkdir(ctx *rpc.Ctx, path string) error {
+	c.chargeOp(ctx, 0)
+	var rep MkdirRep
+	if err := c.cfg.Meta.Call(ctx, ProcMkdir, &MkdirArgs{Path: path}, &rep); err != nil {
+		return err
+	}
+	return rep.Errno.Err()
+}
+
+// Remove unlinks a file (removing its datafiles) or an empty directory.
+func (c *Client) Remove(ctx *rpc.Ctx, path string) error {
+	c.chargeOp(ctx, 0)
+	var rep RemoveRep
+	if err := c.cfg.Meta.Call(ctx, ProcRemove, &RemoveArgs{Path: path}, &rep); err != nil {
+		return err
+	}
+	return rep.Errno.Err()
+}
+
+// ReadDir lists a directory.
+func (c *Client) ReadDir(ctx *rpc.Ctx, path string) ([]string, error) {
+	c.chargeOp(ctx, 0)
+	var rep ReadDirRep
+	if err := c.cfg.Meta.Call(ctx, ProcReadDir, &ReadDirArgs{Path: path}, &rep); err != nil {
+		return nil, err
+	}
+	if rep.Errno != 0 {
+		return nil, rep.Errno.Err()
+	}
+	return rep.Names, nil
+}

@@ -1,0 +1,261 @@
+package pvfs
+
+import (
+	"dpnfs/internal/fserr"
+	"dpnfs/internal/rpc"
+	"dpnfs/internal/stripe"
+	"dpnfs/internal/vfs"
+	"dpnfs/internal/xdr"
+)
+
+// Handle-based namespace procedures.  The NFS servers that export PVFS2
+// (the plain NFSv4 server and the two/three-tier pNFS data and metadata
+// servers) resolve names against a directory filehandle, so the metadata
+// protocol offers handle-based variants alongside the path-based ones.
+const (
+	ProcLookupH uint32 = iota + 50
+	ProcCreateH
+	ProcMkdirH
+	ProcRemoveH
+	ProcRenameH
+	ProcReadDirH
+)
+
+// DirOpArgs addresses a name within a directory by handle.
+type DirOpArgs struct {
+	Dir  Handle
+	Name string
+}
+
+func (a *DirOpArgs) MarshalXDR(e *xdr.Encoder) {
+	e.Uint64(uint64(a.Dir))
+	e.String(a.Name)
+}
+
+func (a *DirOpArgs) UnmarshalXDR(d *xdr.Decoder) error {
+	h, err := d.Uint64()
+	if err != nil {
+		return err
+	}
+	a.Dir = Handle(h)
+	a.Name, err = d.String()
+	return err
+}
+
+// RenameHArgs renames Src to Dst within directory Dir.
+type RenameHArgs struct {
+	Dir      Handle
+	Src, Dst string
+}
+
+func (a *RenameHArgs) MarshalXDR(e *xdr.Encoder) {
+	e.Uint64(uint64(a.Dir))
+	e.String(a.Src)
+	e.String(a.Dst)
+}
+
+func (a *RenameHArgs) UnmarshalXDR(d *xdr.Decoder) error {
+	h, err := d.Uint64()
+	if err != nil {
+		return err
+	}
+	a.Dir = Handle(h)
+	if a.Src, err = d.String(); err != nil {
+		return err
+	}
+	a.Dst, err = d.String()
+	return err
+}
+
+// ReadDirHArgs lists a directory by handle.
+type ReadDirHArgs struct{ Dir Handle }
+
+func (a *ReadDirHArgs) MarshalXDR(e *xdr.Encoder) { e.Uint64(uint64(a.Dir)) }
+func (a *ReadDirHArgs) UnmarshalXDR(d *xdr.Decoder) error {
+	h, err := d.Uint64()
+	a.Dir = Handle(h)
+	return err
+}
+
+// handleMeta dispatches the handle-based metadata procedures; it is called
+// from MetaServer.Handle.
+func (m *MetaServer) handleMeta(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshaler, rpc.Status) {
+	switch proc {
+	case ProcLookupH:
+		a := req.(*DirOpArgs)
+		at, err := m.store.Lookup(vfs.FileID(a.Dir), a.Name)
+		if err != nil {
+			return &LookupRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
+		}
+		return &LookupRep{Handle: Handle(at.ID), IsDir: at.IsDir, Size: -1, Dist: m.cfg.Dist}, rpc.StatusOK
+
+	case ProcCreateH:
+		a := req.(*DirOpArgs)
+		at, err := m.store.Create(vfs.FileID(a.Dir), a.Name)
+		if err != nil {
+			return &CreateRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
+		}
+		h := Handle(at.ID)
+		ferr := m.fanout(ctx, func(ctx *rpc.Ctx, dev int) error {
+			var rep IOCreateRep
+			if err := m.cfg.IOConns[dev].Call(ctx, ProcIOCreate, &IOCreateArgs{Handle: h}, &rep); err != nil {
+				return err
+			}
+			return rep.Errno.Err()
+		})
+		if ferr != nil {
+			return &CreateRep{Errno: fserr.IO}, rpc.StatusOK
+		}
+		return &CreateRep{Handle: h, Dist: m.cfg.Dist}, rpc.StatusOK
+
+	case ProcMkdirH:
+		a := req.(*DirOpArgs)
+		at, err := m.store.Mkdir(vfs.FileID(a.Dir), a.Name)
+		if err != nil {
+			return &MkdirRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
+		}
+		return &MkdirRep{Handle: Handle(at.ID)}, rpc.StatusOK
+
+	case ProcRemoveH:
+		a := req.(*DirOpArgs)
+		at, err := m.store.Lookup(vfs.FileID(a.Dir), a.Name)
+		if err != nil {
+			return &RemoveRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
+		}
+		if !at.IsDir {
+			h := Handle(at.ID)
+			m.fanout(ctx, func(ctx *rpc.Ctx, dev int) error {
+				var rep IORemoveRep
+				return m.cfg.IOConns[dev].Call(ctx, ProcIORemove, &IORemoveArgs{Handle: h}, &rep)
+			})
+		}
+		return &RemoveRep{Errno: fserr.ToErrno(m.store.Remove(vfs.FileID(a.Dir), a.Name))}, rpc.StatusOK
+
+	case ProcRenameH:
+		a := req.(*RenameHArgs)
+		err := m.store.Rename(vfs.FileID(a.Dir), a.Src, vfs.FileID(a.Dir), a.Dst)
+		return &RemoveRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
+
+	case ProcReadDirH:
+		a := req.(*ReadDirHArgs)
+		names, err := m.store.ReadDir(vfs.FileID(a.Dir))
+		if err != nil {
+			return &ReadDirRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
+		}
+		return &ReadDirRep{Names: names}, rpc.StatusOK
+	}
+	return nil, rpc.StatusProcUnavail
+}
+
+// RootHandle returns the namespace root handle.
+func (m *MetaServer) RootHandle() Handle { return Handle(m.store.Root()) }
+
+// ---- client-side wrappers ----
+
+// RootHandle returns the file system root handle (well-known: the MDS
+// namespace root is always inode 1).
+func (c *Client) RootHandle() Handle { return 1 }
+
+// OpenHandle builds an open file reference from a handle without a metadata
+// round trip: the distribution is a file-system-wide constant, so data
+// servers exporting PVFS2 can address any file directly.
+func (c *Client) OpenHandle(h Handle, dist DistParams) *File {
+	return c.newFile(h, dist)
+}
+
+// LookupH resolves name within the directory handle.
+func (c *Client) LookupH(ctx *rpc.Ctx, dir Handle, name string) (Handle, bool, error) {
+	c.chargeOp(ctx, 0)
+	var rep LookupRep
+	if err := c.cfg.Meta.Call(ctx, ProcLookupH, &DirOpArgs{Dir: dir, Name: name}, &rep); err != nil {
+		return 0, false, err
+	}
+	if rep.Errno != 0 {
+		return 0, false, rep.Errno.Err()
+	}
+	return rep.Handle, rep.IsDir, nil
+}
+
+// CreateH creates a file within the directory handle.
+func (c *Client) CreateH(ctx *rpc.Ctx, dir Handle, name string) (*File, error) {
+	c.chargeOp(ctx, 0)
+	var rep CreateRep
+	if err := c.cfg.Meta.Call(ctx, ProcCreateH, &DirOpArgs{Dir: dir, Name: name}, &rep); err != nil {
+		return nil, err
+	}
+	if rep.Errno != 0 {
+		return nil, rep.Errno.Err()
+	}
+	return c.newFile(rep.Handle, rep.Dist), nil
+}
+
+// MkdirH creates a directory within the directory handle.
+func (c *Client) MkdirH(ctx *rpc.Ctx, dir Handle, name string) (Handle, error) {
+	c.chargeOp(ctx, 0)
+	var rep MkdirRep
+	if err := c.cfg.Meta.Call(ctx, ProcMkdirH, &DirOpArgs{Dir: dir, Name: name}, &rep); err != nil {
+		return 0, err
+	}
+	return rep.Handle, rep.Errno.Err()
+}
+
+// RemoveH unlinks name within the directory handle.
+func (c *Client) RemoveH(ctx *rpc.Ctx, dir Handle, name string) error {
+	c.chargeOp(ctx, 0)
+	var rep RemoveRep
+	if err := c.cfg.Meta.Call(ctx, ProcRemoveH, &DirOpArgs{Dir: dir, Name: name}, &rep); err != nil {
+		return err
+	}
+	return rep.Errno.Err()
+}
+
+// RenameH renames src to dst within the directory handle.
+func (c *Client) RenameH(ctx *rpc.Ctx, dir Handle, src, dst string) error {
+	c.chargeOp(ctx, 0)
+	var rep RemoveRep
+	if err := c.cfg.Meta.Call(ctx, ProcRenameH, &RenameHArgs{Dir: dir, Src: src, Dst: dst}, &rep); err != nil {
+		return err
+	}
+	return rep.Errno.Err()
+}
+
+// ReadDirH lists the directory handle.
+func (c *Client) ReadDirH(ctx *rpc.Ctx, dir Handle) ([]string, error) {
+	c.chargeOp(ctx, 0)
+	var rep ReadDirRep
+	if err := c.cfg.Meta.Call(ctx, ProcReadDirH, &ReadDirHArgs{Dir: dir}, &rep); err != nil {
+		return nil, err
+	}
+	if rep.Errno != 0 {
+		return nil, rep.Errno.Err()
+	}
+	return rep.Names, nil
+}
+
+// GetAttrH fetches attributes by handle (size and change reconstruction
+// fan-out for files).
+func (c *Client) GetAttrH(ctx *rpc.Ctx, h Handle) (bool, int64, uint64, error) {
+	c.chargeOp(ctx, 0)
+	var rep GetAttrRep
+	if err := c.cfg.Meta.Call(ctx, ProcGetAttr, &GetAttrArgs{Handle: h}, &rep); err != nil {
+		return false, 0, 0, err
+	}
+	if rep.Errno != 0 {
+		return false, 0, 0, rep.Errno.Err()
+	}
+	return rep.IsDir, rep.Size, rep.Change, nil
+}
+
+// TruncateH sets the logical size by handle.
+func (c *Client) TruncateH(ctx *rpc.Ctx, h Handle, size int64) error {
+	c.chargeOp(ctx, 0)
+	var rep TruncateRep
+	if err := c.cfg.Meta.Call(ctx, ProcTruncate, &TruncateArgs{Handle: h, Size: size}, &rep); err != nil {
+		return err
+	}
+	return rep.Errno.Err()
+}
+
+// Mapper exposes the file's stripe mapper (used by layout translation
+// tests).
+func (f *File) Mapper() *stripe.RoundRobin { return f.mapper }

@@ -1,0 +1,560 @@
+package pvfs
+
+import (
+	"fmt"
+	"time"
+
+	"dpnfs/internal/fserr"
+	"dpnfs/internal/payload"
+	"dpnfs/internal/rpc"
+	"dpnfs/internal/sim"
+	"dpnfs/internal/simdisk"
+	"dpnfs/internal/simnet"
+	"dpnfs/internal/stripe"
+	"dpnfs/internal/vfs"
+	"dpnfs/internal/xdr"
+)
+
+// Costs captures the CPU cost model for the user-level PVFS2 daemons and
+// client library.  The per-op charges are what make PVFS2 collapse on
+// small-I/O workloads (paper §6.2, §6.4); the per-MB charges bound
+// cache-resident read throughput.
+type Costs struct {
+	ServerPerOp time.Duration // daemon request processing + kernel crossings
+	ServerPerMB time.Duration // data movement CPU per MiB on storage nodes
+	ClientPerOp time.Duration // client library + kernel module crossing
+	ClientPerMB time.Duration // client-side copy cost per MiB
+	MetaPerOp   time.Duration // metadata request processing on the MDS
+}
+
+// DefaultCosts reflects the paper's testbed: a user-level file system with
+// "substantial per-request overhead" on dual-P4 servers and dual-P3 clients.
+func DefaultCosts() Costs {
+	return Costs{
+		ServerPerOp: 550 * time.Microsecond,
+		ServerPerMB: 20 * time.Millisecond,
+		ClientPerOp: 450 * time.Microsecond,
+		ClientPerMB: 5 * time.Millisecond,
+		MetaPerOp:   300 * time.Microsecond,
+	}
+}
+
+func perMB(d time.Duration, n int64) time.Duration {
+	return time.Duration(float64(d) * float64(n) / (1 << 20))
+}
+
+// StorageConfig describes one storage daemon.
+type StorageConfig struct {
+	Fabric  *simnet.Fabric
+	Node    *simnet.Node
+	Disk    *simdisk.Disk
+	Costs   Costs
+	Buffers int   // fixed transfer-buffer pool between kernel and daemon
+	BufSize int64 // bytes per transfer buffer
+	Threads int   // daemon request concurrency
+}
+
+// StorageServer is one PVFS2 storage daemon (Trove+BMI equivalent): it owns
+// the datafile objects on its node.
+type StorageServer struct {
+	cfg     StorageConfig
+	store   *vfs.Store
+	bufPool *sim.Semaphore
+	objects map[Handle]vfs.FileID
+}
+
+// NewStorageServer creates the daemon state and registers its RPC service
+// on the node when fabric is non-nil.
+func NewStorageServer(cfg StorageConfig) *StorageServer {
+	if cfg.Buffers <= 0 {
+		cfg.Buffers = 16
+	}
+	if cfg.BufSize <= 0 {
+		cfg.BufSize = 256 << 10
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 16
+	}
+	s := &StorageServer{
+		cfg:     cfg,
+		store:   vfs.New(),
+		objects: make(map[Handle]vfs.FileID),
+	}
+	name := "pvfs-storage"
+	if cfg.Node != nil {
+		name = cfg.Node.Name + "/bufpool"
+	}
+	s.bufPool = sim.NewSemaphore(name, cfg.Buffers)
+	if cfg.Fabric != nil {
+		rpc.ServeSim(rpc.ServerConfig{
+			Fabric:  cfg.Fabric,
+			Node:    cfg.Node,
+			Service: ServiceIO,
+			Threads: cfg.Threads,
+			Handler: s.Handle,
+		})
+	}
+	return s
+}
+
+// object returns the vfs file backing handle, or 0 if absent.
+func (s *StorageServer) object(h Handle) (vfs.FileID, bool) {
+	id, ok := s.objects[h]
+	return id, ok
+}
+
+// ObjectSize reports the datafile object size for handle (0 if absent) —
+// used by cache warming and tests.
+func (s *StorageServer) ObjectSize(h Handle) int64 {
+	id, ok := s.objects[h]
+	if !ok {
+		return 0
+	}
+	at, err := s.store.GetAttr(id)
+	if err != nil {
+		return 0
+	}
+	return at.Size
+}
+
+// Node returns the simnet node this daemon runs on (nil in real-time mode).
+func (s *StorageServer) Node() *simnet.Node { return s.cfg.Node }
+
+// Disk returns the daemon's disk model (nil in real-time mode).
+func (s *StorageServer) Disk() *simdisk.Disk { return s.cfg.Disk }
+
+// bufSlots computes how many pool buffers an n-byte transfer occupies,
+// clamped to the pool size so a single huge request cannot deadlock.
+func (s *StorageServer) bufSlots(n int64) int {
+	slots := int((n + s.cfg.BufSize - 1) / s.cfg.BufSize)
+	if slots < 1 {
+		slots = 1
+	}
+	if slots > s.cfg.Buffers {
+		slots = s.cfg.Buffers
+	}
+	return slots
+}
+
+// acquireBuffers blocks until the transfer buffers are available (sim mode
+// only) and returns a release func.
+func (s *StorageServer) acquireBuffers(ctx *rpc.Ctx, n int64) func() {
+	if ctx.P == nil {
+		return func() {}
+	}
+	slots := s.bufSlots(n)
+	s.bufPool.Acquire(ctx.P, slots)
+	return func() { s.bufPool.Release(slots) }
+}
+
+// Handle dispatches one storage daemon request.
+func (s *StorageServer) Handle(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshaler, rpc.Status) {
+	var cpu *sim.KServer
+	if s.cfg.Node != nil {
+		cpu = s.cfg.Node.CPU
+	}
+	switch proc {
+	case ProcIOCreate:
+		a := req.(*IOCreateArgs)
+		ctx.UseCPU(cpu, s.cfg.Costs.MetaPerOp)
+		if _, dup := s.objects[a.Handle]; dup {
+			return &IOCreateRep{Errno: fserr.Exist}, rpc.StatusOK
+		}
+		at, err := s.store.Create(s.store.Root(), fmt.Sprintf("h%x", uint64(a.Handle)))
+		if err != nil {
+			return &IOCreateRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
+		}
+		s.objects[a.Handle] = at.ID
+		return &IOCreateRep{}, rpc.StatusOK
+
+	case ProcIORemove:
+		a := req.(*IORemoveArgs)
+		ctx.UseCPU(cpu, s.cfg.Costs.MetaPerOp)
+		if _, ok := s.objects[a.Handle]; !ok {
+			return &IORemoveRep{Errno: fserr.NoEnt}, rpc.StatusOK
+		}
+		if err := s.store.Remove(s.store.Root(), fmt.Sprintf("h%x", uint64(a.Handle))); err != nil {
+			return &IORemoveRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
+		}
+		delete(s.objects, a.Handle)
+		return &IORemoveRep{}, rpc.StatusOK
+
+	case ProcIOWrite:
+		a := req.(*IOWriteArgs)
+		id, ok := s.object(a.Handle)
+		if !ok {
+			return &IOWriteRep{Errno: fserr.Stale}, rpc.StatusOK
+		}
+		n := a.Data.Len()
+		ctx.UseCPU(cpu, s.cfg.Costs.ServerPerOp+perMB(s.cfg.Costs.ServerPerMB, n))
+		release := s.acquireBuffers(ctx, n)
+		ctx.Defer(release)
+		prev, err := s.store.GetAttr(id)
+		if err != nil {
+			return &IOWriteRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
+		}
+		if ctx.P != nil && s.cfg.Disk != nil {
+			// A write that partially covers a block of existing data forces
+			// a read-modify-write of the boundary blocks; appends past EOF
+			// extend sparsely and skip it.  The client-side gathering of
+			// the NFS architectures issues aligned wsize flushes and never
+			// pays this; cacheless PVFS2 clients pass small application
+			// requests straight through (paper §6.3.1).
+			const blk = 64 << 10
+			if a.Off < prev.Size {
+				if head := a.Off % blk; head != 0 {
+					s.cfg.Disk.Read(ctx.P, uint64(a.Handle), a.Off-head, blk)
+				}
+				if tail := (a.Off + n) % blk; tail != 0 && a.Off+n < prev.Size {
+					s.cfg.Disk.Read(ctx.P, uint64(a.Handle), (a.Off+n)-tail, blk)
+				}
+			}
+		}
+		var objSize int64
+		if a.Data.IsSynthetic() {
+			objSize, err = s.store.WriteSyntheticAt(id, a.Off, n)
+		} else {
+			objSize, err = s.store.WriteAt(id, a.Off, a.Data.Bytes)
+		}
+		if err != nil {
+			return &IOWriteRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
+		}
+		if ctx.P != nil && s.cfg.Disk != nil {
+			s.cfg.Disk.Write(ctx.P, uint64(a.Handle), a.Off, n)
+			if a.Sync {
+				s.cfg.Disk.Sync(ctx.P)
+			}
+		}
+		return &IOWriteRep{ObjSize: objSize}, rpc.StatusOK
+
+	case ProcIORead:
+		a := req.(*IOReadArgs)
+		id, ok := s.object(a.Handle)
+		if !ok {
+			return &IOReadRep{Errno: fserr.Stale}, rpc.StatusOK
+		}
+		at, err := s.store.GetAttr(id)
+		if err != nil {
+			return &IOReadRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
+		}
+		n := a.Len
+		if a.Off >= at.Size {
+			n = 0
+		} else if a.Off+n > at.Size {
+			n = at.Size - a.Off
+		}
+		ctx.UseCPU(cpu, s.cfg.Costs.ServerPerOp+perMB(s.cfg.Costs.ServerPerMB, n))
+		release := s.acquireBuffers(ctx, n)
+		ctx.Defer(release)
+		if ctx.P != nil && s.cfg.Disk != nil && n > 0 {
+			s.cfg.Disk.Read(ctx.P, uint64(a.Handle), a.Off, n)
+		}
+		rep := &IOReadRep{Eof: n < a.Len}
+		if a.WantReal {
+			buf := make([]byte, n)
+			if _, err := s.store.ReadAt(id, a.Off, buf); err != nil {
+				return &IOReadRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
+			}
+			rep.Data = payload.Real(buf)
+		} else {
+			rep.Data = payload.Synthetic(n)
+		}
+		return rep, rpc.StatusOK
+
+	case ProcIOGetSize:
+		a := req.(*IOGetSizeArgs)
+		ctx.UseCPU(cpu, s.cfg.Costs.MetaPerOp)
+		id, ok := s.object(a.Handle)
+		if !ok {
+			return &IOGetSizeRep{Errno: fserr.Stale}, rpc.StatusOK
+		}
+		at, err := s.store.GetAttr(id)
+		if err != nil {
+			return &IOGetSizeRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
+		}
+		return &IOGetSizeRep{Size: at.Size, Change: at.Change}, rpc.StatusOK
+
+	case ProcIOFlush:
+		a := req.(*IOFlushArgs)
+		ctx.UseCPU(cpu, s.cfg.Costs.ServerPerOp)
+		if _, ok := s.object(a.Handle); !ok {
+			return &IOFlushRep{Errno: fserr.Stale}, rpc.StatusOK
+		}
+		if ctx.P != nil && s.cfg.Disk != nil {
+			s.cfg.Disk.Sync(ctx.P)
+		}
+		return &IOFlushRep{}, rpc.StatusOK
+
+	case ProcIOTruncate:
+		a := req.(*IOTruncateArgs)
+		ctx.UseCPU(cpu, s.cfg.Costs.MetaPerOp)
+		id, ok := s.object(a.Handle)
+		if !ok {
+			return &IOTruncateRep{Errno: fserr.Stale}, rpc.StatusOK
+		}
+		if err := s.store.Truncate(id, a.ObjSize); err != nil {
+			return &IOTruncateRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
+		}
+		return &IOTruncateRep{}, rpc.StatusOK
+	}
+	return nil, rpc.StatusProcUnavail
+}
+
+// MetaConfig describes the metadata server.
+type MetaConfig struct {
+	Fabric  *simnet.Fabric
+	Node    *simnet.Node
+	Costs   Costs
+	Dist    DistParams
+	IOConns []rpc.Conn // one per storage daemon, in device order
+	Threads int
+}
+
+// MetaServer is the PVFS2 metadata manager: it owns the namespace and
+// orchestrates datafile objects across storage daemons.
+type MetaServer struct {
+	cfg   MetaConfig
+	store *vfs.Store
+}
+
+// NewMetaServer creates the MDS and registers its RPC service on the node
+// when fabric is non-nil.
+func NewMetaServer(cfg MetaConfig) *MetaServer {
+	if cfg.Dist.StripeSize <= 0 {
+		cfg.Dist.StripeSize = 2 << 20
+	}
+	if cfg.Dist.NumServers == 0 {
+		cfg.Dist.NumServers = uint32(len(cfg.IOConns))
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 16
+	}
+	m := &MetaServer{cfg: cfg, store: vfs.New()}
+	if cfg.Fabric != nil {
+		rpc.ServeSim(rpc.ServerConfig{
+			Fabric:  cfg.Fabric,
+			Node:    cfg.Node,
+			Service: ServiceMeta,
+			Threads: cfg.Threads,
+			Handler: m.Handle,
+		})
+	}
+	return m
+}
+
+// Mapper returns the round-robin mapper for the FS-wide distribution.
+func (m *MetaServer) Mapper() *stripe.RoundRobin {
+	return stripe.NewRoundRobin(m.cfg.Dist.StripeSize, int(m.cfg.Dist.NumServers))
+}
+
+// Namespace exposes the backing store (layout translator and tests).
+func (m *MetaServer) Namespace() *vfs.Store { return m.store }
+
+// Dist returns the FS-wide distribution parameters.
+func (m *MetaServer) Dist() DistParams { return m.cfg.Dist }
+
+// fanout runs fn against every storage daemon in parallel.
+func (m *MetaServer) fanout(ctx *rpc.Ctx, fn func(ctx *rpc.Ctx, dev int) error) error {
+	errs := make([]error, len(m.cfg.IOConns))
+	rpc.Parallel(ctx, len(m.cfg.IOConns), func(ctx *rpc.Ctx, i int) {
+		errs[i] = fn(ctx, i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handle dispatches one metadata request.
+func (m *MetaServer) Handle(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshaler, rpc.Status) {
+	var cpu *sim.KServer
+	if m.cfg.Node != nil {
+		cpu = m.cfg.Node.CPU
+	}
+	ctx.UseCPU(cpu, m.cfg.Costs.MetaPerOp)
+	switch proc {
+	case ProcLookup:
+		a := req.(*LookupArgs)
+		at, err := m.store.LookupPath(a.Path)
+		if err != nil {
+			return &LookupRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
+		}
+		return &LookupRep{
+			Handle: Handle(at.ID),
+			IsDir:  at.IsDir,
+			Size:   -1, // size is reconstructed by GetAttr, not lookup
+			Dist:   m.cfg.Dist,
+		}, rpc.StatusOK
+
+	case ProcCreate:
+		a := req.(*CreateArgs)
+		dir, name, err := m.splitPath(a.Path)
+		if err != nil {
+			return &CreateRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
+		}
+		at, err := m.store.Create(dir, name)
+		if err != nil {
+			return &CreateRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
+		}
+		h := Handle(at.ID)
+		// Create the datafile object on every storage daemon before the
+		// file becomes visible — the expensive part of PVFS2 creates.
+		ferr := m.fanout(ctx, func(ctx *rpc.Ctx, dev int) error {
+			var rep IOCreateRep
+			if err := m.cfg.IOConns[dev].Call(ctx, ProcIOCreate, &IOCreateArgs{Handle: h}, &rep); err != nil {
+				return err
+			}
+			return rep.Errno.Err()
+		})
+		if ferr != nil {
+			return &CreateRep{Errno: fserr.IO}, rpc.StatusOK
+		}
+		return &CreateRep{Handle: h, Dist: m.cfg.Dist}, rpc.StatusOK
+
+	case ProcRemove:
+		a := req.(*RemoveArgs)
+		dir, name, err := m.splitPath(a.Path)
+		if err != nil {
+			return &RemoveRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
+		}
+		at, err := m.store.Lookup(dir, name)
+		if err != nil {
+			return &RemoveRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
+		}
+		if !at.IsDir {
+			h := Handle(at.ID)
+			m.fanout(ctx, func(ctx *rpc.Ctx, dev int) error {
+				var rep IORemoveRep
+				return m.cfg.IOConns[dev].Call(ctx, ProcIORemove, &IORemoveArgs{Handle: h}, &rep)
+			})
+		}
+		return &RemoveRep{Errno: fserr.ToErrno(m.store.Remove(dir, name))}, rpc.StatusOK
+
+	case ProcMkdir:
+		a := req.(*MkdirArgs)
+		dir, name, err := m.splitPath(a.Path)
+		if err != nil {
+			return &MkdirRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
+		}
+		at, err := m.store.Mkdir(dir, name)
+		if err != nil {
+			return &MkdirRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
+		}
+		return &MkdirRep{Handle: Handle(at.ID)}, rpc.StatusOK
+
+	case ProcReadDir:
+		a := req.(*ReadDirArgs)
+		at, err := m.store.LookupPath(a.Path)
+		if err != nil {
+			return &ReadDirRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
+		}
+		names, err := m.store.ReadDir(at.ID)
+		if err != nil {
+			return &ReadDirRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
+		}
+		return &ReadDirRep{Names: names}, rpc.StatusOK
+
+	case ProcGetAttr:
+		a := req.(*GetAttrArgs)
+		at, err := m.store.GetAttr(vfs.FileID(a.Handle))
+		if err != nil {
+			return &GetAttrRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
+		}
+		if at.IsDir {
+			return &GetAttrRep{IsDir: true}, rpc.StatusOK
+		}
+		// Reconstruct logical size from the datafile sizes on every
+		// storage daemon (decentralized metadata, paper §6.4.3).
+		mapper := m.Mapper()
+		sizes := make([]int64, len(m.cfg.IOConns))
+		changes := make([]uint64, len(m.cfg.IOConns))
+		ferr := m.fanout(ctx, func(ctx *rpc.Ctx, dev int) error {
+			var rep IOGetSizeRep
+			if err := m.cfg.IOConns[dev].Call(ctx, ProcIOGetSize, &IOGetSizeArgs{Handle: a.Handle}, &rep); err != nil {
+				return err
+			}
+			if rep.Errno != fserr.OK {
+				return rep.Errno.Err()
+			}
+			sizes[dev] = rep.Size
+			changes[dev] = rep.Change
+			return nil
+		})
+		if ferr != nil {
+			return &GetAttrRep{Errno: fserr.IO}, rpc.StatusOK
+		}
+		var size int64
+		var change uint64
+		for dev, s := range sizes {
+			if end := mapper.LogicalEnd(dev, s); end > size {
+				size = end
+			}
+			change += changes[dev]
+		}
+		change += at.Change
+		return &GetAttrRep{Size: size, Change: change}, rpc.StatusOK
+
+	case ProcLookupH, ProcCreateH, ProcMkdirH, ProcRemoveH, ProcRenameH, ProcReadDirH:
+		return m.handleMeta(ctx, proc, req)
+
+	case ProcTruncate:
+		a := req.(*TruncateArgs)
+		if _, err := m.store.GetAttr(vfs.FileID(a.Handle)); err != nil {
+			return &TruncateRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
+		}
+		sizes := objSizes(m.Mapper(), len(m.cfg.IOConns), a.Size)
+		ferr := m.fanout(ctx, func(ctx *rpc.Ctx, dev int) error {
+			var rep IOTruncateRep
+			return m.cfg.IOConns[dev].Call(ctx, ProcIOTruncate,
+				&IOTruncateArgs{Handle: a.Handle, ObjSize: sizes[dev]}, &rep)
+		})
+		if ferr != nil {
+			return &TruncateRep{Errno: fserr.IO}, rpc.StatusOK
+		}
+		return &TruncateRep{}, rpc.StatusOK
+	}
+	return nil, rpc.StatusProcUnavail
+}
+
+// splitPath resolves the parent directory of path and returns (dirID, name).
+func (m *MetaServer) splitPath(p string) (vfs.FileID, string, error) {
+	dir, name := splitParent(p)
+	at, err := m.store.LookupPath(dir)
+	if err != nil {
+		return 0, "", err
+	}
+	if !at.IsDir {
+		return 0, "", vfs.ErrNotDir
+	}
+	return at.ID, name, nil
+}
+
+// objSizes computes, for a logical size, the implied object size on each
+// device under mapper.
+func objSizes(mapper stripe.Mapper, devs int, logical int64) []int64 {
+	out := make([]int64, devs)
+	if logical <= 0 {
+		return out
+	}
+	for _, e := range mapper.Map(0, logical) {
+		if end := e.DevOff + e.Len; end > out[e.Dev] {
+			out[e.Dev] = end
+		}
+	}
+	return out
+}
+
+// splitParent splits "/a/b/c" into ("/a/b", "c").
+func splitParent(p string) (dir, name string) {
+	i := len(p) - 1
+	for i >= 0 && p[i] == '/' {
+		i--
+	}
+	j := i
+	for j >= 0 && p[j] != '/' {
+		j--
+	}
+	return p[:j+1], p[j+1 : i+1]
+}

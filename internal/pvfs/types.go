@@ -1,0 +1,620 @@
+// Package pvfs implements the exported parallel file system: a PVFS2-like
+// user-level system with one metadata server, N storage daemons, and
+// striping clients (paper §5).
+//
+// The behavioural properties the paper leans on are modelled explicitly:
+//
+//   - no client data cache and no write-back cache: every application
+//     request becomes at least one protocol request;
+//   - substantial per-request overhead (user-level daemon crossings);
+//   - a fixed pool of transfer buffers between the "kernel" and the
+//     user-level storage daemon, held for the duration of each I/O;
+//   - data buffered on storage nodes and flushed to stable storage only on
+//     application fsync;
+//   - file size reconstructed from per-node datafile sizes (metadata is
+//     decentralized, so GetAttr fans out to every storage node);
+//   - create/remove touch every storage node to manage datafile objects.
+package pvfs
+
+import (
+	"dpnfs/internal/fserr"
+	"dpnfs/internal/payload"
+	"dpnfs/internal/rpc"
+	"dpnfs/internal/xdr"
+)
+
+// Procedure numbers for the metadata service ("pvfs-meta").
+const (
+	ProcLookup uint32 = iota + 1
+	ProcCreate
+	ProcRemove
+	ProcMkdir
+	ProcReadDir
+	ProcGetAttr
+	ProcTruncate
+)
+
+// Procedure numbers for the storage I/O service ("pvfs-io").
+const (
+	ProcIORead uint32 = iota + 100
+	ProcIOWrite
+	ProcIOCreate
+	ProcIORemove
+	ProcIOGetSize
+	ProcIOFlush
+	ProcIOTruncate
+)
+
+// ServiceMeta and ServiceIO are the simnet service names.
+const (
+	ServiceMeta = "pvfs-meta"
+	ServiceIO   = "pvfs-io"
+)
+
+// Handle identifies a PVFS2 object (meta file or datafile) cluster-wide.
+type Handle uint64
+
+// LookupArgs resolves a path to a handle and distribution parameters.
+type LookupArgs struct{ Path string }
+
+// LookupRep is the reply to ProcLookup.
+type LookupRep struct {
+	Errno  fserr.Errno
+	Handle Handle
+	IsDir  bool
+	Size   int64
+	Dist   DistParams
+}
+
+// DistParams carries the file's distribution (aggregation) geometry.
+type DistParams struct {
+	StripeSize int64
+	NumServers uint32
+}
+
+// CreateArgs creates a regular file; the MDS creates datafile objects on
+// every storage node before replying.
+type CreateArgs struct{ Path string }
+
+// CreateRep is the reply to ProcCreate.
+type CreateRep struct {
+	Errno  fserr.Errno
+	Handle Handle
+	Dist   DistParams
+}
+
+// RemoveArgs unlinks a file or empty directory, removing datafiles from
+// every storage node.
+type RemoveArgs struct{ Path string }
+
+// RemoveRep is the reply to ProcRemove.
+type RemoveRep struct{ Errno fserr.Errno }
+
+// MkdirArgs creates a directory (metadata only).
+type MkdirArgs struct{ Path string }
+
+// MkdirRep is the reply to ProcMkdir.
+type MkdirRep struct {
+	Errno  fserr.Errno
+	Handle Handle
+}
+
+// ReadDirArgs lists a directory.
+type ReadDirArgs struct{ Path string }
+
+// ReadDirRep is the reply to ProcReadDir.
+type ReadDirRep struct {
+	Errno fserr.Errno
+	Names []string
+}
+
+// GetAttrArgs fetches attributes; the MDS gathers datafile sizes from every
+// storage node to reconstruct the logical size.
+type GetAttrArgs struct{ Handle Handle }
+
+// GetAttrRep is the reply to ProcGetAttr.
+type GetAttrRep struct {
+	Errno fserr.Errno
+	IsDir bool
+	Size  int64
+	// Change is the file's change attribute, reconstructed as the sum of
+	// the datafile change counters plus the metadata object's own counter.
+	Change uint64
+}
+
+// TruncateArgs sets a file's size, truncating datafiles on every node.
+type TruncateArgs struct {
+	Handle Handle
+	Size   int64
+}
+
+// TruncateRep is the reply to ProcTruncate.
+type TruncateRep struct{ Errno fserr.Errno }
+
+// IOReadArgs reads from a datafile (device-space offset).
+type IOReadArgs struct {
+	Handle Handle
+	Off    int64
+	Len    int64
+	// WantReal asks for materialized bytes (integration tests / demo);
+	// benchmarks leave it false and receive synthetic payloads.
+	WantReal bool
+}
+
+// IOReadRep is the reply to ProcIORead.
+type IOReadRep struct {
+	Errno fserr.Errno
+	Data  payload.Payload
+	// Eof reports a short read at end of object.
+	Eof bool
+}
+
+// IOWriteArgs writes to a datafile (device-space offset).
+type IOWriteArgs struct {
+	Handle Handle
+	Off    int64
+	Data   payload.Payload
+	// Sync asks the daemon to flush this object before replying.
+	Sync bool
+}
+
+// IOWriteRep is the reply to ProcIOWrite.
+type IOWriteRep struct {
+	Errno   fserr.Errno
+	ObjSize int64 // datafile size after the write
+}
+
+// IOCreateArgs creates the datafile object for Handle on this node.
+type IOCreateArgs struct{ Handle Handle }
+
+// IOCreateRep is the reply to ProcIOCreate.
+type IOCreateRep struct{ Errno fserr.Errno }
+
+// IORemoveArgs deletes the datafile object for Handle on this node.
+type IORemoveArgs struct{ Handle Handle }
+
+// IORemoveRep is the reply to ProcIORemove.
+type IORemoveRep struct{ Errno fserr.Errno }
+
+// IOGetSizeArgs asks for the datafile object size.
+type IOGetSizeArgs struct{ Handle Handle }
+
+// IOGetSizeRep is the reply to ProcIOGetSize.
+type IOGetSizeRep struct {
+	Errno  fserr.Errno
+	Size   int64
+	Change uint64 // object change counter
+}
+
+// IOFlushArgs forces buffered object data to stable storage.
+type IOFlushArgs struct{ Handle Handle }
+
+// IOFlushRep is the reply to ProcIOFlush.
+type IOFlushRep struct{ Errno fserr.Errno }
+
+// IOTruncateArgs truncates the datafile object.
+type IOTruncateArgs struct {
+	Handle  Handle
+	ObjSize int64
+}
+
+// IOTruncateRep is the reply to ProcIOTruncate.
+type IOTruncateRep struct{ Errno fserr.Errno }
+
+// ---- XDR ----
+
+func (a *LookupArgs) MarshalXDR(e *xdr.Encoder) { e.String(a.Path) }
+func (a *LookupArgs) UnmarshalXDR(d *xdr.Decoder) error {
+	var err error
+	a.Path, err = d.String()
+	return err
+}
+
+func (r *LookupRep) MarshalXDR(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Errno))
+	e.Uint64(uint64(r.Handle))
+	e.Bool(r.IsDir)
+	e.Int64(r.Size)
+	r.Dist.MarshalXDR(e)
+}
+
+func (r *LookupRep) UnmarshalXDR(d *xdr.Decoder) error {
+	v, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	r.Errno = fserr.Errno(v)
+	h, err := d.Uint64()
+	if err != nil {
+		return err
+	}
+	r.Handle = Handle(h)
+	if r.IsDir, err = d.Bool(); err != nil {
+		return err
+	}
+	if r.Size, err = d.Int64(); err != nil {
+		return err
+	}
+	return r.Dist.UnmarshalXDR(d)
+}
+
+func (p *DistParams) MarshalXDR(e *xdr.Encoder) {
+	e.Int64(p.StripeSize)
+	e.Uint32(p.NumServers)
+}
+
+func (p *DistParams) UnmarshalXDR(d *xdr.Decoder) error {
+	var err error
+	if p.StripeSize, err = d.Int64(); err != nil {
+		return err
+	}
+	p.NumServers, err = d.Uint32()
+	return err
+}
+
+func (a *CreateArgs) MarshalXDR(e *xdr.Encoder) { e.String(a.Path) }
+func (a *CreateArgs) UnmarshalXDR(d *xdr.Decoder) error {
+	var err error
+	a.Path, err = d.String()
+	return err
+}
+
+func (r *CreateRep) MarshalXDR(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Errno))
+	e.Uint64(uint64(r.Handle))
+	r.Dist.MarshalXDR(e)
+}
+
+func (r *CreateRep) UnmarshalXDR(d *xdr.Decoder) error {
+	v, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	r.Errno = fserr.Errno(v)
+	h, err := d.Uint64()
+	if err != nil {
+		return err
+	}
+	r.Handle = Handle(h)
+	return r.Dist.UnmarshalXDR(d)
+}
+
+func (a *RemoveArgs) MarshalXDR(e *xdr.Encoder) { e.String(a.Path) }
+func (a *RemoveArgs) UnmarshalXDR(d *xdr.Decoder) error {
+	var err error
+	a.Path, err = d.String()
+	return err
+}
+
+func (r *RemoveRep) MarshalXDR(e *xdr.Encoder) { e.Uint32(uint32(r.Errno)) }
+func (r *RemoveRep) UnmarshalXDR(d *xdr.Decoder) error {
+	v, err := d.Uint32()
+	r.Errno = fserr.Errno(v)
+	return err
+}
+
+func (a *MkdirArgs) MarshalXDR(e *xdr.Encoder) { e.String(a.Path) }
+func (a *MkdirArgs) UnmarshalXDR(d *xdr.Decoder) error {
+	var err error
+	a.Path, err = d.String()
+	return err
+}
+
+func (r *MkdirRep) MarshalXDR(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Errno))
+	e.Uint64(uint64(r.Handle))
+}
+
+func (r *MkdirRep) UnmarshalXDR(d *xdr.Decoder) error {
+	v, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	r.Errno = fserr.Errno(v)
+	h, err := d.Uint64()
+	r.Handle = Handle(h)
+	return err
+}
+
+func (a *ReadDirArgs) MarshalXDR(e *xdr.Encoder) { e.String(a.Path) }
+func (a *ReadDirArgs) UnmarshalXDR(d *xdr.Decoder) error {
+	var err error
+	a.Path, err = d.String()
+	return err
+}
+
+func (r *ReadDirRep) MarshalXDR(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Errno))
+	e.Uint32(uint32(len(r.Names)))
+	for _, n := range r.Names {
+		e.String(n)
+	}
+}
+
+func (r *ReadDirRep) UnmarshalXDR(d *xdr.Decoder) error {
+	v, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	r.Errno = fserr.Errno(v)
+	n, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	if n > 1<<20 {
+		return xdr.ErrTooLong
+	}
+	r.Names = make([]string, n)
+	for i := range r.Names {
+		if r.Names[i], err = d.String(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *GetAttrArgs) MarshalXDR(e *xdr.Encoder) { e.Uint64(uint64(a.Handle)) }
+func (a *GetAttrArgs) UnmarshalXDR(d *xdr.Decoder) error {
+	h, err := d.Uint64()
+	a.Handle = Handle(h)
+	return err
+}
+
+func (r *GetAttrRep) MarshalXDR(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Errno))
+	e.Bool(r.IsDir)
+	e.Int64(r.Size)
+	e.Uint64(r.Change)
+}
+
+func (r *GetAttrRep) UnmarshalXDR(d *xdr.Decoder) error {
+	v, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	r.Errno = fserr.Errno(v)
+	if r.IsDir, err = d.Bool(); err != nil {
+		return err
+	}
+	if r.Size, err = d.Int64(); err != nil {
+		return err
+	}
+	r.Change, err = d.Uint64()
+	return err
+}
+
+func (a *TruncateArgs) MarshalXDR(e *xdr.Encoder) {
+	e.Uint64(uint64(a.Handle))
+	e.Int64(a.Size)
+}
+
+func (a *TruncateArgs) UnmarshalXDR(d *xdr.Decoder) error {
+	h, err := d.Uint64()
+	if err != nil {
+		return err
+	}
+	a.Handle = Handle(h)
+	a.Size, err = d.Int64()
+	return err
+}
+
+func (r *TruncateRep) MarshalXDR(e *xdr.Encoder) { e.Uint32(uint32(r.Errno)) }
+func (r *TruncateRep) UnmarshalXDR(d *xdr.Decoder) error {
+	v, err := d.Uint32()
+	r.Errno = fserr.Errno(v)
+	return err
+}
+
+func (a *IOReadArgs) MarshalXDR(e *xdr.Encoder) {
+	e.Uint64(uint64(a.Handle))
+	e.Int64(a.Off)
+	e.Int64(a.Len)
+	e.Bool(a.WantReal)
+}
+
+func (a *IOReadArgs) UnmarshalXDR(d *xdr.Decoder) error {
+	h, err := d.Uint64()
+	if err != nil {
+		return err
+	}
+	a.Handle = Handle(h)
+	if a.Off, err = d.Int64(); err != nil {
+		return err
+	}
+	if a.Len, err = d.Int64(); err != nil {
+		return err
+	}
+	a.WantReal, err = d.Bool()
+	return err
+}
+
+func (r *IOReadRep) MarshalXDR(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Errno))
+	r.Data.MarshalXDR(e)
+	e.Bool(r.Eof)
+}
+
+func (r *IOReadRep) UnmarshalXDR(d *xdr.Decoder) error {
+	v, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	r.Errno = fserr.Errno(v)
+	if err = r.Data.UnmarshalXDR(d); err != nil {
+		return err
+	}
+	r.Eof, err = d.Bool()
+	return err
+}
+
+// WireSize lets bulk read replies cross the simulated NIC without
+// materializing payload bytes.
+func (r *IOReadRep) WireSize() int64 {
+	return xdr.SizeUint32 + r.Data.WireSize() + xdr.SizeBool
+}
+
+func (a *IOWriteArgs) MarshalXDR(e *xdr.Encoder) {
+	e.Uint64(uint64(a.Handle))
+	e.Int64(a.Off)
+	a.Data.MarshalXDR(e)
+	e.Bool(a.Sync)
+}
+
+func (a *IOWriteArgs) UnmarshalXDR(d *xdr.Decoder) error {
+	h, err := d.Uint64()
+	if err != nil {
+		return err
+	}
+	a.Handle = Handle(h)
+	if a.Off, err = d.Int64(); err != nil {
+		return err
+	}
+	if err = a.Data.UnmarshalXDR(d); err != nil {
+		return err
+	}
+	a.Sync, err = d.Bool()
+	return err
+}
+
+// WireSize lets bulk writes cross the simulated NIC without materializing
+// payload bytes.
+func (a *IOWriteArgs) WireSize() int64 {
+	return xdr.SizeUint64 + xdr.SizeUint64 + a.Data.WireSize() + xdr.SizeBool
+}
+
+func (r *IOWriteRep) MarshalXDR(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Errno))
+	e.Int64(r.ObjSize)
+}
+
+func (r *IOWriteRep) UnmarshalXDR(d *xdr.Decoder) error {
+	v, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	r.Errno = fserr.Errno(v)
+	r.ObjSize, err = d.Int64()
+	return err
+}
+
+func (a *IOCreateArgs) MarshalXDR(e *xdr.Encoder) { e.Uint64(uint64(a.Handle)) }
+func (a *IOCreateArgs) UnmarshalXDR(d *xdr.Decoder) error {
+	h, err := d.Uint64()
+	a.Handle = Handle(h)
+	return err
+}
+
+func (r *IOCreateRep) MarshalXDR(e *xdr.Encoder) { e.Uint32(uint32(r.Errno)) }
+func (r *IOCreateRep) UnmarshalXDR(d *xdr.Decoder) error {
+	v, err := d.Uint32()
+	r.Errno = fserr.Errno(v)
+	return err
+}
+
+func (a *IORemoveArgs) MarshalXDR(e *xdr.Encoder) { e.Uint64(uint64(a.Handle)) }
+func (a *IORemoveArgs) UnmarshalXDR(d *xdr.Decoder) error {
+	h, err := d.Uint64()
+	a.Handle = Handle(h)
+	return err
+}
+
+func (r *IORemoveRep) MarshalXDR(e *xdr.Encoder) { e.Uint32(uint32(r.Errno)) }
+func (r *IORemoveRep) UnmarshalXDR(d *xdr.Decoder) error {
+	v, err := d.Uint32()
+	r.Errno = fserr.Errno(v)
+	return err
+}
+
+func (a *IOGetSizeArgs) MarshalXDR(e *xdr.Encoder) { e.Uint64(uint64(a.Handle)) }
+func (a *IOGetSizeArgs) UnmarshalXDR(d *xdr.Decoder) error {
+	h, err := d.Uint64()
+	a.Handle = Handle(h)
+	return err
+}
+
+func (r *IOGetSizeRep) MarshalXDR(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Errno))
+	e.Int64(r.Size)
+	e.Uint64(r.Change)
+}
+
+func (r *IOGetSizeRep) UnmarshalXDR(d *xdr.Decoder) error {
+	v, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	r.Errno = fserr.Errno(v)
+	if r.Size, err = d.Int64(); err != nil {
+		return err
+	}
+	r.Change, err = d.Uint64()
+	return err
+}
+
+func (a *IOFlushArgs) MarshalXDR(e *xdr.Encoder) { e.Uint64(uint64(a.Handle)) }
+func (a *IOFlushArgs) UnmarshalXDR(d *xdr.Decoder) error {
+	h, err := d.Uint64()
+	a.Handle = Handle(h)
+	return err
+}
+
+func (r *IOFlushRep) MarshalXDR(e *xdr.Encoder) { e.Uint32(uint32(r.Errno)) }
+func (r *IOFlushRep) UnmarshalXDR(d *xdr.Decoder) error {
+	v, err := d.Uint32()
+	r.Errno = fserr.Errno(v)
+	return err
+}
+
+func (a *IOTruncateArgs) MarshalXDR(e *xdr.Encoder) {
+	e.Uint64(uint64(a.Handle))
+	e.Int64(a.ObjSize)
+}
+
+func (a *IOTruncateArgs) UnmarshalXDR(d *xdr.Decoder) error {
+	h, err := d.Uint64()
+	if err != nil {
+		return err
+	}
+	a.Handle = Handle(h)
+	a.ObjSize, err = d.Int64()
+	return err
+}
+
+func (r *IOTruncateRep) MarshalXDR(e *xdr.Encoder) { e.Uint32(uint32(r.Errno)) }
+func (r *IOTruncateRep) UnmarshalXDR(d *xdr.Decoder) error {
+	v, err := d.Uint32()
+	r.Errno = fserr.Errno(v)
+	return err
+}
+
+// MetaRegistry returns the request registry for the metadata service.
+func MetaRegistry() *rpc.Registry {
+	reg := rpc.NewRegistry()
+	reg.Register(ProcLookup, func() xdr.Unmarshaler { return &LookupArgs{} })
+	reg.Register(ProcCreate, func() xdr.Unmarshaler { return &CreateArgs{} })
+	reg.Register(ProcRemove, func() xdr.Unmarshaler { return &RemoveArgs{} })
+	reg.Register(ProcMkdir, func() xdr.Unmarshaler { return &MkdirArgs{} })
+	reg.Register(ProcReadDir, func() xdr.Unmarshaler { return &ReadDirArgs{} })
+	reg.Register(ProcGetAttr, func() xdr.Unmarshaler { return &GetAttrArgs{} })
+	reg.Register(ProcTruncate, func() xdr.Unmarshaler { return &TruncateArgs{} })
+	reg.Register(ProcLookupH, func() xdr.Unmarshaler { return &DirOpArgs{} })
+	reg.Register(ProcCreateH, func() xdr.Unmarshaler { return &DirOpArgs{} })
+	reg.Register(ProcMkdirH, func() xdr.Unmarshaler { return &DirOpArgs{} })
+	reg.Register(ProcRemoveH, func() xdr.Unmarshaler { return &DirOpArgs{} })
+	reg.Register(ProcRenameH, func() xdr.Unmarshaler { return &RenameHArgs{} })
+	reg.Register(ProcReadDirH, func() xdr.Unmarshaler { return &ReadDirHArgs{} })
+	return reg
+}
+
+// IORegistry returns the request registry for the storage I/O service.
+func IORegistry() *rpc.Registry {
+	reg := rpc.NewRegistry()
+	reg.Register(ProcIORead, func() xdr.Unmarshaler { return &IOReadArgs{} })
+	reg.Register(ProcIOWrite, func() xdr.Unmarshaler { return &IOWriteArgs{} })
+	reg.Register(ProcIOCreate, func() xdr.Unmarshaler { return &IOCreateArgs{} })
+	reg.Register(ProcIORemove, func() xdr.Unmarshaler { return &IORemoveArgs{} })
+	reg.Register(ProcIOGetSize, func() xdr.Unmarshaler { return &IOGetSizeArgs{} })
+	reg.Register(ProcIOFlush, func() xdr.Unmarshaler { return &IOFlushArgs{} })
+	reg.Register(ProcIOTruncate, func() xdr.Unmarshaler { return &IOTruncateArgs{} })
+	return reg
+}

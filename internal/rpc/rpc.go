@@ -1,0 +1,302 @@
+// Package rpc provides the remote-procedure-call layer shared by the NFSv4.1
+// and PVFS2 protocol implementations.  One set of handlers and message types
+// serves two transports:
+//
+//   - SimTransport moves XDR-encoded frames across the simnet fabric in
+//     virtual time, charging NIC bandwidth for every byte and letting server
+//     handlers charge CPU and disk resources.  All benchmarks use it.
+//   - TCP (tcp.go) speaks the same frames over real sockets for the
+//     cmd/pnfs-demo binary and loopback integration tests.
+//
+// A Ctx carries the simulated process when running under the kernel; in
+// real-time mode Ctx.P is nil and resource charges are no-ops.
+package rpc
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"time"
+
+	"dpnfs/internal/sim"
+	"dpnfs/internal/simnet"
+	"dpnfs/internal/xdr"
+)
+
+// realWG aliases sync.WaitGroup for real-time Parallel.
+type realWG = sync.WaitGroup
+
+// Status is an RPC-level status word.  0 is success; protocol-level errors
+// ride inside reply bodies, not here.
+type Status uint32
+
+// RPC status values.
+const (
+	StatusOK Status = iota
+	StatusProcUnavail
+	StatusGarbageArgs
+	StatusSystemErr
+)
+
+func (s Status) Error() string {
+	switch s {
+	case StatusOK:
+		return "rpc: ok"
+	case StatusProcUnavail:
+		return "rpc: procedure unavailable"
+	case StatusGarbageArgs:
+		return "rpc: garbage arguments"
+	default:
+		return fmt.Sprintf("rpc: system error (%d)", uint32(s))
+	}
+}
+
+// HeaderBytes is the on-wire overhead per call or reply: record mark, xid,
+// message type, procedure/status, and a minimal auth field — it is charged
+// against NIC bandwidth in simulation and actually written by the TCP
+// transport.
+const HeaderBytes = 40
+
+// Ctx carries per-call execution context.  Under simulation P is the calling
+// (client side) or serving (server side) process; in real-time mode P is nil.
+type Ctx struct {
+	P        *sim.Proc
+	deferred []func()
+}
+
+// Defer registers fn to run after the server has finished transmitting the
+// reply.  Storage daemons use it to hold transfer buffers until the data has
+// actually left the node, which is what makes a fixed buffer pool a real
+// throughput bound.
+func (c *Ctx) Defer(fn func()) { c.deferred = append(c.deferred, fn) }
+
+// runDeferred executes deferred hooks in LIFO order.
+func (c *Ctx) runDeferred() {
+	for i := len(c.deferred) - 1; i >= 0; i-- {
+		c.deferred[i]()
+	}
+	c.deferred = nil
+}
+
+// Now returns virtual time under simulation and the zero Time otherwise.
+func (c *Ctx) Now() sim.Time {
+	if c.P != nil {
+		return c.P.Now()
+	}
+	return 0
+}
+
+// UseCPU charges d of CPU service on cpu; no-op in real-time mode.
+func (c *Ctx) UseCPU(cpu *sim.KServer, d time.Duration) {
+	if c.P != nil && cpu != nil && d > 0 {
+		cpu.Use(c.P, d)
+	}
+}
+
+// Sleep pauses for d of virtual time; no-op in real-time mode.
+func (c *Ctx) Sleep(d time.Duration) {
+	if c.P != nil && d > 0 {
+		c.P.Sleep(d)
+	}
+}
+
+// Msg is a protocol message: XDR-encodable, and able to report its wire
+// size.  Bulk-data messages implement WireSize without materializing
+// payload bytes; everything else can embed SizeByEncoding semantics via the
+// WireSizeOf helper.
+type Msg interface {
+	xdr.Marshaler
+	WireSize() int64
+}
+
+// WireSizeOf returns m's encoded size, using WireSize when available and
+// falling back to encoding.
+func WireSizeOf(m xdr.Marshaler) int64 {
+	if s, ok := m.(interface{ WireSize() int64 }); ok {
+		return s.WireSize()
+	}
+	return int64(len(xdr.Marshal(m)))
+}
+
+// Conn issues calls to one remote service.
+type Conn interface {
+	// Call invokes proc with args, decoding the response into reply.
+	// reply must be a pointer to the concrete response type the server
+	// produces for proc.  A non-OK RPC status is returned as that Status;
+	// transport failures surface as other error types.
+	Call(ctx *Ctx, proc uint32, args xdr.Marshaler, reply xdr.Unmarshaler) error
+}
+
+// Handler processes one decoded call.  Under the simulated transport req is
+// the very value the client passed (treat it as read-only); under TCP it is
+// a freshly decoded message.  The returned message is the reply body.
+type Handler func(ctx *Ctx, proc uint32, req any) (xdr.Marshaler, Status)
+
+// Registry maps procedure numbers to request constructors so the TCP
+// transport can decode call bodies into the same typed requests the
+// simulated transport passes by reference.
+type Registry struct {
+	ctors map[uint32]func() xdr.Unmarshaler
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{ctors: make(map[uint32]func() xdr.Unmarshaler)}
+}
+
+// Register binds proc to a request constructor.  Duplicate registration
+// panics: procedure tables are wired once at startup.
+func (r *Registry) Register(proc uint32, ctor func() xdr.Unmarshaler) {
+	if _, dup := r.ctors[proc]; dup {
+		panic(fmt.Sprintf("rpc: duplicate registration of proc %d", proc))
+	}
+	r.ctors[proc] = ctor
+}
+
+// New constructs an empty request for proc, or nil if unknown.
+func (r *Registry) New(proc uint32) xdr.Unmarshaler {
+	ctor, ok := r.ctors[proc]
+	if !ok {
+		return nil
+	}
+	return ctor()
+}
+
+// call is the payload carried through the simulated fabric for a request.
+type call struct {
+	proc    uint32
+	req     any
+	replyTo *sim.Chan
+	from    *simnet.Node
+}
+
+// reply is the payload for a response.
+type reply struct {
+	status Status
+	resp   xdr.Marshaler
+}
+
+// SimTransport is a Conn bound to (fabric, client node, server node,
+// service).  It is cheap; create one per client/server pair.
+type SimTransport struct {
+	Fabric  *simnet.Fabric
+	Src     *simnet.Node
+	Dst     *simnet.Node
+	Service string
+}
+
+// Call implements Conn over the simulated fabric.  It blocks the calling
+// process for the full request/response round trip.  The typed request is
+// delivered to the server by reference; only its wire size crosses the NIC
+// model, so bulk payloads are never serialized.
+func (t *SimTransport) Call(ctx *Ctx, proc uint32, args xdr.Marshaler, rep xdr.Unmarshaler) error {
+	if ctx.P == nil {
+		panic("rpc: SimTransport.Call without a simulated process")
+	}
+	rc := sim.NewChan("reply")
+	msg := call{proc: proc, req: args, replyTo: rc, from: t.Src}
+	t.Fabric.Send(ctx.P, t.Src, t.Dst, t.Service, msg, WireSizeOf(args)+HeaderBytes)
+	rm := rc.Recv(ctx.P).(simnet.Message)
+	r := rm.Payload.(reply)
+	if r.status != StatusOK {
+		return r.status
+	}
+	if rep == nil {
+		return nil
+	}
+	return copyReply(rep, r.resp)
+}
+
+// copyReply moves the server's typed response into the caller's reply
+// value.  Both sides use the same concrete type, so this is a shallow
+// struct copy via reflection.
+func copyReply(dst xdr.Unmarshaler, src xdr.Marshaler) error {
+	if src == nil {
+		return nil
+	}
+	dv := reflect.ValueOf(dst)
+	sv := reflect.ValueOf(src)
+	if dv.Kind() != reflect.Pointer || sv.Kind() != reflect.Pointer {
+		return fmt.Errorf("rpc: reply types must be pointers (got %T, %T)", dst, src)
+	}
+	if dv.Elem().Type() != sv.Elem().Type() {
+		return fmt.Errorf("rpc: reply type mismatch: caller wants %T, server sent %T", dst, src)
+	}
+	dv.Elem().Set(sv.Elem())
+	return nil
+}
+
+// Parallel runs fn(i) for i in [0, n) concurrently and waits for all of
+// them: simulated processes under the kernel, plain goroutines in real-time
+// mode.  Each invocation gets its own Ctx.
+func Parallel(ctx *Ctx, n int, fn func(ctx *Ctx, i int)) {
+	if n <= 0 {
+		return
+	}
+	if n == 1 {
+		fn(ctx, 0)
+		return
+	}
+	if ctx.P == nil {
+		var wg realWG
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				fn(&Ctx{}, i)
+			}(i)
+		}
+		wg.Wait()
+		return
+	}
+	k := ctx.P.Kernel()
+	var wg sim.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		k.Go(ctx.P.Name()+"/par", func(w *sim.Proc) {
+			defer wg.Done()
+			fn(&Ctx{P: w}, i)
+		})
+	}
+	wg.Wait(ctx.P)
+}
+
+// ServerConfig describes a simulated RPC service endpoint.
+type ServerConfig struct {
+	Fabric  *simnet.Fabric
+	Node    *simnet.Node
+	Service string
+	Threads int // max concurrent handler processes (NFS "server threads")
+	Handler Handler
+}
+
+// ServeSim starts the dispatcher process for a simulated RPC service.  Each
+// request is handled by its own process, bounded by Threads concurrent
+// handlers served FIFO.
+func ServeSim(cfg ServerConfig) {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 8
+	}
+	threads := sim.NewSemaphore(cfg.Node.Name+"/"+cfg.Service+"/threads", cfg.Threads)
+	inbox := cfg.Node.Service(cfg.Service)
+	cfg.Fabric.K.Go(cfg.Node.Name+"/"+cfg.Service+"/dispatch", func(p *sim.Proc) {
+		p.MarkDaemon()
+		for {
+			m := inbox.Recv(p).(simnet.Message)
+			c := m.Payload.(call)
+			threads.Acquire(p, 1)
+			cfg.Fabric.K.Go(cfg.Node.Name+"/"+cfg.Service+"/worker", func(w *sim.Proc) {
+				defer threads.Release(1)
+				hctx := &Ctx{P: w}
+				resp, status := cfg.Handler(hctx, c.proc, c.req)
+				size := int64(HeaderBytes)
+				if resp != nil {
+					size += WireSizeOf(resp)
+				}
+				cfg.Fabric.SendTo(w, cfg.Node, c.from, c.replyTo, reply{status: status, resp: resp}, size)
+				hctx.runDeferred()
+			})
+		}
+	})
+}

@@ -1,0 +1,292 @@
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"dpnfs/internal/xdr"
+)
+
+// Wire format (all words big-endian), shared by calls and replies:
+//
+//	uint32  record length (bytes after this word)
+//	uint32  xid
+//	uint32  message type (0 = call, 1 = reply)
+//	uint32  proc (call) or status (reply)
+//	opaque  auth[20] (length word + 20 bytes, a stand-in credential)
+//	bytes   XDR-encoded body
+//
+// The fixed portion totals HeaderBytes (40), so simulated NIC charges match
+// what the TCP transport actually writes.
+
+const (
+	msgCall  = 0
+	msgReply = 1
+)
+
+var errConnClosed = errors.New("rpc: connection closed")
+
+func writeFrame(w io.Writer, mu *sync.Mutex, xid, mtype, word uint32, body []byte) error {
+	e := xdr.NewEncoder()
+	e.Uint32(uint32(HeaderBytes - 4 + len(body)))
+	e.Uint32(xid)
+	e.Uint32(mtype)
+	e.Uint32(word)
+	e.Opaque(make([]byte, 20)) // auth flavor placeholder
+	e.FixedOpaque(body)
+	mu.Lock()
+	defer mu.Unlock()
+	_, err := w.Write(e.Bytes())
+	return err
+}
+
+func readFrame(r io.Reader) (xid, mtype, word uint32, body []byte, err error) {
+	var lenBuf [4]byte
+	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
+		return
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n < HeaderBytes-4 || n > HeaderBytes+xdr.MaxOpaque {
+		err = fmt.Errorf("rpc: bad record length %d", n)
+		return
+	}
+	rec := make([]byte, n)
+	if _, err = io.ReadFull(r, rec); err != nil {
+		return
+	}
+	d := xdr.NewDecoder(rec)
+	if xid, err = d.Uint32(); err != nil {
+		return
+	}
+	if mtype, err = d.Uint32(); err != nil {
+		return
+	}
+	if word, err = d.Uint32(); err != nil {
+		return
+	}
+	if _, err = d.Opaque(); err != nil { // auth
+		return
+	}
+	body = rec[len(rec)-d.Remaining():]
+	return
+}
+
+// TCPClient is a Conn over a real socket with concurrent calls demultiplexed
+// by xid.
+type TCPClient struct {
+	conn    net.Conn
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	nextXid uint32
+	pending map[uint32]chan tcpReply
+	dead    error
+}
+
+type tcpReply struct {
+	status Status
+	body   []byte
+}
+
+// DialTCP connects to a TCP RPC server.
+func DialTCP(addr string) (*TCPClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &TCPClient{conn: conn, pending: make(map[uint32]chan tcpReply)}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *TCPClient) readLoop() {
+	for {
+		xid, mtype, word, body, err := readFrame(c.conn)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		if mtype != msgReply {
+			c.fail(fmt.Errorf("rpc: unexpected message type %d from server", mtype))
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[xid]
+		delete(c.pending, xid)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- tcpReply{status: Status(word), body: body}
+		}
+	}
+}
+
+func (c *TCPClient) fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead == nil {
+		c.dead = err
+	}
+	for xid, ch := range c.pending {
+		close(ch)
+		delete(c.pending, xid)
+	}
+}
+
+// Close shuts the connection down; outstanding calls fail.
+func (c *TCPClient) Close() error {
+	c.fail(errConnClosed)
+	return c.conn.Close()
+}
+
+// Call implements Conn over TCP.  ctx may carry a nil process.
+func (c *TCPClient) Call(_ *Ctx, proc uint32, args xdr.Marshaler, rep xdr.Unmarshaler) error {
+	body := xdr.Marshal(args)
+	ch := make(chan tcpReply, 1)
+	c.mu.Lock()
+	if c.dead != nil {
+		c.mu.Unlock()
+		return c.dead
+	}
+	c.nextXid++
+	xid := c.nextXid
+	c.pending[xid] = ch
+	c.mu.Unlock()
+
+	if err := writeFrame(c.conn, &c.writeMu, xid, msgCall, proc, body); err != nil {
+		c.mu.Lock()
+		delete(c.pending, xid)
+		c.mu.Unlock()
+		return err
+	}
+	r, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.dead
+		c.mu.Unlock()
+		return err
+	}
+	if r.status != StatusOK {
+		return r.status
+	}
+	if rep == nil {
+		return nil
+	}
+	return xdr.Unmarshal(r.body, rep)
+}
+
+// byteHandler processes one call at the wire level.
+type byteHandler func(ctx *Ctx, proc uint32, body []byte) ([]byte, Status)
+
+// adaptHandler turns a typed Handler plus a Registry into a wire-level
+// handler: decode the call body, dispatch, encode the reply.
+func adaptHandler(reg *Registry, h Handler) byteHandler {
+	return func(ctx *Ctx, proc uint32, body []byte) ([]byte, Status) {
+		req := reg.New(proc)
+		if req == nil {
+			return nil, StatusProcUnavail
+		}
+		if err := xdr.Unmarshal(body, req); err != nil {
+			return nil, StatusGarbageArgs
+		}
+		resp, status := h(ctx, proc, req)
+		if status != StatusOK || resp == nil {
+			return nil, status
+		}
+		return xdr.Marshal(resp), StatusOK
+	}
+}
+
+// TCPServer serves a Handler on a real listener.
+type TCPServer struct {
+	ln      net.Listener
+	handler byteHandler
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+}
+
+// ListenTCP starts serving handler on addr (e.g. "127.0.0.1:0"), decoding
+// requests through reg; Addr reports the bound address.
+func ListenTCP(addr string, reg *Registry, handler Handler) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &TCPServer{ln: ln, handler: adaptHandler(reg, handler), conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener's address.
+func (s *TCPServer) Addr() string { return s.ln.Addr().String() }
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	var writeMu sync.Mutex
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
+	for {
+		xid, mtype, proc, body, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if mtype != msgCall {
+			return
+		}
+		handlers.Add(1)
+		go func(xid, proc uint32, body []byte) {
+			defer handlers.Done()
+			hctx := &Ctx{}
+			rep, status := s.handler(hctx, proc, body)
+			_ = writeFrame(conn, &writeMu, xid, msgReply, uint32(status), rep)
+			hctx.runDeferred()
+		}(xid, proc, body)
+	}
+}
+
+// Close stops the listener, closes active connections, and waits for
+// handlers to drain.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}

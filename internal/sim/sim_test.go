@@ -1,0 +1,357 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSleepAdvancesVirtualTime(t *testing.T) {
+	k := NewKernel(1)
+	var woke Time
+	k.Go("sleeper", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		woke = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != Time(5*time.Millisecond) {
+		t.Fatalf("woke at %d, want %d", woke, 5*time.Millisecond)
+	}
+}
+
+func TestNegativeSleepIsZero(t *testing.T) {
+	k := NewKernel(1)
+	var woke Time
+	k.Go("p", func(p *Proc) {
+		p.Sleep(-time.Second)
+		woke = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 0 {
+		t.Fatalf("negative sleep advanced time to %d", woke)
+	}
+}
+
+func TestDeterministicInterleaving(t *testing.T) {
+	run := func() []string {
+		k := NewKernel(42)
+		var order []string
+		for _, name := range []string{"a", "b", "c"} {
+			name := name
+			k.Go(name, func(p *Proc) {
+				for i := 0; i < 3; i++ {
+					p.Sleep(time.Millisecond)
+					order = append(order, name)
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		got := run()
+		if len(got) != len(first) {
+			t.Fatalf("run %d: length %d != %d", i, len(got), len(first))
+		}
+		for j := range got {
+			if got[j] != first[j] {
+				t.Fatalf("run %d: order diverged at %d: %v vs %v", i, j, got, first)
+			}
+		}
+	}
+}
+
+func TestTieBreakBySpawnOrder(t *testing.T) {
+	k := NewKernel(1)
+	var order []string
+	k.Go("first", func(p *Proc) { order = append(order, "first") })
+	k.Go("second", func(p *Proc) { order = append(order, "second") })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != "first" || order[1] != "second" {
+		t.Fatalf("same-time events not in spawn order: %v", order)
+	}
+}
+
+func TestSpawnFromProcess(t *testing.T) {
+	k := NewKernel(1)
+	var childRan bool
+	k.Go("parent", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		k.Go("child", func(c *Proc) {
+			c.Sleep(time.Millisecond)
+			childRan = true
+		})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !childRan {
+		t.Fatal("child spawned from process did not run")
+	}
+}
+
+func TestFIFOServerQueueing(t *testing.T) {
+	k := NewKernel(1)
+	srv := NewFIFOServer("disk")
+	var done [3]Time
+	for i := 0; i < 3; i++ {
+		i := i
+		k.Go("user", func(p *Proc) {
+			done[i] = srv.Use(p, 10*time.Millisecond)
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		want := Time((i + 1) * int(10*time.Millisecond))
+		if done[i] != want {
+			t.Errorf("request %d completed at %d, want %d", i, done[i], want)
+		}
+	}
+	if srv.BusyTime() != 30*time.Millisecond {
+		t.Errorf("busy time %v, want 30ms", srv.BusyTime())
+	}
+}
+
+func TestFIFOServerIdleGap(t *testing.T) {
+	k := NewKernel(1)
+	srv := NewFIFOServer("nic")
+	var second Time
+	k.Go("a", func(p *Proc) { srv.Use(p, time.Millisecond) })
+	k.Go("b", func(p *Proc) {
+		p.Sleep(10 * time.Millisecond) // arrive after the server went idle
+		second = srv.Use(p, time.Millisecond)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if second != Time(11*time.Millisecond) {
+		t.Fatalf("idle server should serve immediately: done at %d, want %d", second, 11*time.Millisecond)
+	}
+}
+
+func TestKServerParallelism(t *testing.T) {
+	k := NewKernel(1)
+	cpu := NewKServer("cpu", 2)
+	var done [4]Time
+	for i := 0; i < 4; i++ {
+		i := i
+		k.Go("job", func(p *Proc) {
+			done[i] = cpu.Use(p, 10*time.Millisecond)
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Two servers: jobs 0,1 finish at 10ms; jobs 2,3 at 20ms.
+	wants := []Time{Time(10 * time.Millisecond), Time(10 * time.Millisecond), Time(20 * time.Millisecond), Time(20 * time.Millisecond)}
+	for i, w := range wants {
+		if done[i] != w {
+			t.Errorf("job %d done at %d, want %d", i, done[i], w)
+		}
+	}
+}
+
+func TestSemaphoreFIFONoBarging(t *testing.T) {
+	k := NewKernel(1)
+	sem := NewSemaphore("buffers", 4)
+	var order []string
+	k.Go("big", func(p *Proc) {
+		sem.Acquire(p, 4)
+		p.Sleep(10 * time.Millisecond)
+		sem.Release(4)
+		order = append(order, "big")
+	})
+	k.Go("blockedBig", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		sem.Acquire(p, 3) // must wait for "big" to release
+		order = append(order, "blockedBig")
+		sem.Release(3)
+	})
+	k.Go("small", func(p *Proc) {
+		p.Sleep(2 * time.Millisecond)
+		sem.Acquire(p, 1) // arrives later; must NOT barge past blockedBig
+		order = append(order, "small")
+		sem.Release(1)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"big", "blockedBig", "small"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+	if sem.Available() != 4 {
+		t.Fatalf("semaphore leaked: %d available, want 4", sem.Available())
+	}
+}
+
+func TestChanSendRecv(t *testing.T) {
+	k := NewKernel(1)
+	ch := NewChan("msgs")
+	var got []int
+	k.Go("recv", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, ch.Recv(p).(int))
+		}
+	})
+	k.Go("send", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(time.Millisecond)
+			ch.Send(i)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if got[i] != i {
+			t.Fatalf("recv order %v", got)
+		}
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	k := NewKernel(1)
+	ch := NewChan("never")
+	k.Go("stuck", func(p *Proc) {
+		ch.Recv(p)
+	})
+	err := k.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("want DeadlockError, got %v", err)
+	}
+	if len(de.Parked) != 1 {
+		t.Fatalf("want 1 parked process, got %d", len(de.Parked))
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	k := NewKernel(1)
+	var wg WaitGroup
+	var finished Time
+	wg.Add(3)
+	for i := 1; i <= 3; i++ {
+		d := time.Duration(i) * time.Millisecond
+		k.Go("worker", func(p *Proc) {
+			p.Sleep(d)
+			wg.Done()
+		})
+	}
+	k.Go("waiter", func(p *Proc) {
+		wg.Wait(p)
+		finished = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if finished != Time(3*time.Millisecond) {
+		t.Fatalf("waiter finished at %d, want %d", finished, 3*time.Millisecond)
+	}
+}
+
+// Property: for any set of sleep durations, each process observes
+// monotonically non-decreasing time and wakes exactly at the cumulative sum
+// of its sleeps.
+func TestPropertySleepAccumulates(t *testing.T) {
+	f := func(durs []uint16) bool {
+		if len(durs) > 64 {
+			durs = durs[:64]
+		}
+		k := NewKernel(7)
+		ok := true
+		k.Go("p", func(p *Proc) {
+			var sum Time
+			for _, d := range durs {
+				dd := Duration(d) * time.Microsecond
+				p.Sleep(dd)
+				sum += Time(dd)
+				if p.Now() != sum {
+					ok = false
+					return
+				}
+			}
+		})
+		if err := k.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a FIFO server conserves work — total completion time of n
+// back-to-back requests equals the sum of service times.
+func TestPropertyFIFOServerWorkConserving(t *testing.T) {
+	f := func(svc []uint16) bool {
+		if len(svc) == 0 {
+			return true
+		}
+		if len(svc) > 64 {
+			svc = svc[:64]
+		}
+		k := NewKernel(7)
+		srv := NewFIFOServer("s")
+		var last Time
+		var sum Time
+		for _, s := range svc {
+			d := Duration(s) * time.Microsecond
+			sum += Time(d)
+			k.Go("u", func(p *Proc) {
+				last = srv.Use(p, d)
+			})
+		}
+		if err := k.Run(); err != nil {
+			return false
+		}
+		return last == sum && Time(srv.BusyTime()) == sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyProcesses(t *testing.T) {
+	k := NewKernel(1)
+	const n = 2000
+	count := 0
+	for i := 0; i < n; i++ {
+		k.Go("p", func(p *Proc) {
+			p.Sleep(time.Duration(i%17) * time.Microsecond)
+			count++
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("ran %d of %d processes", count, n)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	k := NewKernel(1)
+	k.now = 100
+	p := &Proc{k: k, name: "x", wake: make(chan struct{}, 1)}
+	k.schedule(p, 50)
+}

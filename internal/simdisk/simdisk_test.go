@@ -1,0 +1,213 @@
+package simdisk
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dpnfs/internal/sim"
+)
+
+func testDisk() *Disk {
+	return New(Config{
+		Name:       "d0",
+		ReadBPS:    50e6,
+		WriteBPS:   20e6,
+		Position:   5 * time.Millisecond,
+		DirtyLimit: 100 * time.Millisecond,
+		CacheBytes: 1 << 20,
+		CacheBlock: 4 << 10,
+	})
+}
+
+func TestBurstWriteCompletesAtMemorySpeed(t *testing.T) {
+	k := sim.NewKernel(1)
+	d := testDisk()
+	var done sim.Time
+	k.Go("w", func(p *sim.Proc) {
+		d.Write(p, 1, 0, 1<<20) // 1 MB: ~52 ms drain, under 100 ms dirty limit
+		done = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if time.Duration(done) > time.Millisecond {
+		t.Fatalf("buffered write blocked for %v; should complete at memory speed", time.Duration(done))
+	}
+}
+
+func TestSustainedWritesConvergeToDiskBandwidth(t *testing.T) {
+	k := sim.NewKernel(1)
+	d := testDisk()
+	const chunk = 1 << 20
+	const n = 100 // 100 MB total at 20 MB/s => ~5 s
+	var done sim.Time
+	k.Go("w", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			d.Write(p, 1, int64(i)*chunk, chunk)
+		}
+		d.Sync(p)
+		done = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	secs := done.Seconds()
+	mbps := float64(n*chunk) / 1e6 / secs
+	if mbps < 18 || mbps > 22 {
+		t.Fatalf("sustained write throughput %.1f MB/s, want ~20", mbps)
+	}
+}
+
+func TestSyncWaitsForBacklog(t *testing.T) {
+	k := sim.NewKernel(1)
+	d := testDisk()
+	var wrote, synced sim.Time
+	k.Go("w", func(p *sim.Proc) {
+		d.Write(p, 1, 0, 1<<20)
+		wrote = p.Now()
+		d.Sync(p)
+		synced = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if synced <= wrote {
+		t.Fatal("sync did not wait for the write-behind backlog")
+	}
+	// 1 MB at 20 MB/s ≈ 52 ms (+ positioning).
+	if got := time.Duration(synced); got < 50*time.Millisecond {
+		t.Fatalf("sync returned at %v, want ≥ ~52 ms", got)
+	}
+}
+
+func TestWarmReadSkipsDisk(t *testing.T) {
+	k := sim.NewKernel(1)
+	d := testDisk()
+	d.Warm(1, 0, 512<<10)
+	var done sim.Time
+	k.Go("r", func(p *sim.Proc) {
+		d.Read(p, 1, 0, 512<<10)
+		done = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if time.Duration(done) > time.Millisecond {
+		t.Fatalf("warm read took %v; should be memory-speed", time.Duration(done))
+	}
+	_, _, hits, misses, _, _ := d.Stats()
+	if hits != 1 || misses != 0 {
+		t.Fatalf("hits=%d misses=%d, want 1/0", hits, misses)
+	}
+}
+
+func TestColdReadPaysDiskService(t *testing.T) {
+	k := sim.NewKernel(1)
+	d := testDisk()
+	var done sim.Time
+	k.Go("r", func(p *sim.Proc) {
+		d.Read(p, 1, 0, 1<<20) // 1 MB at 50 MB/s ≈ 21 ms + 5 ms position
+		done = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := time.Duration(done)
+	if got < 24*time.Millisecond || got > 28*time.Millisecond {
+		t.Fatalf("cold read took %v, want ~26 ms", got)
+	}
+}
+
+func TestReadAfterWriteHitsCache(t *testing.T) {
+	k := sim.NewKernel(1)
+	d := testDisk()
+	k.Go("rw", func(p *sim.Proc) {
+		d.Write(p, 1, 0, 64<<10)
+		before := p.Now()
+		d.Read(p, 1, 0, 64<<10)
+		if p.Now()-before > sim.Time(time.Millisecond) {
+			t.Error("read of just-written data went to disk")
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomAccessPaysPositioning(t *testing.T) {
+	elapsed := func(offs []int64) time.Duration {
+		k := sim.NewKernel(1)
+		d := testDisk()
+		var done sim.Time
+		k.Go("r", func(p *sim.Proc) {
+			for _, o := range offs {
+				d.Read(p, 1, o, 4<<10)
+			}
+			done = p.Now()
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return time.Duration(done)
+	}
+	seq := elapsed([]int64{0, 4 << 10, 8 << 10, 12 << 10})
+	rnd := elapsed([]int64{0, 512 << 10, 64 << 10, 900 << 10})
+	if rnd < seq+10*time.Millisecond {
+		t.Fatalf("random %v vs sequential %v: positioning penalty missing", rnd, seq)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := newLRU(16<<10, 4<<10) // 4 blocks
+	c.insert(1, 0, 16<<10, 0)  // blocks 0..3 resident
+	if miss := c.touch(1, 0, 16<<10, 0); miss != 0 {
+		t.Fatalf("expected full residency, missing %d bytes", miss)
+	}
+	c.insert(1, 16<<10, 4<<10, 0) // block 4 evicts block 0 (LRU)
+	if miss := c.touch(1, 0, 4<<10, 0); miss != 4<<10 {
+		t.Fatalf("block 0 should be evicted, missing %d", miss)
+	}
+	if miss := c.touch(1, 4<<10, 12<<10, 0); miss != 0 {
+		t.Fatalf("blocks 1..3 should remain, missing %d", miss)
+	}
+}
+
+func TestLRUTouchRefreshesRecency(t *testing.T) {
+	c := newLRU(8<<10, 4<<10) // 2 blocks
+	c.insert(1, 0, 4<<10, 0)  // block 0
+	c.insert(1, 4<<10, 4<<10, 0)
+	c.touch(1, 0, 4<<10, 0)      // refresh block 0
+	c.insert(1, 8<<10, 4<<10, 0) // should evict block 1, not 0
+	if miss := c.touch(1, 0, 4<<10, 0); miss != 0 {
+		t.Fatal("recently touched block was evicted")
+	}
+	if miss := c.touch(1, 4<<10, 4<<10, 0); miss == 0 {
+		t.Fatal("least recently used block was not evicted")
+	}
+}
+
+// Property: touch never reports more missing bytes than requested, and after
+// insert the same range has zero missing bytes.
+func TestPropertyCacheInsertThenTouch(t *testing.T) {
+	f := func(file uint64, off uint32, n uint16) bool {
+		c := newLRU(1<<30, 4<<10)
+		o, ln := int64(off), int64(n)
+		if miss := c.touch(file, o, ln, 0); miss > ln {
+			return false
+		}
+		c.insert(file, o, ln, 0)
+		return c.touch(file, o, ln, 0) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	d := New(Config{Name: "x"})
+	def := DefaultConfig("x")
+	if d.cfg.ReadBPS != def.ReadBPS || d.cfg.CacheBlock != def.CacheBlock {
+		t.Fatalf("defaults not applied: %+v", d.cfg)
+	}
+}

@@ -1,0 +1,259 @@
+package vfs
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestCreateLookupAttr(t *testing.T) {
+	s := New()
+	a, err := s.Create(s.Root(), "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Lookup(s.Root(), "f")
+	if err != nil || got.ID != a.ID || got.IsDir {
+		t.Fatalf("lookup: %+v, %v", got, err)
+	}
+	if _, err := s.Create(s.Root(), "f"); err != ErrExist {
+		t.Fatalf("duplicate create: %v", err)
+	}
+}
+
+func TestBadNamesRejected(t *testing.T) {
+	s := New()
+	for _, name := range []string{"", ".", "..", "a/b"} {
+		if _, err := s.Create(s.Root(), name); err != ErrInval {
+			t.Errorf("create(%q): %v, want ErrInval", name, err)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s := New()
+	a, _ := s.Create(s.Root(), "f")
+	data := []byte("the quick brown fox")
+	if _, err := s.WriteAt(a.ID, 5, data); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(data))
+	n, err := s.ReadAt(a.ID, 5, buf)
+	if err != nil || n != len(data) || !bytes.Equal(buf, data) {
+		t.Fatalf("read back %q (%d), %v", buf[:n], n, err)
+	}
+	// The hole before offset 5 reads as zeros.
+	hole := make([]byte, 5)
+	n, _ = s.ReadAt(a.ID, 0, hole)
+	if n != 5 || !bytes.Equal(hole, make([]byte, 5)) {
+		t.Fatalf("hole read %v", hole[:n])
+	}
+}
+
+func TestReadPastEOF(t *testing.T) {
+	s := New()
+	a, _ := s.Create(s.Root(), "f")
+	s.WriteAt(a.ID, 0, []byte("abc"))
+	buf := make([]byte, 10)
+	n, err := s.ReadAt(a.ID, 1, buf)
+	if err != nil || n != 2 || string(buf[:n]) != "bc" {
+		t.Fatalf("short read: %d %q %v", n, buf[:n], err)
+	}
+	n, err = s.ReadAt(a.ID, 100, buf)
+	if err != nil || n != 0 {
+		t.Fatalf("read past EOF: %d %v", n, err)
+	}
+}
+
+func TestSizeTracking(t *testing.T) {
+	s := New()
+	a, _ := s.Create(s.Root(), "f")
+	s.WriteAt(a.ID, 1000, []byte("x"))
+	at, _ := s.GetAttr(a.ID)
+	if at.Size != 1001 {
+		t.Fatalf("size %d, want 1001", at.Size)
+	}
+	if err := s.Truncate(a.ID, 10); err != nil {
+		t.Fatal(err)
+	}
+	at, _ = s.GetAttr(a.ID)
+	if at.Size != 10 {
+		t.Fatalf("size after truncate %d", at.Size)
+	}
+}
+
+func TestTruncateZeroesTail(t *testing.T) {
+	s := New()
+	a, _ := s.Create(s.Root(), "f")
+	s.WriteAt(a.ID, 0, []byte("abcdef"))
+	s.Truncate(a.ID, 3)
+	s.Truncate(a.ID, 6) // extend again: tail must be zeros, not "def"
+	buf := make([]byte, 6)
+	s.ReadAt(a.ID, 0, buf)
+	if !bytes.Equal(buf, []byte{'a', 'b', 'c', 0, 0, 0}) {
+		t.Fatalf("truncate leaked data: %q", buf)
+	}
+}
+
+func TestSetSizeOnlyGrows(t *testing.T) {
+	s := New()
+	a, _ := s.Create(s.Root(), "f")
+	s.WriteAt(a.ID, 0, make([]byte, 100))
+	s.SetSize(a.ID, 50) // LAYOUTCOMMIT with stale smaller size: ignored
+	at, _ := s.GetAttr(a.ID)
+	if at.Size != 100 {
+		t.Fatalf("SetSize shrank file to %d", at.Size)
+	}
+	s.SetSize(a.ID, 200)
+	at, _ = s.GetAttr(a.ID)
+	if at.Size != 200 {
+		t.Fatalf("SetSize did not grow file: %d", at.Size)
+	}
+}
+
+func TestMkdirTree(t *testing.T) {
+	s := New()
+	d, err := s.Mkdir(s.Root(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Create(d.ID, "f"); err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.LookupPath("/a/f")
+	if err != nil || a.IsDir {
+		t.Fatalf("LookupPath: %+v, %v", a, err)
+	}
+	if _, err := s.LookupPath("/a/missing"); err != ErrNotExist {
+		t.Fatalf("missing path: %v", err)
+	}
+}
+
+func TestRemoveSemantics(t *testing.T) {
+	s := New()
+	d, _ := s.Mkdir(s.Root(), "d")
+	s.Create(d.ID, "f")
+	if err := s.Remove(s.Root(), "d"); err != ErrNotEmpty {
+		t.Fatalf("remove non-empty dir: %v", err)
+	}
+	if err := s.Remove(d.ID, "f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove(s.Root(), "d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove(s.Root(), "d"); err != ErrNotExist {
+		t.Fatalf("double remove: %v", err)
+	}
+}
+
+func TestRename(t *testing.T) {
+	s := New()
+	d1, _ := s.Mkdir(s.Root(), "d1")
+	d2, _ := s.Mkdir(s.Root(), "d2")
+	f, _ := s.Create(d1.ID, "f")
+	s.WriteAt(f.ID, 0, []byte("payload"))
+	if err := s.Rename(d1.ID, "f", d2.ID, "g"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Lookup(d1.ID, "f"); err != ErrNotExist {
+		t.Fatalf("source still present: %v", err)
+	}
+	a, err := s.LookupPath("/d2/g")
+	if err != nil || a.ID != f.ID {
+		t.Fatalf("rename lost identity: %+v, %v", a, err)
+	}
+}
+
+func TestRenameReplacesFile(t *testing.T) {
+	s := New()
+	s.Create(s.Root(), "a")
+	b, _ := s.Create(s.Root(), "b")
+	if err := s.Rename(s.Root(), "a", s.Root(), "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetAttr(b.ID); err != ErrNotExist {
+		t.Fatalf("replaced inode still live: %v", err)
+	}
+}
+
+func TestReadDirSorted(t *testing.T) {
+	s := New()
+	for _, n := range []string{"c", "a", "b"} {
+		s.Create(s.Root(), n)
+	}
+	names, err := s.ReadDir(s.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("readdir %v, want %v", names, want)
+		}
+	}
+}
+
+func TestChangeCounterBumps(t *testing.T) {
+	s := New()
+	a, _ := s.Create(s.Root(), "f")
+	before, _ := s.GetAttr(a.ID)
+	s.WriteAt(a.ID, 0, []byte("x"))
+	after, _ := s.GetAttr(a.ID)
+	if after.Change <= before.Change {
+		t.Fatal("write did not bump change counter")
+	}
+}
+
+// Property: for any sequence of writes, reading the whole file matches a
+// flat reference buffer.
+func TestPropertyWritesMatchReference(t *testing.T) {
+	type op struct {
+		Off  uint32
+		Data []byte
+	}
+	f := func(ops []op) bool {
+		s := New()
+		a, _ := s.Create(s.Root(), "f")
+		ref := make([]byte, 0)
+		for _, o := range ops {
+			off := int64(o.Off % (1 << 20)) // bound file size to 1 MB
+			if len(o.Data) == 0 {
+				continue
+			}
+			s.WriteAt(a.ID, off, o.Data)
+			end := off + int64(len(o.Data))
+			if int64(len(ref)) < end {
+				ref = append(ref, make([]byte, end-int64(len(ref)))...)
+			}
+			copy(ref[off:end], o.Data)
+		}
+		at, _ := s.GetAttr(a.ID)
+		if at.Size != int64(len(ref)) {
+			return false
+		}
+		got := make([]byte, len(ref))
+		n, err := s.ReadAt(a.ID, 0, got)
+		if err != nil || n != len(ref) {
+			return false
+		}
+		return bytes.Equal(got, ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseChunkBoundaries(t *testing.T) {
+	s := New()
+	a, _ := s.Create(s.Root(), "f")
+	// Write straddling a 64 KiB chunk boundary.
+	data := bytes.Repeat([]byte{0xAB}, 100)
+	off := int64(chunkSize - 50)
+	s.WriteAt(a.ID, off, data)
+	got := make([]byte, 100)
+	s.ReadAt(a.ID, off, got)
+	if !bytes.Equal(got, data) {
+		t.Fatal("chunk-straddling write corrupted data")
+	}
+}

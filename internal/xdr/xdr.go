@@ -1,0 +1,230 @@
+// Package xdr implements the subset of XDR (RFC 4506) external data
+// representation used by the NFSv4.1/pNFS and PVFS2 wire protocols in this
+// repository: big-endian 4-byte aligned primitives, variable-length opaques
+// and strings, and counted arrays.
+//
+// Every protocol message implements Marshaler/Unmarshaler, so the same
+// byte-exact encoding flows over both the simulated fabric (where only the
+// encoded length matters for timing) and real TCP (cmd/pnfs-demo).
+package xdr
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Marshaler is implemented by types that can append their XDR encoding.
+type Marshaler interface {
+	MarshalXDR(e *Encoder)
+}
+
+// Unmarshaler is implemented by types that can decode themselves from XDR.
+type Unmarshaler interface {
+	UnmarshalXDR(d *Decoder) error
+}
+
+// MaxOpaque bounds variable-length fields to guard against corrupt or
+// hostile length words (16 MiB is far above any message this repo sends).
+const MaxOpaque = 16 << 20
+
+var (
+	// ErrShortBuffer is returned when a decode runs past the input.
+	ErrShortBuffer = errors.New("xdr: short buffer")
+	// ErrTooLong is returned when a length word exceeds MaxOpaque.
+	ErrTooLong = errors.New("xdr: variable-length field exceeds limit")
+)
+
+// Encoder appends XDR-encoded data to an internal buffer.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// Bytes returns the encoded buffer (not a copy).
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of encoded bytes so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset discards the buffer contents, retaining capacity.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Uint32 encodes a 32-bit unsigned integer.
+func (e *Encoder) Uint32(v uint32) {
+	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
+}
+
+// Int32 encodes a 32-bit signed integer.
+func (e *Encoder) Int32(v int32) { e.Uint32(uint32(v)) }
+
+// Uint64 encodes a 64-bit unsigned (hyper) integer.
+func (e *Encoder) Uint64(v uint64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, v)
+}
+
+// Int64 encodes a 64-bit signed (hyper) integer.
+func (e *Encoder) Int64(v int64) { e.Uint64(uint64(v)) }
+
+// Bool encodes an XDR boolean.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.Uint32(1)
+	} else {
+		e.Uint32(0)
+	}
+}
+
+// FixedOpaque encodes bytes with no length word, padded to 4-byte alignment.
+func (e *Encoder) FixedOpaque(b []byte) {
+	e.buf = append(e.buf, b...)
+	for pad := (4 - len(b)%4) % 4; pad > 0; pad-- {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// Opaque encodes a variable-length opaque: length word + padded bytes.
+func (e *Encoder) Opaque(b []byte) {
+	if len(b) > MaxOpaque {
+		panic(fmt.Sprintf("xdr: opaque of %d bytes exceeds limit", len(b)))
+	}
+	e.Uint32(uint32(len(b)))
+	e.FixedOpaque(b)
+}
+
+// String encodes an XDR string.
+func (e *Encoder) String(s string) { e.Opaque([]byte(s)) }
+
+// Marshal appends m's encoding.
+func (e *Encoder) Marshal(m Marshaler) { m.MarshalXDR(e) }
+
+// Decoder consumes XDR-encoded data from a buffer.
+type Decoder struct {
+	buf []byte
+	off int
+}
+
+// NewDecoder returns a decoder over b (which is not copied).
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// Remaining reports the number of unconsumed bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// Uint32 decodes a 32-bit unsigned integer.
+func (d *Decoder) Uint32() (uint32, error) {
+	if d.Remaining() < 4 {
+		return 0, ErrShortBuffer
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+// Int32 decodes a 32-bit signed integer.
+func (d *Decoder) Int32() (int32, error) {
+	v, err := d.Uint32()
+	return int32(v), err
+}
+
+// Uint64 decodes a 64-bit unsigned integer.
+func (d *Decoder) Uint64() (uint64, error) {
+	if d.Remaining() < 8 {
+		return 0, ErrShortBuffer
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+// Int64 decodes a 64-bit signed integer.
+func (d *Decoder) Int64() (int64, error) {
+	v, err := d.Uint64()
+	return int64(v), err
+}
+
+// Bool decodes an XDR boolean; any nonzero word is true.
+func (d *Decoder) Bool() (bool, error) {
+	v, err := d.Uint32()
+	return v != 0, err
+}
+
+// FixedOpaque decodes n bytes plus alignment padding, returning a copy.
+func (d *Decoder) FixedOpaque(n int) ([]byte, error) {
+	if n < 0 || n > MaxOpaque {
+		return nil, ErrTooLong
+	}
+	padded := n + (4-n%4)%4
+	if d.Remaining() < padded {
+		return nil, ErrShortBuffer
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[d.off:])
+	d.off += padded
+	return out, nil
+}
+
+// Opaque decodes a variable-length opaque.
+func (d *Decoder) Opaque() ([]byte, error) {
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxOpaque {
+		return nil, ErrTooLong
+	}
+	return d.FixedOpaque(int(n))
+}
+
+// String decodes an XDR string.
+func (d *Decoder) String() (string, error) {
+	b, err := d.Opaque()
+	return string(b), err
+}
+
+// Unmarshal decodes into u.
+func (d *Decoder) Unmarshal(u Unmarshaler) error { return u.UnmarshalXDR(d) }
+
+// SizeUint32 etc. give encoded sizes for message-size accounting without
+// building a buffer.
+const (
+	SizeUint32 = 4
+	SizeUint64 = 8
+	SizeBool   = 4
+)
+
+// SizeOpaque returns the encoded size of a variable opaque of n bytes.
+func SizeOpaque(n int) int { return 4 + n + (4-n%4)%4 }
+
+// SizeString returns the encoded size of s.
+func SizeString(s string) int { return SizeOpaque(len(s)) }
+
+// Marshal encodes m into a fresh byte slice.
+func Marshal(m Marshaler) []byte {
+	e := NewEncoder()
+	m.MarshalXDR(e)
+	return e.Bytes()
+}
+
+// Unmarshal decodes b into u, requiring full consumption of the buffer.
+func Unmarshal(b []byte, u Unmarshaler) error {
+	d := NewDecoder(b)
+	if err := u.UnmarshalXDR(d); err != nil {
+		return err
+	}
+	if d.Remaining() != 0 {
+		return fmt.Errorf("xdr: %d trailing bytes after decode of %T", d.Remaining(), u)
+	}
+	return nil
+}
+
+// Float64 encodes an IEEE-754 double (used by workload trace files).
+func (e *Encoder) Float64(v float64) { e.Uint64(math.Float64bits(v)) }
+
+// Float64 decodes an IEEE-754 double.
+func (d *Decoder) Float64() (float64, error) {
+	v, err := d.Uint64()
+	return math.Float64frombits(v), err
+}
