@@ -6,6 +6,11 @@
 //	dpnfs-bench -fig 6a                 # one figure at the paper's sizes
 //	dpnfs-bench -fig all -scale 0.1     # everything, 10% data sizes
 //	dpnfs-bench -fig 8d -clients 1,4,8
+//	dpnfs-bench -fig 6a -scale 0.01 -transport tcp   # real loopback sockets
+//
+// With -transport=tcp the same workloads run end-to-end over real TCP
+// connections on this host: wall-clock numbers that measure the protocol
+// implementation, not the paper's simulated testbed.
 package main
 
 import (
@@ -16,15 +21,26 @@ import (
 	"strings"
 
 	"dpnfs/directpnfs"
+	"dpnfs/internal/cluster"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "figure id (6a..6e, 7a..7d, 8a..8d, ssh) or 'all'")
 	scale := flag.Float64("scale", 1.0, "data-size scale factor (1.0 = paper sizes)")
 	clients := flag.String("clients", "", "comma-separated client counts (default: per figure)")
+	transport := flag.String("transport", "sim", "cluster wiring: sim (virtual time) or tcp (real loopback sockets)")
 	flag.Parse()
 
 	opt := directpnfs.FigureOptions{Scale: *scale}
+	switch *transport {
+	case "sim", "":
+		opt.Transport = cluster.TransportSim
+	case "tcp":
+		opt.Transport = cluster.TransportTCP
+	default:
+		fmt.Fprintf(os.Stderr, "unknown transport %q (want sim or tcp)\n", *transport)
+		os.Exit(2)
+	}
 	if *clients != "" {
 		for _, part := range strings.Split(*clients, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))

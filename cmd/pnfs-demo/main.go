@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"dpnfs/internal/nfs"
 	"dpnfs/internal/payload"
@@ -65,10 +66,13 @@ func main() {
 	}
 	fmt.Println("client: session established (EXCHANGE_ID + CREATE_SESSION)")
 
-	if err := client.Mkdir(ctx, "/demo"); err != nil {
+	// A per-process directory keeps reruns against a persistent server
+	// (dpnfs-serve) from colliding with earlier state.
+	dir := fmt.Sprintf("/demo-%d", os.Getpid())
+	if err := client.Mkdir(ctx, dir); err != nil {
 		log.Fatal(err)
 	}
-	f, err := client.Create(ctx, "/demo/greeting")
+	f, err := client.Create(ctx, dir+"/greeting")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -81,7 +85,7 @@ func main() {
 	}
 	fmt.Printf("client: wrote %d bytes (write-back cache + COMMIT on close)\n", len(msg))
 
-	g, err := client.Open(ctx, "/demo/greeting")
+	g, err := client.Open(ctx, dir+"/greeting")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -91,10 +95,10 @@ func main() {
 	}
 	fmt.Printf("client: read back %q\n", got.Bytes)
 
-	names, err := client.ReadDir(ctx, "/demo")
+	names, err := client.ReadDir(ctx, dir)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("client: readdir /demo = %v\n", names)
+	fmt.Printf("client: readdir %s = %v\n", dir, names)
 	fmt.Println("demo complete: full protocol round trip over TCP")
 }

@@ -3,9 +3,10 @@
 // Hildebrand and Peter Honeyman, HPDC 2007).
 //
 // The public API lives in dpnfs/directpnfs; see README.md for the
-// architecture overview, DESIGN.md for the system inventory and
-// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
-// The benchmarks in bench_test.go regenerate every figure of the paper's
-// evaluation section at a reduced scale; cmd/dpnfs-bench regenerates them
-// at the paper's full data sizes.
+// architecture overview, quickstart, and how to run the benchmarks and
+// regenerate the figures.  The benchmarks in bench_test.go regenerate
+// every figure of the paper's evaluation section at a reduced scale;
+// cmd/dpnfs-bench regenerates them at the paper's full data sizes, and
+// with -transport=tcp runs the same workloads over real loopback sockets
+// (cmd/dpnfs-serve exports a cluster for external clients).
 package dpnfs

@@ -1,0 +1,3 @@
+module dpnfs
+
+go 1.22

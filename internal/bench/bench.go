@@ -47,6 +47,20 @@ type Options struct {
 	Clients []int
 	// Archs restricts the architecture set.
 	Archs []cluster.Arch
+	// Transport selects the cluster wiring: the simulated fabric (default,
+	// virtual time — the paper's numbers) or real loopback TCP (wall-clock
+	// time; results measure this host, not the paper's testbed).
+	Transport cluster.TransportKind
+}
+
+// newCluster builds one figure point's cluster with the options' transport.
+func newCluster(opt Options, cfg cluster.Config) *cluster.Cluster {
+	cfg.Transport = opt.Transport
+	if opt.Transport == cluster.TransportTCP {
+		// Wall-clock runs move real bytes end to end.
+		cfg.Real = true
+	}
+	return cluster.New(cfg)
 }
 
 func (o Options) withDefaults(clients []int, archs []cluster.Arch) Options {
@@ -147,8 +161,9 @@ func iorFigure(id, title string, opt Options, netBPS float64, ior workload.IORCo
 	for _, arch := range opt.Archs {
 		s := Series{Label: archLabel(arch)}
 		for _, n := range opt.Clients {
-			cl := cluster.New(cluster.Config{Arch: arch, Clients: n, NetBPS: netBPS})
+			cl := newCluster(opt, cluster.Config{Arch: arch, Clients: n, NetBPS: netBPS})
 			res, err := workload.IOR(cl, ior)
+			cl.Close()
 			if err != nil {
 				return fig, fmt.Errorf("%s/%s/%d clients: %w", id, arch, n, err)
 			}
@@ -223,8 +238,9 @@ func Fig8a(opt Options) (Figure, error) {
 	for _, arch := range opt.Archs {
 		s := Series{Label: archLabel(arch)}
 		for _, n := range opt.Clients {
-			cl := cluster.New(cluster.Config{Arch: arch, Clients: n})
+			cl := newCluster(opt, cluster.Config{Arch: arch, Clients: n})
 			res, err := workload.ATLAS(cl, workload.ATLASConfig{TotalBytes: scaleBytes(650<<20, opt.Scale)})
+			cl.Close()
 			if err != nil {
 				return fig, err
 			}
@@ -242,8 +258,9 @@ func Fig8b(opt Options) (Figure, error) {
 	for _, arch := range opt.Archs {
 		s := Series{Label: archLabel(arch)}
 		for _, n := range opt.Clients {
-			cl := cluster.New(cluster.Config{Arch: arch, Clients: n})
+			cl := newCluster(opt, cluster.Config{Arch: arch, Clients: n})
 			res, err := workload.BTIO(cl, workload.BTIOConfig{CheckpointBytes: scaleBytes(400<<20, opt.Scale)})
+			cl.Close()
 			if err != nil {
 				return fig, err
 			}
@@ -265,11 +282,12 @@ func Fig8c(opt Options) (Figure, error) {
 	for _, arch := range opt.Archs {
 		s := Series{Label: archLabel(arch)}
 		for _, n := range opt.Clients {
-			cl := cluster.New(cluster.Config{Arch: arch, Clients: n})
+			cl := newCluster(opt, cluster.Config{Arch: arch, Clients: n})
 			res, err := workload.OLTP(cl, workload.OLTPConfig{
 				Transactions: txns,
 				FileBytes:    scaleBytes(512<<20, opt.Scale),
 			})
+			cl.Close()
 			if err != nil {
 				return fig, err
 			}
@@ -292,11 +310,12 @@ func Fig8d(opt Options) (Figure, error) {
 	for _, arch := range opt.Archs {
 		s := Series{Label: archLabel(arch)}
 		for _, n := range opt.Clients {
-			cl := cluster.New(cluster.Config{
+			cl := newCluster(opt, cluster.Config{
 				Arch: arch, Clients: n,
 				StripeSize: 64 << 10, WSize: 64 << 10, RSize: 64 << 10,
 			})
 			res, err := workload.Postmark(cl, workload.PostmarkConfig{Transactions: txns})
+			cl.Close()
 			if err != nil {
 				return fig, err
 			}
@@ -312,8 +331,9 @@ func SSHBuild(opt Options) (Figure, error) {
 	opt = opt.withDefaults([]int{1}, fig8Archs)
 	fig := Figure{ID: "SSH", Title: "OpenSSH build phases", XLabel: "phase", YLabel: "time (s)"}
 	for _, arch := range opt.Archs {
-		cl := cluster.New(cluster.Config{Arch: arch, Clients: 1})
+		cl := newCluster(opt, cluster.Config{Arch: arch, Clients: 1})
 		res, err := workload.SSHBuild(cl, 0)
+		cl.Close()
 		if err != nil {
 			return fig, err
 		}

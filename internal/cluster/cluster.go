@@ -17,6 +17,7 @@ package cluster
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"dpnfs/internal/nfs"
@@ -43,6 +44,19 @@ const (
 // Archs lists all architectures in the paper's presentation order.
 var Archs = []Arch{ArchDirectPNFS, ArchPVFS2, ArchPNFS2Tier, ArchPNFS3Tier, ArchNFSv4}
 
+// TransportKind selects how a cluster's RPC endpoints are wired.
+type TransportKind string
+
+// Transport kinds.
+const (
+	// TransportSim runs every endpoint on the discrete-event fabric:
+	// deterministic virtual time, the mode all figures use.
+	TransportSim TransportKind = "sim"
+	// TransportTCP runs every endpoint on real loopback sockets:
+	// wall-clock time, real goroutine concurrency, real bytes on the wire.
+	TransportTCP TransportKind = "tcp"
+)
+
 // Service names on the fabric.  Metadata and data roles co-exist on one
 // node in several architectures, so they get distinct services.
 const (
@@ -67,6 +81,11 @@ type Config struct {
 
 	Seed int64
 	Real bool // carry real bytes end to end (tests/demos)
+
+	// Transport selects the wiring: the simulated fabric (default) or real
+	// loopback TCP.  The same architectures, backends, and workloads run on
+	// either; only the bytes' journey differs.
+	Transport TransportKind
 
 	// Aggregation optionally overrides the layout's aggregation scheme for
 	// Direct-pNFS (paper §4.3 pluggable drivers).  Empty means round-robin.
@@ -106,14 +125,22 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.Transport == "" {
+		c.Transport = TransportSim
+	}
 	return c
 }
 
-// Cluster is a fully wired simulated deployment.
+// Cluster is a fully wired deployment: on the simulated fabric or over real
+// loopback TCP, per Config.Transport.  In TCP mode the simnet nodes still
+// exist as topology carriers (names, per-node CPU/NIC models), but no
+// simulated services run and time is the wall clock.
 type Cluster struct {
 	Cfg    Config
 	K      *sim.Kernel
 	Fabric *simnet.Fabric
+
+	tr rpc.Transport
 
 	Storage  []*pvfs.StorageServer
 	Disks    []*simdisk.Disk
@@ -130,6 +157,14 @@ func New(cfg Config) *Cluster {
 	k := sim.NewKernel(cfg.Seed)
 	f := simnet.NewFabric(k)
 	cl := &Cluster{Cfg: cfg, K: k, Fabric: f}
+	switch cfg.Transport {
+	case TransportTCP:
+		cl.tr = rpc.NewTCPTransport(0)
+	case TransportSim:
+		cl.tr = &rpc.FabricTransport{Fabric: f}
+	default:
+		panic(fmt.Sprintf("cluster: unknown transport %q", cfg.Transport))
+	}
 
 	switch cfg.Arch {
 	case ArchDirectPNFS:
@@ -156,6 +191,16 @@ func New(cfg Config) *Cluster {
 	return cl
 }
 
+// dial opens a transport conn between two logical nodes, failing loudly:
+// wiring errors are construction-time bugs.
+func (cl *Cluster) dial(from, to, service string) rpc.Conn {
+	conn, err := cl.tr.Dial(from, to, service)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: dial %s->%s/%s: %v", from, to, service, err))
+	}
+	return conn
+}
+
 // buildBackend creates the PVFS2 storage nodes and metadata manager.  The
 // metadata manager runs on storage node 0 ("one storage node doubling as a
 // metadata manager", §6.1).
@@ -178,17 +223,15 @@ func (cl *Cluster) buildBackend(nodes int, diskScale float64) {
 		disk := simdisk.New(dcfg)
 		cl.Disks = append(cl.Disks, disk)
 		cl.Storage = append(cl.Storage, pvfs.NewStorageServer(pvfs.StorageConfig{
-			Fabric: cl.Fabric, Node: n, Disk: disk, Costs: cfg.PVFSCosts,
+			Transport: cl.tr, Node: n, Disk: disk, Costs: cfg.PVFSCosts,
 		}))
 	}
 	cl.mdsNode = cl.storageNodes[0]
 	for _, n := range cl.storageNodes {
-		ioConnsFromMDS = append(ioConnsFromMDS, &rpc.SimTransport{
-			Fabric: cl.Fabric, Src: cl.mdsNode, Dst: n, Service: pvfs.ServiceIO,
-		})
+		ioConnsFromMDS = append(ioConnsFromMDS, cl.dial(cl.mdsNode.Name, n.Name, pvfs.ServiceIO))
 	}
 	cl.PVFSMeta = pvfs.NewMetaServer(pvfs.MetaConfig{
-		Fabric: cl.Fabric, Node: cl.mdsNode, Costs: cfg.PVFSCosts,
+		Transport: cl.tr, Node: cl.mdsNode, Costs: cfg.PVFSCosts,
 		Dist:    pvfs.DistParams{StripeSize: cfg.StripeSize, NumServers: uint32(len(cl.storageNodes))},
 		IOConns: ioConnsFromMDS,
 	})
@@ -198,12 +241,12 @@ func (cl *Cluster) buildBackend(nodes int, diskScale float64) {
 func (cl *Cluster) pvfsClientAt(n *simnet.Node) *pvfs.Client {
 	var io []rpc.Conn
 	for _, s := range cl.storageNodes {
-		io = append(io, &rpc.SimTransport{Fabric: cl.Fabric, Src: n, Dst: s, Service: pvfs.ServiceIO})
+		io = append(io, cl.dial(n.Name, s.Name, pvfs.ServiceIO))
 	}
 	return pvfs.NewClient(pvfs.ClientConfig{
 		Node:  n,
 		Costs: cl.Cfg.PVFSCosts,
-		Meta:  &rpc.SimTransport{Fabric: cl.Fabric, Src: n, Dst: cl.mdsNode, Service: pvfs.ServiceMeta},
+		Meta:  cl.dial(n.Name, cl.mdsNode.Name, pvfs.ServiceMeta),
 		IO:    io,
 	})
 }
@@ -221,9 +264,9 @@ func (cl *Cluster) nfsMountAt(n *simnet.Node, mdsNode *simnet.Node) *nfs.Client 
 	return nfs.NewClient(nfs.ClientConfig{
 		Fabric: cl.Fabric, Node: n, Costs: cl.Cfg.NFSCosts,
 		Name: n.Name,
-		MDS:  &rpc.SimTransport{Fabric: cl.Fabric, Src: n, Dst: mdsNode, Service: ServiceMDS},
+		MDS:  cl.dial(n.Name, mdsNode.Name, ServiceMDS),
 		DialDS: func(addr string) rpc.Conn {
-			return &rpc.SimTransport{Fabric: cl.Fabric, Src: n, Dst: cl.Fabric.Node(addr), Service: ServiceDS}
+			return cl.dial(n.Name, addr, ServiceDS)
 		},
 		WSize: cl.Cfg.WSize, RSize: cl.Cfg.RSize,
 		MaxReadAhead: 8 * cl.Cfg.RSize,
@@ -331,10 +374,9 @@ func (cl *Cluster) deviceList(nodes []*simnet.Node) []pnfs.DeviceInfo {
 // nfsServeOn registers an NFS server for a backend under an explicit
 // service name.
 func nfsServeOn(cl *Cluster, n *simnet.Node, service string, b nfs.Backend) {
-	srv := nfs.NewServer(nfs.ServerConfig{Backend: b, Costs: cl.Cfg.NFSCosts, Node: n, Threads: cl.Cfg.Threads})
-	rpc.ServeSim(rpc.ServerConfig{
-		Fabric: cl.Fabric, Node: n, Service: service,
-		Threads: cl.Cfg.Threads, Handler: srv.Handle,
+	nfs.NewServer(nfs.ServerConfig{
+		Backend: b, Costs: cl.Cfg.NFSCosts, Node: n, Threads: cl.Cfg.Threads,
+		Transport: cl.tr, Service: service,
 	})
 }
 
@@ -354,6 +396,9 @@ func (cl *Cluster) RunClient(i int, fn func(ctx *rpc.Ctx, m *Mount, i int) error
 }
 
 func (cl *Cluster) runSubset(mounts []*Mount, fn func(ctx *rpc.Ctx, m *Mount, i int) error) (time.Duration, error) {
+	if cl.Cfg.Transport == TransportTCP {
+		return cl.runSubsetRealtime(mounts, fn)
+	}
 	errs := make([]error, len(mounts))
 	start := cl.K.Now()
 	finish := start
@@ -383,6 +428,43 @@ func (cl *Cluster) runSubset(mounts []*Mount, fn func(ctx *rpc.Ctx, m *Mount, i 
 	}
 	return time.Duration(finish - start), nil
 }
+
+// runSubsetRealtime drives the application processes as real goroutines
+// against the TCP transport, measuring wall-clock time.  Ctx.P is nil: all
+// simulated resource charges are no-ops and only the sockets set the pace.
+func (cl *Cluster) runSubsetRealtime(mounts []*Mount, fn func(ctx *rpc.Ctx, m *Mount, i int) error) (time.Duration, error) {
+	errs := make([]error, len(mounts))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, m := range mounts {
+		wg.Add(1)
+		go func(i int, m *Mount) {
+			defer wg.Done()
+			ctx := &rpc.Ctx{}
+			if err := m.mount(ctx); err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = fn(ctx, m, i)
+		}(i, m)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start), nil
+}
+
+// Transport exposes the cluster's RPC wiring (cmd/dpnfs-serve prints TCP
+// addresses from it).
+func (cl *Cluster) Transport() rpc.Transport { return cl.tr }
+
+// Close tears down transport state: listeners and connection pools in TCP
+// mode, a no-op on the simulated fabric.  TCP-mode clusters must be closed
+// or they leak sockets.
+func (cl *Cluster) Close() error { return cl.tr.Close() }
 
 // NodeStats is a utilization snapshot for one back-end node.
 type NodeStats struct {

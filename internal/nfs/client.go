@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dpnfs/internal/payload"
@@ -43,8 +44,11 @@ type Client struct {
 	clientID uint64
 	session  uint64
 
-	// Slot table: free slot IDs and per-slot sequence numbers.
+	// Slot table: free slot IDs and per-slot sequence numbers.  slotSem
+	// bounds concurrency under simulation; rtSlots is its real-time twin
+	// (a buffered channel) for concurrent goroutines over TCP.
 	slotSem   *sim.Semaphore
+	rtSlots   chan struct{}
 	slotMu    sync.Mutex
 	freeSlots []uint32
 	slotSeq   []uint32
@@ -98,6 +102,7 @@ func NewClient(cfg ClientConfig) *Client {
 		metrics:    newMetrics(),
 	}
 	c.slotSem = sim.NewSemaphore(cfg.Name+"/slots", int(cfg.Slots))
+	c.rtSlots = make(chan struct{}, cfg.Slots)
 	c.flushSem = sim.NewSemaphore(cfg.Name+"/flush", cfg.FlushParallel)
 	for i := int(cfg.Slots) - 1; i >= 0; i-- {
 		c.freeSlots = append(c.freeSlots, uint32(i))
@@ -134,6 +139,9 @@ func (c *Client) call(ctx *rpc.Ctx, conn rpc.Conn, sessioned bool, ops ...Op) (*
 		if ctx.P != nil {
 			c.slotSem.Acquire(ctx.P, 1)
 			defer c.slotSem.Release(1)
+		} else {
+			c.rtSlots <- struct{}{}
+			defer func() { <-c.rtSlots }()
 		}
 		c.slotMu.Lock()
 		slot := c.freeSlots[len(c.freeSlots)-1]
@@ -149,11 +157,18 @@ func (c *Client) call(ctx *rpc.Ctx, conn rpc.Conn, sessioned bool, ops ...Op) (*
 			c.slotMu.Unlock()
 		}()
 	}
-	c.RPCs++
+	atomic.AddUint64(&c.RPCs, 1)
 	start := ctx.Now()
+	var wallStart time.Time
+	if ctx.P == nil {
+		wallStart = time.Now() // real-time mode: wall-clock latency
+	}
 	var rep CompoundRep
 	err := conn.Call(ctx, ProcCompound, args, &rep)
 	elapsed := time.Duration(ctx.Now() - start)
+	if ctx.P == nil {
+		elapsed = time.Since(wallStart)
+	}
 	for _, op := range ops {
 		var bytes int64
 		switch o := op.(type) {
@@ -453,7 +468,7 @@ func (c *Client) Fsync(ctx *rpc.Ctx, f *File) error {
 	c.chargeOp(ctx, 1, 0)
 	// Flush every remaining dirty run, WSize bytes at a time.
 	for {
-		run, ok := f.cache.dirty.first()
+		run, ok := f.cache.firstDirty()
 		if !ok {
 			break
 		}
@@ -543,7 +558,7 @@ func (c *Client) Read(ctx *rpc.Ctx, f *File, off, n int64) (payload.Payload, int
 		}
 	}
 	// Fetch what is still missing, rounded out to RSize chunks.
-	missing := f.cache.resident.missing(off, off+n)
+	missing := f.cache.missingResident(off, off+n)
 	var chunks []extent
 	for _, gap := range missing {
 		lo := gap.Off / c.cfg.RSize * c.cfg.RSize
@@ -551,9 +566,7 @@ func (c *Client) Read(ctx *rpc.Ctx, f *File, off, n int64) (payload.Payload, int
 		if hi > f.size {
 			hi = f.size
 		}
-		for _, sub := range f.cache.resident.missing(lo, hi) {
-			chunks = append(chunks, sub)
-		}
+		chunks = append(chunks, f.cache.missingResident(lo, hi)...)
 	}
 	errs := make([]error, len(chunks))
 	rpc.Parallel(ctx, len(chunks), func(ctx *rpc.Ctx, i int) {
@@ -605,7 +618,7 @@ func (c *Client) prefetch(ctx *rpc.Ctx, f *File, start, window int64) {
 		if chunkEnd > end && chunkEnd < f.size {
 			break // window does not yet cover a whole chunk
 		}
-		for _, gap := range f.cache.resident.missing(f.raFrontier, chunkEnd) {
+		for _, gap := range f.cache.missingResident(f.raFrontier, chunkEnd) {
 			fl := &raFlight{ext: gap}
 			fl.wg.Add(1)
 			f.inflight = append(f.inflight, fl)
@@ -702,8 +715,7 @@ func (c *Client) Truncate(ctx *rpc.Ctx, f *File, size int64) error {
 	}
 	f.size = size
 	f.committed = size
-	f.cache.resident = f.cache.resident.subtract(size, 1<<62)
-	f.cache.dirty = f.cache.dirty.subtract(size, 1<<62)
+	f.cache.truncate(size)
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -75,17 +76,26 @@ func (m *OpMetrics) record(d time.Duration, bytes int64, err error) {
 	}
 }
 
-// Metrics is the per-mount operation table.
+// Metrics is the per-mount operation table.  Recording is safe from
+// concurrent calls (striped I/O runs on parallel goroutines in real-time
+// mode); readers should quiesce the mount first.
 type Metrics struct {
+	mu  sync.Mutex
 	ops map[uint32]*OpMetrics
 }
 
 func newMetrics() *Metrics { return &Metrics{ops: make(map[uint32]*OpMetrics)} }
 
 // Op returns the metrics for an operation number (nil if never issued).
-func (m *Metrics) Op(num uint32) *OpMetrics { return m.ops[num] }
+func (m *Metrics) Op(num uint32) *OpMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ops[num]
+}
 
 func (m *Metrics) record(num uint32, d time.Duration, bytes int64, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	om := m.ops[num]
 	if om == nil {
 		om = &OpMetrics{}
@@ -149,10 +159,12 @@ func (m *Metrics) String() string {
 		num uint32
 		om  *OpMetrics
 	}
+	m.mu.Lock()
 	rows := make([]row, 0, len(m.ops))
 	for num, om := range m.ops {
 		rows = append(rows, row{num, om})
 	}
+	m.mu.Unlock()
 	sort.Slice(rows, func(i, j int) bool { return rows[i].om.Total > rows[j].om.Total })
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-14s %8s %7s %12s %10s %10s %10s\n",

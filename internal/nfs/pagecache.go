@@ -1,6 +1,8 @@
 package nfs
 
 import (
+	"sync"
+
 	"dpnfs/internal/payload"
 	"dpnfs/internal/vfs"
 )
@@ -12,7 +14,11 @@ import (
 //
 // There is no eviction: the paper's working sets fit client RAM (≤ 650 MB
 // per client against 2 GB), and synthetic mode stores no bytes anyway.
+// The extent lists are guarded by mu: parallel striped fetches and flushes
+// run as concurrent goroutines in real-time (TCP) mode.  Under simulation
+// the cooperative scheduler makes the locking moot but harmless.
 type pageCache struct {
+	mu       sync.Mutex
 	resident extList
 	dirty    extList
 	store    *vfs.Store // nil in synthetic mode
@@ -35,8 +41,10 @@ func newPageCache(real bool) *pageCache {
 // write installs data at off as resident and dirty.
 func (pc *pageCache) write(off int64, data payload.Payload) {
 	end := off + data.Len()
+	pc.mu.Lock()
 	pc.resident = pc.resident.insert(off, end)
 	pc.dirty = pc.dirty.insert(off, end)
+	pc.mu.Unlock()
 	if pc.store != nil && data.Bytes != nil {
 		if _, err := pc.store.WriteAt(pc.file, off, data.Bytes); err != nil {
 			panic("nfs: page cache write: " + err.Error())
@@ -46,12 +54,36 @@ func (pc *pageCache) write(off int64, data payload.Payload) {
 
 // fill installs fetched data at off as resident (clean).
 func (pc *pageCache) fill(off int64, data payload.Payload) {
+	pc.mu.Lock()
 	pc.resident = pc.resident.insert(off, off+data.Len())
+	pc.mu.Unlock()
 	if pc.store != nil && data.Bytes != nil {
 		if _, err := pc.store.WriteAt(pc.file, off, data.Bytes); err != nil {
 			panic("nfs: page cache fill: " + err.Error())
 		}
 	}
+}
+
+// missingResident returns the gaps of [lo, hi) not yet resident.
+func (pc *pageCache) missingResident(lo, hi int64) []extent {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.resident.missing(lo, hi)
+}
+
+// truncate drops cached state at and beyond size.
+func (pc *pageCache) truncate(size int64) {
+	pc.mu.Lock()
+	pc.resident = pc.resident.subtract(size, 1<<62)
+	pc.dirty = pc.dirty.subtract(size, 1<<62)
+	pc.mu.Unlock()
+}
+
+// firstDirty returns the lowest dirty extent.
+func (pc *pageCache) firstDirty() (extent, bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.dirty.first()
 }
 
 // slice returns the cached content of [off, off+n) — the caller must have
@@ -71,11 +103,15 @@ func (pc *pageCache) slice(off, n int64) payload.Payload {
 
 // clean marks [off, end) as flushed.
 func (pc *pageCache) clean(off, end int64) {
+	pc.mu.Lock()
 	pc.dirty = pc.dirty.subtract(off, end)
+	pc.mu.Unlock()
 }
 
 // dirtyRunAtLeast returns the lowest dirty extent of at least n bytes.
 func (pc *pageCache) dirtyRunAtLeast(n int64) (extent, bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
 	for _, e := range pc.dirty {
 		if e.len() >= n {
 			return e, true

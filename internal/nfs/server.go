@@ -2,6 +2,7 @@ package nfs
 
 import (
 	"errors"
+	"sync"
 	"time"
 
 	"dpnfs/internal/fserr"
@@ -81,19 +82,30 @@ type ServerConfig struct {
 	Backend Backend
 	Costs   Costs
 	Threads int // NFS server threads (paper: 8)
+	// Transport, when set, registers the service through the transport
+	// abstraction (simulated fabric or real TCP) under Node's name instead
+	// of the legacy Fabric path.
+	Transport rpc.Transport
+	// Service overrides the registered service name (default Service); the
+	// cluster layer uses distinct names for metadata and data roles.
+	Service string
 }
 
 // Server is an NFSv4.1 server instance (metadata or data role is determined
-// entirely by its backend).
+// entirely by its backend).  Handle is safe for concurrent calls: the
+// simulated transport interleaves handler processes cooperatively, the TCP
+// transport runs them on real goroutines.
 type Server struct {
-	cfg      ServerConfig
+	cfg ServerConfig
+
+	mu       sync.Mutex // guards nextID, sessions, clients, session slots
 	nextID   uint64
 	sessions map[uint64]*session
 	clients  map[string]uint64
 }
 
-// NewServer creates the server and registers its simulated RPC service when
-// a fabric is configured.
+// NewServer creates the server and registers its RPC service when a
+// transport or fabric is configured.
 func NewServer(cfg ServerConfig) *Server {
 	if cfg.Threads <= 0 {
 		cfg.Threads = 8
@@ -103,7 +115,16 @@ func NewServer(cfg ServerConfig) *Server {
 		sessions: make(map[uint64]*session),
 		clients:  make(map[string]uint64),
 	}
-	if cfg.Fabric != nil {
+	service := cfg.Service
+	if service == "" {
+		service = Service
+	}
+	switch {
+	case cfg.Transport != nil && cfg.Node != nil:
+		if _, err := cfg.Transport.Serve(cfg.Node.Name, service, Registry(), s.Handle, cfg.Threads); err != nil {
+			panic("nfs: register service: " + err.Error())
+		}
+	case cfg.Fabric != nil:
 		rpc.ServeSim(rpc.ServerConfig{
 			Fabric:  cfg.Fabric,
 			Node:    cfg.Node,
@@ -130,30 +151,43 @@ func (s *Server) Handle(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshaler, rpc.
 	}
 	ctx.UseCPU(cpu, time.Duration(len(args.Ops))*s.cfg.Costs.ServerPerOp)
 
-	// Session check and replay cache.
+	// Session check and replay cache.  The lock covers only the in-memory
+	// checks — backend work in run() may suspend the handler process.
 	var sess *session
 	if args.Session != 0 {
+		s.mu.Lock()
 		sess = s.sessions[args.Session]
 		if sess == nil {
+			s.mu.Unlock()
 			return &CompoundRep{Status: fserr.Stale}, rpc.StatusOK
 		}
 		if int(args.Slot) >= len(sess.lastSeq) {
+			s.mu.Unlock()
 			return &CompoundRep{Status: fserr.Inval}, rpc.StatusOK
 		}
 		if args.Seq == sess.lastSeq[args.Slot] && sess.lastRep[args.Slot] != nil {
 			// Retransmission: answer from the replay cache.
-			return sess.lastRep[args.Slot], rpc.StatusOK
+			rep := sess.lastRep[args.Slot]
+			s.mu.Unlock()
+			return rep, rpc.StatusOK
 		}
 		if args.Seq != sess.lastSeq[args.Slot]+1 {
+			s.mu.Unlock()
 			return &CompoundRep{Status: fserr.Inval}, rpc.StatusOK
 		}
+		s.mu.Unlock()
+		// The reply outlives its first transmission in the replay cache, so
+		// its payloads must not alias pooled transfer buffers.
+		ctx.Retain()
 	}
 
 	rep := s.run(ctx, cpu, args)
 
 	if sess != nil {
+		s.mu.Lock()
 		sess.lastSeq[args.Slot] = args.Seq
 		sess.lastRep[args.Slot] = rep
+		s.mu.Unlock()
 	}
 	return rep, rpc.StatusOK
 }
@@ -171,12 +205,14 @@ func (s *Server) run(ctx *rpc.Ctx, cpu *sim.KServer, args *CompoundArgs) *Compou
 	for _, op := range args.Ops {
 		switch o := op.(type) {
 		case *OpExchangeID:
+			s.mu.Lock()
 			id, ok := s.clients[o.ClientName]
 			if !ok {
 				s.nextID++
 				id = s.nextID
 				s.clients[o.ClientName] = id
 			}
+			s.mu.Unlock()
 			rep.Results = append(rep.Results, &ResExchangeID{ClientID: id})
 
 		case *OpCreateSession:
@@ -184,12 +220,14 @@ func (s *Server) run(ctx *rpc.Ctx, cpu *sim.KServer, args *CompoundArgs) *Compou
 			if slots == 0 || slots > 256 {
 				slots = 64
 			}
+			s.mu.Lock()
 			s.nextID++
 			sid := s.nextID
 			s.sessions[sid] = &session{
 				lastSeq: make([]uint32, slots),
 				lastRep: make([]*CompoundRep, slots),
 			}
+			s.mu.Unlock()
 			rep.Results = append(rep.Results, &ResCreateSession{Session: sid, Slots: slots})
 
 		case *OpPutRootFH:
@@ -217,10 +255,13 @@ func (s *Server) run(ctx *rpc.Ctx, cpu *sim.KServer, args *CompoundArgs) *Compou
 				return fail(&ResOpen{fhAttr: fhAttr{Errno: fserr.ToErrno(err)}})
 			}
 			cur = fh
+			s.mu.Lock()
 			s.nextID++
+			stateID := s.nextID
+			s.mu.Unlock()
 			rep.Results = append(rep.Results, &ResOpen{
 				fhAttr:  fhAttr{FH: fh, Attr: at},
-				StateID: s.nextID,
+				StateID: stateID,
 			})
 
 		case *OpClose:
@@ -412,7 +453,16 @@ func (b *VFSBackend) Read(ctx *rpc.Ctx, fh uint64, off, n int64, wantReal bool) 
 	if !wantReal {
 		return payload.Synthetic(n), eof, nil
 	}
-	buf := make([]byte, n)
+	// Serializing transports copy the payload onto the wire before deferred
+	// hooks run, so the transfer buffer can come from the shared pool; a
+	// reference-passing transport's client would retain it, so allocate.
+	var buf []byte
+	if ctx.Serialized() {
+		buf = rpc.GetBuf(int(n))
+		ctx.Defer(func() { rpc.PutBuf(buf) })
+	} else {
+		buf = make([]byte, n)
+	}
 	if _, err := b.Store.ReadAt(vfs.FileID(fh), off, buf); err != nil {
 		return payload.Payload{}, false, err
 	}

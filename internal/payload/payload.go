@@ -7,6 +7,7 @@ package payload
 
 import (
 	"bytes"
+	"fmt"
 
 	"dpnfs/internal/xdr"
 )
@@ -34,14 +35,18 @@ func (p Payload) IsSynthetic() bool { return p.Bytes == nil && p.N > 0 }
 func (p Payload) WireSize() int64 { return int64(xdr.SizeOpaque(int(p.N))) }
 
 // MarshalXDR encodes the payload as a variable-length opaque.  Synthetic
-// payloads encode as zeros — only the TCP transport ever calls this for
-// bulk data, and the demo keeps files small.
+// payloads encode as zeros, appended straight into the frame buffer — only
+// the TCP transport ever calls this for bulk data.
 func (p Payload) MarshalXDR(e *xdr.Encoder) {
 	if p.Bytes != nil {
 		e.Opaque(p.Bytes)
 		return
 	}
-	e.Opaque(make([]byte, p.N))
+	if p.N > xdr.MaxOpaque {
+		panic(fmt.Sprintf("payload: synthetic opaque of %d bytes exceeds limit", p.N))
+	}
+	e.Uint32(uint32(p.N))
+	e.Zeros(int(p.N) + (4-int(p.N)%4)%4)
 }
 
 // UnmarshalXDR decodes a variable-length opaque as real bytes.

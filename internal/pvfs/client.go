@@ -2,6 +2,7 @@ package pvfs
 
 import (
 	"fmt"
+	"sync"
 
 	"dpnfs/internal/payload"
 	"dpnfs/internal/rpc"
@@ -147,6 +148,7 @@ func (c *Client) runBounded(ctx *rpc.Ctx, reqs []ioRequest, fn func(ctx *rpc.Ctx
 func (c *Client) Write(ctx *rpc.Ctx, f *File, off int64, data payload.Payload, syncData bool) (int64, error) {
 	c.chargeOp(ctx, data.Len())
 	reqs := c.split(f.mapper.Map(off, data.Len()))
+	var mu sync.Mutex // requests run on concurrent processes/goroutines
 	var logical int64
 	err := c.runBounded(ctx, reqs, func(ctx *rpc.Ctx, r ioRequest) error {
 		var rep IOWriteRep
@@ -162,9 +164,11 @@ func (c *Client) Write(ctx *rpc.Ctx, f *File, off int64, data payload.Payload, s
 		if rep.Errno != 0 {
 			return rep.Errno.Err()
 		}
+		mu.Lock()
 		if end := f.mapper.LogicalEnd(r.dev, rep.ObjSize); end > logical {
 			logical = end
 		}
+		mu.Unlock()
 		return nil
 	})
 	return logical, err
@@ -182,6 +186,7 @@ func (c *Client) Read(ctx *rpc.Ctx, f *File, off, n int64, wantReal bool) (paylo
 	}
 	// maxEnd tracks the furthest logical byte any daemon returned; bytes
 	// below it that a daemon skipped are holes (zeros).
+	var mu sync.Mutex
 	var maxEnd int64
 	err := c.runBounded(ctx, reqs, func(ctx *rpc.Ctx, r ioRequest) error {
 		var rep IOReadRep
@@ -194,9 +199,11 @@ func (c *Client) Read(ctx *rpc.Ctx, f *File, off, n int64, wantReal bool) (paylo
 		}
 		got := rep.Data.Len()
 		if got > 0 {
+			mu.Lock()
 			if end := r.off + got; end > maxEnd {
 				maxEnd = end
 			}
+			mu.Unlock()
 			if wantReal && rep.Data.Bytes != nil {
 				copy(buf[r.off-off:], rep.Data.Bytes)
 			}

@@ -2,6 +2,7 @@ package pvfs
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"dpnfs/internal/fserr"
@@ -52,19 +53,25 @@ type StorageConfig struct {
 	Buffers int   // fixed transfer-buffer pool between kernel and daemon
 	BufSize int64 // bytes per transfer buffer
 	Threads int   // daemon request concurrency
+	// Transport, when set, registers ServiceIO through the transport
+	// abstraction (simulated fabric or real TCP) under Node's name instead
+	// of the legacy Fabric path.
+	Transport rpc.Transport
 }
 
 // StorageServer is one PVFS2 storage daemon (Trove+BMI equivalent): it owns
-// the datafile objects on its node.
+// the datafile objects on its node.  Handle is safe for concurrent calls.
 type StorageServer struct {
 	cfg     StorageConfig
 	store   *vfs.Store
 	bufPool *sim.Semaphore
+
+	mu      sync.Mutex // guards objects
 	objects map[Handle]vfs.FileID
 }
 
 // NewStorageServer creates the daemon state and registers its RPC service
-// on the node when fabric is non-nil.
+// on the node when a transport or fabric is configured.
 func NewStorageServer(cfg StorageConfig) *StorageServer {
 	if cfg.Buffers <= 0 {
 		cfg.Buffers = 16
@@ -85,7 +92,12 @@ func NewStorageServer(cfg StorageConfig) *StorageServer {
 		name = cfg.Node.Name + "/bufpool"
 	}
 	s.bufPool = sim.NewSemaphore(name, cfg.Buffers)
-	if cfg.Fabric != nil {
+	switch {
+	case cfg.Transport != nil && cfg.Node != nil:
+		if _, err := cfg.Transport.Serve(cfg.Node.Name, ServiceIO, IORegistry(), s.Handle, cfg.Threads); err != nil {
+			panic("pvfs: register storage service: " + err.Error())
+		}
+	case cfg.Fabric != nil:
 		rpc.ServeSim(rpc.ServerConfig{
 			Fabric:  cfg.Fabric,
 			Node:    cfg.Node,
@@ -99,14 +111,16 @@ func NewStorageServer(cfg StorageConfig) *StorageServer {
 
 // object returns the vfs file backing handle, or 0 if absent.
 func (s *StorageServer) object(h Handle) (vfs.FileID, bool) {
+	s.mu.Lock()
 	id, ok := s.objects[h]
+	s.mu.Unlock()
 	return id, ok
 }
 
 // ObjectSize reports the datafile object size for handle (0 if absent) —
 // used by cache warming and tests.
 func (s *StorageServer) ObjectSize(h Handle) int64 {
-	id, ok := s.objects[h]
+	id, ok := s.object(h)
 	if !ok {
 		return 0
 	}
@@ -157,26 +171,34 @@ func (s *StorageServer) Handle(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshale
 	case ProcIOCreate:
 		a := req.(*IOCreateArgs)
 		ctx.UseCPU(cpu, s.cfg.Costs.MetaPerOp)
+		s.mu.Lock()
 		if _, dup := s.objects[a.Handle]; dup {
+			s.mu.Unlock()
 			return &IOCreateRep{Errno: fserr.Exist}, rpc.StatusOK
 		}
 		at, err := s.store.Create(s.store.Root(), fmt.Sprintf("h%x", uint64(a.Handle)))
 		if err != nil {
+			s.mu.Unlock()
 			return &IOCreateRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
 		}
 		s.objects[a.Handle] = at.ID
+		s.mu.Unlock()
 		return &IOCreateRep{}, rpc.StatusOK
 
 	case ProcIORemove:
 		a := req.(*IORemoveArgs)
 		ctx.UseCPU(cpu, s.cfg.Costs.MetaPerOp)
+		s.mu.Lock()
 		if _, ok := s.objects[a.Handle]; !ok {
+			s.mu.Unlock()
 			return &IORemoveRep{Errno: fserr.NoEnt}, rpc.StatusOK
 		}
 		if err := s.store.Remove(s.store.Root(), fmt.Sprintf("h%x", uint64(a.Handle))); err != nil {
+			s.mu.Unlock()
 			return &IORemoveRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
 		}
 		delete(s.objects, a.Handle)
+		s.mu.Unlock()
 		return &IORemoveRep{}, rpc.StatusOK
 
 	case ProcIOWrite:
@@ -251,7 +273,15 @@ func (s *StorageServer) Handle(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshale
 		}
 		rep := &IOReadRep{Eof: n < a.Len}
 		if a.WantReal {
-			buf := make([]byte, n)
+			// Pooled transfer buffer when the transport serializes the
+			// reply; a reference-passing client would retain the bytes.
+			var buf []byte
+			if ctx.Serialized() {
+				buf = rpc.GetBuf(int(n))
+				ctx.Defer(func() { rpc.PutBuf(buf) })
+			} else {
+				buf = make([]byte, n)
+			}
 			if _, err := s.store.ReadAt(id, a.Off, buf); err != nil {
 				return &IOReadRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
 			}
@@ -308,6 +338,9 @@ type MetaConfig struct {
 	Dist    DistParams
 	IOConns []rpc.Conn // one per storage daemon, in device order
 	Threads int
+	// Transport, when set, registers ServiceMeta through the transport
+	// abstraction instead of the legacy Fabric path.
+	Transport rpc.Transport
 }
 
 // MetaServer is the PVFS2 metadata manager: it owns the namespace and
@@ -330,7 +363,12 @@ func NewMetaServer(cfg MetaConfig) *MetaServer {
 		cfg.Threads = 16
 	}
 	m := &MetaServer{cfg: cfg, store: vfs.New()}
-	if cfg.Fabric != nil {
+	switch {
+	case cfg.Transport != nil && cfg.Node != nil:
+		if _, err := cfg.Transport.Serve(cfg.Node.Name, ServiceMeta, MetaRegistry(), m.Handle, cfg.Threads); err != nil {
+			panic("pvfs: register meta service: " + err.Error())
+		}
+	case cfg.Fabric != nil:
 		rpc.ServeSim(rpc.ServerConfig{
 			Fabric:  cfg.Fabric,
 			Node:    cfg.Node,

@@ -1,0 +1,63 @@
+package rpc
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Buffer pool for transfer-sized []byte, shared by the TCP transport's frame
+// encode/decode paths and by server backends producing bulk read payloads.
+// Buffers live in power-of-two size classes so a steady-state server reuses
+// the same handful of allocations regardless of request mix — the bufpool
+// idiom of production NFS servers.
+//
+// Pooled buffers are returned dirty; every user overwrites the full length
+// it requested (frame reads use io.ReadFull, backend reads are clamped to
+// the stored size, and sparse stores zero-fill holes explicitly).
+
+const (
+	minBufBits = 10 // smallest class: 1 KiB
+	maxBufBits = 25 // largest class: 32 MiB, above MaxOpaque + framing
+	numClasses = maxBufBits - minBufBits + 1
+)
+
+var bufClasses [numClasses]sync.Pool
+
+// classFor returns the smallest class whose size is >= n, or -1 when n is
+// larger than the largest class.
+func classFor(n int) int {
+	if n <= 1<<minBufBits {
+		return 0
+	}
+	c := bits.Len(uint(n-1)) - minBufBits
+	if c >= numClasses {
+		return -1
+	}
+	return c
+}
+
+// GetBuf returns a buffer of length n, reusing pooled storage when a class
+// fits.  Contents are unspecified.
+func GetBuf(n int) []byte {
+	c := classFor(n)
+	if c < 0 {
+		return make([]byte, n)
+	}
+	if p, ok := bufClasses[c].Get().(*[]byte); ok {
+		return (*p)[:n]
+	}
+	return make([]byte, n, 1<<(c+minBufBits))
+}
+
+// PutBuf recycles a buffer obtained from GetBuf (or any slice of a pooled
+// size).  The caller must not touch b afterwards.
+func PutBuf(b []byte) {
+	c := bits.Len(uint(cap(b))) - 1 - minBufBits // largest class <= cap
+	if c < 0 || c >= numClasses || cap(b) != 1<<(c+minBufBits) {
+		// Oversized or odd-capacity buffers are left to the GC rather than
+		// poisoning a class with a wrong-sized backing array.
+		return
+	}
+	b = b[:0]
+	bufClasses[c].Put(&b)
+}

@@ -62,7 +62,25 @@ const HeaderBytes = 40
 type Ctx struct {
 	P        *sim.Proc
 	deferred []func()
+	// serialized is set by transports that marshal replies onto a wire
+	// before running deferred hooks: a handler's reply payload is fully
+	// copied out by the time Defer hooks run, so backends may hand out
+	// pooled buffers.  Reference-passing transports leave it false.
+	serialized bool
 }
+
+// Serialized reports whether reply payloads are copied onto a wire before
+// deferred hooks run.  Backends use it to decide whether bulk read buffers
+// may come from the shared pool (released via Defer) or must be fresh
+// allocations the caller can retain.
+func (c *Ctx) Serialized() bool { return c.serialized }
+
+// Retain marks the call's reply as potentially retained beyond its first
+// transmission — e.g. stored in a session replay cache, from which a
+// retransmission would re-marshal it.  Backends must then allocate fresh
+// reply buffers even on a serializing transport, so servers call this
+// before running any compound whose reply they may cache.
+func (c *Ctx) Retain() { c.serialized = false }
 
 // Defer registers fn to run after the server has finished transmitting the
 // reply.  Storage daemons use it to hold transfer buffers until the data has

@@ -22,6 +22,11 @@ import (
 //
 // The fixed portion totals HeaderBytes (40), so simulated NIC charges match
 // what the TCP transport actually writes.
+//
+// Frames are encoded into and decoded from pooled buffers (bufpool.go): a
+// steady-state connection allocates nothing per call.  Decoded bodies may be
+// recycled as soon as the typed message is unmarshaled — xdr.Decoder copies
+// every variable-length field.
 
 const (
 	msgCall  = 0
@@ -30,21 +35,63 @@ const (
 
 var errConnClosed = errors.New("rpc: connection closed")
 
-func writeFrame(w io.Writer, mu *sync.Mutex, xid, mtype, word uint32, body []byte) error {
-	e := xdr.NewEncoder()
-	e.Uint32(uint32(HeaderBytes - 4 + len(body)))
+// SendError wraps a transport failure that occurred before the request
+// reached the wire.  The server never saw the call, so it is safe to retry
+// on a fresh connection regardless of idempotence; failures after the
+// request was written (lost replies) are NOT wrapped — the server may have
+// executed the call.
+type SendError struct{ Err error }
+
+func (e *SendError) Error() string { return "rpc: send failed: " + e.Err.Error() }
+
+// Unwrap exposes the underlying transport error.
+func (e *SendError) Unwrap() error { return e.Err }
+
+// authPlaceholder is the fixed 20-byte stand-in credential.
+var authPlaceholder [20]byte
+
+// appendFrame encodes a full frame into a pooled buffer.  The caller owns
+// the returned buffer and must PutBuf it after the socket write.  The
+// buffer is sized up front from the body's WireSize so bulk frames stay in
+// their pool class instead of growing out of it.
+func appendFrame(xid, mtype, word uint32, body xdr.Marshaler) []byte {
+	need := HeaderBytes + 16
+	if body != nil {
+		if s, ok := body.(interface{ WireSize() int64 }); ok {
+			need = HeaderBytes + int(s.WireSize()) + 8
+		} else {
+			need = 512
+		}
+	}
+	e := xdr.NewEncoderBuf(GetBuf(need))
+	e.Uint32(0) // record length, patched below
 	e.Uint32(xid)
 	e.Uint32(mtype)
 	e.Uint32(word)
-	e.Opaque(make([]byte, 20)) // auth flavor placeholder
-	e.FixedOpaque(body)
+	e.Opaque(authPlaceholder[:])
+	if body != nil {
+		e.Marshal(body)
+	}
+	b := e.Bytes()
+	binary.BigEndian.PutUint32(b, uint32(len(b)-4))
+	return b
+}
+
+// writeFrame serializes one frame onto w under mu (frames from concurrent
+// calls interleave whole, never byte-wise).
+func writeFrame(w io.Writer, mu *sync.Mutex, xid, mtype, word uint32, body xdr.Marshaler) error {
+	b := appendFrame(xid, mtype, word, body)
 	mu.Lock()
-	defer mu.Unlock()
-	_, err := w.Write(e.Bytes())
+	_, err := w.Write(b)
+	mu.Unlock()
+	PutBuf(b)
 	return err
 }
 
-func readFrame(r io.Reader) (xid, mtype, word uint32, body []byte, err error) {
+// readFrame reads one frame into a pooled record buffer.  body aliases rec;
+// the caller must PutBuf(rec) once the body has been decoded (xdr decoding
+// copies all variable-length fields, so nothing outlives the buffer).
+func readFrame(r io.Reader) (xid, mtype, word uint32, body, rec []byte, err error) {
 	var lenBuf [4]byte
 	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
 		return
@@ -54,29 +101,32 @@ func readFrame(r io.Reader) (xid, mtype, word uint32, body []byte, err error) {
 		err = fmt.Errorf("rpc: bad record length %d", n)
 		return
 	}
-	rec := make([]byte, n)
+	rec = GetBuf(int(n))
 	if _, err = io.ReadFull(r, rec); err != nil {
+		PutBuf(rec)
+		rec = nil
 		return
 	}
 	d := xdr.NewDecoder(rec)
-	if xid, err = d.Uint32(); err != nil {
-		return
+	if xid, err = d.Uint32(); err == nil {
+		if mtype, err = d.Uint32(); err == nil {
+			if word, err = d.Uint32(); err == nil {
+				_, err = d.Opaque() // auth
+			}
+		}
 	}
-	if mtype, err = d.Uint32(); err != nil {
-		return
-	}
-	if word, err = d.Uint32(); err != nil {
-		return
-	}
-	if _, err = d.Opaque(); err != nil { // auth
+	if err != nil {
+		PutBuf(rec)
+		rec = nil
 		return
 	}
 	body = rec[len(rec)-d.Remaining():]
 	return
 }
 
-// TCPClient is a Conn over a real socket with concurrent calls demultiplexed
-// by xid.
+// TCPClient is a Conn over one real socket with concurrent pipelined calls
+// demultiplexed by xid: many requests may be outstanding and replies
+// complete out of order.
 type TCPClient struct {
 	conn    net.Conn
 	writeMu sync.Mutex
@@ -90,6 +140,7 @@ type TCPClient struct {
 type tcpReply struct {
 	status Status
 	body   []byte
+	rec    []byte // pooled backing buffer; receiver releases after decode
 }
 
 // DialTCP connects to a TCP RPC server.
@@ -105,12 +156,13 @@ func DialTCP(addr string) (*TCPClient, error) {
 
 func (c *TCPClient) readLoop() {
 	for {
-		xid, mtype, word, body, err := readFrame(c.conn)
+		xid, mtype, word, body, rec, err := readFrame(c.conn)
 		if err != nil {
 			c.fail(err)
 			return
 		}
 		if mtype != msgReply {
+			PutBuf(rec)
 			c.fail(fmt.Errorf("rpc: unexpected message type %d from server", mtype))
 			return
 		}
@@ -119,7 +171,9 @@ func (c *TCPClient) readLoop() {
 		delete(c.pending, xid)
 		c.mu.Unlock()
 		if ch != nil {
-			ch <- tcpReply{status: Status(word), body: body}
+			ch <- tcpReply{status: Status(word), body: body, rec: rec}
+		} else {
+			PutBuf(rec)
 		}
 	}
 }
@@ -136,31 +190,40 @@ func (c *TCPClient) fail(err error) {
 	}
 }
 
+// Dead reports the connection's terminal error, or nil while usable.
+func (c *TCPClient) Dead() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead
+}
+
 // Close shuts the connection down; outstanding calls fail.
 func (c *TCPClient) Close() error {
 	c.fail(errConnClosed)
 	return c.conn.Close()
 }
 
-// Call implements Conn over TCP.  ctx may carry a nil process.
+// Call implements Conn over TCP.  ctx may carry a nil process.  Failures
+// before the request hits the wire come back as *SendError (retryable);
+// lost replies come back as the connection's terminal error.
 func (c *TCPClient) Call(_ *Ctx, proc uint32, args xdr.Marshaler, rep xdr.Unmarshaler) error {
-	body := xdr.Marshal(args)
 	ch := make(chan tcpReply, 1)
 	c.mu.Lock()
 	if c.dead != nil {
+		dead := c.dead
 		c.mu.Unlock()
-		return c.dead
+		return &SendError{Err: dead}
 	}
 	c.nextXid++
 	xid := c.nextXid
 	c.pending[xid] = ch
 	c.mu.Unlock()
 
-	if err := writeFrame(c.conn, &c.writeMu, xid, msgCall, proc, body); err != nil {
+	if err := writeFrame(c.conn, &c.writeMu, xid, msgCall, proc, args); err != nil {
 		c.mu.Lock()
 		delete(c.pending, xid)
 		c.mu.Unlock()
-		return err
+		return &SendError{Err: err}
 	}
 	r, ok := <-ch
 	if !ok {
@@ -169,6 +232,7 @@ func (c *TCPClient) Call(_ *Ctx, proc uint32, args xdr.Marshaler, rep xdr.Unmars
 		c.mu.Unlock()
 		return err
 	}
+	defer PutBuf(r.rec)
 	if r.status != StatusOK {
 		return r.status
 	}
@@ -178,13 +242,100 @@ func (c *TCPClient) Call(_ *Ctx, proc uint32, args xdr.Marshaler, rep xdr.Unmars
 	return xdr.Unmarshal(r.body, rep)
 }
 
-// byteHandler processes one call at the wire level.
-type byteHandler func(ctx *Ctx, proc uint32, body []byte) ([]byte, Status)
+// TCPPool is a Conn backed by a fixed set of pipelined connections to one
+// server: calls round-robin across the set, broken connections are redialed
+// lazily, and a call that fails at the transport level (never an RPC-level
+// Status) is retried once on a fresh connection.
+type TCPPool struct {
+	addr string
+
+	mu     sync.Mutex
+	conns  []*TCPClient
+	next   int
+	closed bool
+}
+
+// DefaultPoolConns is the per-server connection count when unspecified.
+// Pipelining makes one connection sufficient for correctness; a small
+// handful spreads large frames across sockets.
+const DefaultPoolConns = 2
+
+// NewTCPPool creates a pool of size lazily-dialed connections to addr.
+func NewTCPPool(addr string, size int) *TCPPool {
+	if size <= 0 {
+		size = DefaultPoolConns
+	}
+	return &TCPPool{addr: addr, conns: make([]*TCPClient, size)}
+}
+
+// pick returns a live connection, redialing a dead or not-yet-dialed slot.
+func (p *TCPPool) pick() (*TCPClient, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, errConnClosed
+	}
+	i := p.next % len(p.conns)
+	p.next++
+	c := p.conns[i]
+	if c != nil && c.Dead() == nil {
+		return c, nil
+	}
+	if c != nil {
+		c.Close()
+	}
+	nc, err := DialTCP(p.addr)
+	if err != nil {
+		return nil, err
+	}
+	p.conns[i] = nc
+	return nc, nil
+}
+
+// Call implements Conn.  Only requests that provably never reached the
+// wire (*SendError) are retried, on a fresh connection — a lost reply is
+// surfaced to the caller, because the server may have executed the call
+// and not every operation tolerates re-execution (NFS sessions have a
+// replay cache; the PVFS2 protocol does not).
+func (p *TCPPool) Call(ctx *Ctx, proc uint32, args xdr.Marshaler, rep xdr.Unmarshaler) error {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		c, err := p.pick()
+		if err != nil {
+			return err
+		}
+		err = c.Call(ctx, proc, args, rep)
+		if err == nil {
+			return nil
+		}
+		var send *SendError
+		if !errors.As(err, &send) {
+			return err // answered, or lost in flight: not safely retryable
+		}
+		lastErr = err
+	}
+	return lastErr
+}
+
+// Close closes every connection in the pool.
+func (p *TCPPool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	for i, c := range p.conns {
+		if c != nil {
+			c.Close()
+			p.conns[i] = nil
+		}
+	}
+	return nil
+}
 
 // adaptHandler turns a typed Handler plus a Registry into a wire-level
-// handler: decode the call body, dispatch, encode the reply.
-func adaptHandler(reg *Registry, h Handler) byteHandler {
-	return func(ctx *Ctx, proc uint32, body []byte) ([]byte, Status) {
+// handler: decode the call body, dispatch, and hand back the typed reply
+// for the connection writer to encode straight into a frame.
+func adaptHandler(reg *Registry, h Handler) func(ctx *Ctx, proc uint32, body []byte) (xdr.Marshaler, Status) {
+	return func(ctx *Ctx, proc uint32, body []byte) (xdr.Marshaler, Status) {
 		req := reg.New(proc)
 		if req == nil {
 			return nil, StatusProcUnavail
@@ -193,17 +344,19 @@ func adaptHandler(reg *Registry, h Handler) byteHandler {
 			return nil, StatusGarbageArgs
 		}
 		resp, status := h(ctx, proc, req)
-		if status != StatusOK || resp == nil {
+		if status != StatusOK {
 			return nil, status
 		}
-		return xdr.Marshal(resp), StatusOK
+		return resp, StatusOK
 	}
 }
 
-// TCPServer serves a Handler on a real listener.
+// TCPServer serves a Handler on a real listener, one goroutine per
+// connection plus one per in-flight request (requests on one connection are
+// handled concurrently and reply out of order, like NFS server threads).
 type TCPServer struct {
 	ln      net.Listener
-	handler byteHandler
+	handler func(ctx *Ctx, proc uint32, body []byte) (xdr.Marshaler, Status)
 	wg      sync.WaitGroup
 
 	mu     sync.Mutex
@@ -259,21 +412,23 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 	var handlers sync.WaitGroup
 	defer handlers.Wait()
 	for {
-		xid, mtype, proc, body, err := readFrame(conn)
+		xid, mtype, proc, body, rec, err := readFrame(conn)
 		if err != nil {
 			return
 		}
 		if mtype != msgCall {
+			PutBuf(rec)
 			return
 		}
 		handlers.Add(1)
-		go func(xid, proc uint32, body []byte) {
+		go func(xid, proc uint32, body, rec []byte) {
 			defer handlers.Done()
-			hctx := &Ctx{}
+			hctx := &Ctx{serialized: true}
 			rep, status := s.handler(hctx, proc, body)
+			PutBuf(rec)
 			_ = writeFrame(conn, &writeMu, xid, msgReply, uint32(status), rep)
 			hctx.runDeferred()
-		}(xid, proc, body)
+		}(xid, proc, body, rec)
 	}
 }
 

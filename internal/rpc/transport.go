@@ -1,0 +1,197 @@
+// Transport abstraction: the same protocol stacks (NFSv4.1 compounds, PVFS2
+// requests) run either on the discrete-event simulated fabric — virtual
+// time, deterministic, used for regenerating the paper's figures — or over
+// real loopback TCP sockets — wall-clock time, used for serving and
+// end-to-end integration.  Cluster wiring goes through this interface so any
+// architecture can be instantiated on either side without code changes.
+package rpc
+
+import (
+	"fmt"
+	"sync"
+
+	"dpnfs/internal/simnet"
+	"dpnfs/internal/xdr"
+)
+
+// Transport wires RPC endpoints addressed by logical node names.
+type Transport interface {
+	// Serve registers handler for service on the logical node name,
+	// decoding requests through reg (reference-passing transports ignore
+	// reg), with at most threads concurrent handlers.  It returns the
+	// address peers reach the service at.
+	Serve(node, service string, reg *Registry, h Handler, threads int) (addr string, err error)
+	// Dial returns a Conn from the logical node from to the service
+	// registered under (node, service).  Connections may be shared and must
+	// be safe for concurrent calls.
+	Dial(from, node, service string) (Conn, error)
+	// Close tears down every listener and connection the transport owns.
+	Close() error
+}
+
+// FabricTransport runs endpoints on a simulated fabric: Serve registers a
+// dispatcher process, Dial returns a SimTransport conn.  Node names must
+// already exist on the fabric (topology is built by the cluster layer).
+type FabricTransport struct {
+	Fabric *simnet.Fabric
+}
+
+// Serve implements Transport via ServeSim.
+func (t *FabricTransport) Serve(node, service string, _ *Registry, h Handler, threads int) (string, error) {
+	ServeSim(ServerConfig{
+		Fabric:  t.Fabric,
+		Node:    t.Fabric.Node(node),
+		Service: service,
+		Threads: threads,
+		Handler: h,
+	})
+	return node, nil
+}
+
+// Dial implements Transport with a fabric conn between the two nodes.
+func (t *FabricTransport) Dial(from, node, service string) (Conn, error) {
+	return &SimTransport{
+		Fabric:  t.Fabric,
+		Src:     t.Fabric.Node(from),
+		Dst:     t.Fabric.Node(node),
+		Service: service,
+	}, nil
+}
+
+// Close implements Transport; the simulation kernel owns process teardown.
+func (t *FabricTransport) Close() error { return nil }
+
+// TCPTransport runs endpoints on real loopback sockets: Serve starts a
+// TCPServer on an ephemeral port, Dial hands out a per-server shared
+// connection pool (pipelined calls, lazy reconnect).  Logical node names
+// resolve through the transport's own registry, so the same cluster wiring
+// code works unmodified.
+type TCPTransport struct {
+	// Host is the listen/dial host; empty means loopback.
+	Host string
+	// PoolConns is the per-server connection pool size (0 = default).
+	PoolConns int
+
+	mu      sync.Mutex
+	servers map[string]*TCPServer // key: node + "/" + service
+	addrs   map[string]string     // logical key -> host:port
+	pools   map[string]*TCPPool   // one shared pool per server endpoint
+	closed  bool
+}
+
+// NewTCPTransport returns an empty loopback transport.
+func NewTCPTransport(poolConns int) *TCPTransport {
+	return &TCPTransport{
+		PoolConns: poolConns,
+		servers:   make(map[string]*TCPServer),
+		addrs:     make(map[string]string),
+		pools:     make(map[string]*TCPPool),
+	}
+}
+
+func (t *TCPTransport) host() string {
+	if t.Host != "" {
+		return t.Host
+	}
+	return "127.0.0.1"
+}
+
+// Serve implements Transport: it listens on an ephemeral port and bounds
+// handler concurrency to threads (the "NFS server threads" knob) across all
+// of the service's connections.
+func (t *TCPTransport) Serve(node, service string, reg *Registry, h Handler, threads int) (string, error) {
+	if threads > 0 {
+		sem := make(chan struct{}, threads)
+		inner := h
+		h = func(ctx *Ctx, proc uint32, req any) (xdr.Marshaler, Status) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			return inner(ctx, proc, req)
+		}
+	}
+	key := node + "/" + service
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return "", errConnClosed
+	}
+	if _, dup := t.servers[key]; dup {
+		return "", fmt.Errorf("rpc: service %s already registered", key)
+	}
+	srv, err := ListenTCP(t.host()+":0", reg, h)
+	if err != nil {
+		return "", err
+	}
+	t.servers[key] = srv
+	t.addrs[key] = srv.Addr()
+	return srv.Addr(), nil
+}
+
+// Dial implements Transport.  Pools are keyed per (from, node, service):
+// each client node gets its own pipelined connections to a server, like
+// the per-mount connections of a real deployment — a shared pool would
+// serialize every client's bulk frames through one socket pair.
+func (t *TCPTransport) Dial(from, node, service string) (Conn, error) {
+	serverKey := node + "/" + service
+	poolKey := from + "->" + serverKey
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, errConnClosed
+	}
+	if p, ok := t.pools[poolKey]; ok {
+		return p, nil
+	}
+	addr, ok := t.addrs[serverKey]
+	if !ok {
+		return nil, fmt.Errorf("rpc: no service registered at %s", serverKey)
+	}
+	p := NewTCPPool(addr, t.PoolConns)
+	t.pools[poolKey] = p
+	return p, nil
+}
+
+// Addr reports the bound address for (node, service), or "" if absent.
+func (t *TCPTransport) Addr(node, service string) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.addrs[node+"/"+service]
+}
+
+// Addrs returns a snapshot of every registered "node/service" -> address
+// mapping (cmd/dpnfs-serve prints it as the cluster's export table).
+func (t *TCPTransport) Addrs() map[string]string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]string, len(t.addrs))
+	for k, v := range t.addrs {
+		out[k] = v
+	}
+	return out
+}
+
+// Close implements Transport: client pools close first so in-flight calls
+// fail fast, then listeners drain their handlers.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	pools := t.pools
+	servers := t.servers
+	t.pools = make(map[string]*TCPPool)
+	t.servers = make(map[string]*TCPServer)
+	t.mu.Unlock()
+	for _, p := range pools {
+		p.Close()
+	}
+	var firstErr error
+	for _, s := range servers {
+		if err := s.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

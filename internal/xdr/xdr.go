@@ -44,6 +44,11 @@ type Encoder struct {
 // NewEncoder returns an empty encoder.
 func NewEncoder() *Encoder { return &Encoder{} }
 
+// NewEncoderBuf returns an encoder that appends into b's storage (emptied
+// first).  Callers feeding pooled buffers avoid a fresh allocation per
+// message; Bytes may still reallocate past cap(b).
+func NewEncoderBuf(b []byte) *Encoder { return &Encoder{buf: b[:0]} }
+
 // Bytes returns the encoded buffer (not a copy).
 func (e *Encoder) Bytes() []byte { return e.buf }
 
@@ -84,6 +89,22 @@ func (e *Encoder) FixedOpaque(b []byte) {
 	for pad := (4 - len(b)%4) % 4; pad > 0; pad-- {
 		e.buf = append(e.buf, 0)
 	}
+}
+
+// Zeros appends n zero bytes (no alignment padding of its own).  Synthetic
+// bulk payloads encode through this without materializing a source buffer.
+func (e *Encoder) Zeros(n int) {
+	if n <= 0 {
+		return
+	}
+	if need := len(e.buf) + n; need > cap(e.buf) {
+		grown := make([]byte, len(e.buf), need)
+		copy(grown, e.buf)
+		e.buf = grown
+	}
+	zeroFrom := len(e.buf)
+	e.buf = e.buf[:zeroFrom+n]
+	clear(e.buf[zeroFrom:])
 }
 
 // Opaque encodes a variable-length opaque: length word + padded bytes.
