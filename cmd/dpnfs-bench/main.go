@@ -7,10 +7,15 @@
 //	dpnfs-bench -fig all -scale 0.1     # everything, 10% data sizes
 //	dpnfs-bench -fig 8d -clients 1,4,8
 //	dpnfs-bench -fig 6a -scale 0.01 -transport tcp   # real loopback sockets
+//	dpnfs-bench -fig 6a -scale 0.1 -report BENCH_6a.json
 //
 // With -transport=tcp the same workloads run end-to-end over real TCP
 // connections on this host: wall-clock numbers that measure the protocol
 // implementation, not the paper's simulated testbed.
+//
+// With -report the run also writes a machine-readable JSON report: every
+// figure's series plus a per-figure snapshot of the unified metrics
+// registry (docs/METRICS.md) accumulated across the whole sweep.
 package main
 
 import (
@@ -29,6 +34,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "data-size scale factor (1.0 = paper sizes)")
 	clients := flag.String("clients", "", "comma-separated client counts (default: per figure)")
 	transport := flag.String("transport", "sim", "cluster wiring: sim (virtual time) or tcp (real loopback sockets)")
+	report := flag.String("report", "", "write a JSON report (figures + metrics snapshots) to this path")
 	flag.Parse()
 
 	opt := directpnfs.FigureOptions{Scale: *scale}
@@ -56,17 +62,29 @@ func main() {
 	if *fig == "all" {
 		ids = directpnfs.FigureIDs
 	}
+	var rep *directpnfs.BenchReport
+	if *report != "" {
+		rep = directpnfs.NewBenchReport(opt)
+	}
 	for _, id := range ids {
-		gen, ok := directpnfs.Figures[id]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown figure %q; known: %v\n", id, directpnfs.FigureIDs)
-			os.Exit(2)
+		var figure directpnfs.Figure
+		var err error
+		if rep != nil {
+			figure, err = rep.Add(id, opt)
+		} else {
+			figure, err = directpnfs.Generate(id, opt)
 		}
-		figure, err := gen(opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			os.Exit(1)
 		}
 		fmt.Println(figure)
+	}
+	if rep != nil {
+		if err := rep.WriteFile(*report); err != nil {
+			fmt.Fprintf(os.Stderr, "report: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("report: wrote %s (%d figures)\n", *report, len(rep.Figures))
 	}
 }

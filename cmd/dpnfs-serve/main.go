@@ -9,22 +9,30 @@
 //	dpnfs-serve                          # Direct-pNFS, serve until SIGINT
 //	dpnfs-serve -arch nfsv4 -backends 4
 //	dpnfs-serve -selftest                # serve, run a workload, exit
+//	dpnfs-serve -metrics 127.0.0.1:9090  # pin the /metrics listen address
 //
 // With -selftest the binary drives a write/fsync/read-back workload from
 // -clients concurrent mounts through the exported sockets and exits 0 on
 // success — the CI smoke path.
+//
+// Every run also serves the cluster's unified observability registry
+// (docs/METRICS.md) in Prometheus text format at http://<metrics-addr>/metrics;
+// the bound address is printed on startup.  -metrics "" disables it.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
 	"syscall"
 
 	"dpnfs/internal/cluster"
+	"dpnfs/internal/metrics"
 	"dpnfs/internal/payload"
 	"dpnfs/internal/rpc"
 )
@@ -35,6 +43,7 @@ func main() {
 	backends := flag.Int("backends", 3, "back-end storage nodes (incl. metadata manager)")
 	clients := flag.Int("clients", 2, "selftest client mounts")
 	selftest := flag.Bool("selftest", false, "run a built-in workload against the export, then exit")
+	metricsAddr := flag.String("metrics", "127.0.0.1:0", `Prometheus /metrics listen address ("" disables)`)
 	flag.Parse()
 
 	known := false
@@ -73,6 +82,15 @@ func main() {
 		fmt.Printf("  %-18s %s\n", k, addrs[k])
 	}
 
+	if *metricsAddr != "" {
+		srv, bound, err := serveMetrics(*metricsAddr, cl.Metrics())
+		if err != nil {
+			log.Fatalf("metrics endpoint: %v", err)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics: http://%s/metrics\n", bound)
+	}
+
 	if *selftest {
 		if err := runSelftest(cl, *clients); err != nil {
 			log.Fatalf("selftest: %v", err)
@@ -86,6 +104,20 @@ func main() {
 	fmt.Println("serving (Ctrl-C to stop)")
 	<-stop
 	fmt.Println("shutting down")
+}
+
+// serveMetrics exposes the registry at /metrics on addr and returns the
+// server plus the bound address (addr may use port 0).
+func serveMetrics(addr string, reg *metrics.Registry) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", metrics.Handler(reg))
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
 }
 
 // runSelftest writes, syncs, and reads back a distinct pattern from every

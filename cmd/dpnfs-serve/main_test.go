@@ -1,0 +1,67 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"dpnfs/internal/cluster"
+	"dpnfs/internal/metrics"
+)
+
+// TestMetricsEndpoint exports a small Direct-pNFS cluster over TCP, drives
+// the selftest workload through the real sockets, and scrapes the /metrics
+// endpoint exactly as a Prometheus agent would — the acceptance path for
+// the observability subsystem.
+func TestMetricsEndpoint(t *testing.T) {
+	cl := cluster.New(cluster.Config{
+		Arch:      cluster.ArchDirectPNFS,
+		Clients:   2,
+		Backends:  3,
+		Real:      true,
+		Transport: cluster.TransportTCP,
+	})
+	defer cl.Close()
+	if err := runSelftest(cl, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, addr, err := serveMetrics("127.0.0.1:0", cl.Metrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	res, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); ct != metrics.TextContentType {
+		t.Fatalf("content type %q, want %q", ct, metrics.TextContentType)
+	}
+	raw, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		`cluster_info{arch="direct-pnfs",transport="tcp"} 1`,
+		`nfs_client_ops_total{arch="direct-pnfs",op="WRITE"}`,
+		`nfs_server_compounds_total{arch="direct-pnfs",service="nfs-mds"}`,
+		`rpc_client_calls_total{arch="direct-pnfs",transport="tcp",service="nfs-mds"}`,
+		"# TYPE nfs_client_op_seconds histogram",
+		"pvfs_storage_requests_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics output missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full exposition:\n%s", body)
+	}
+}

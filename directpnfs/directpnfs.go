@@ -31,8 +31,11 @@
 package directpnfs
 
 import (
+	"fmt"
+
 	"dpnfs/internal/bench"
 	"dpnfs/internal/cluster"
+	"dpnfs/internal/metrics"
 	"dpnfs/internal/payload"
 	"dpnfs/internal/rpc"
 	"dpnfs/internal/workload"
@@ -61,6 +64,23 @@ var Archs = cluster.Archs
 // testbed defaults (6 back-end nodes, 2 MB stripe and wsize/rsize, gigabit
 // Ethernet, 8 NFS server threads).
 type Config = cluster.Config
+
+// TransportKind selects how a cluster's RPC endpoints are wired.
+type TransportKind = cluster.TransportKind
+
+// The two transports every architecture runs on (Config.Transport).
+const (
+	// TransportSim is the discrete-event fabric: deterministic virtual
+	// time, the mode all figures use.
+	TransportSim = cluster.TransportSim
+	// TransportTCP is real loopback sockets: wall-clock time, real bytes.
+	TransportTCP = cluster.TransportTCP
+)
+
+// Registry is the unified observability registry every cluster carries
+// (Cluster.Metrics): counters, gauges, and histograms from all layers,
+// renderable as Prometheus text or a JSON snapshot.
+type Registry = metrics.Registry
 
 // Cluster is a fully wired simulated deployment.
 type Cluster = cluster.Cluster
@@ -132,3 +152,21 @@ var Figures = bench.All
 
 // FigureIDs lists the figure IDs in the paper's presentation order.
 var FigureIDs = bench.IDs
+
+// Generate regenerates one paper figure by ID ("6a".."6e", "7a".."7d",
+// "8a".."8d", "ssh").  Unknown IDs return an error listing the known set.
+func Generate(id string, opt FigureOptions) (Figure, error) {
+	gen, ok := Figures[id]
+	if !ok {
+		return Figure{}, fmt.Errorf("directpnfs: unknown figure %q (known: %v)", id, FigureIDs)
+	}
+	return gen(opt)
+}
+
+// BenchReport is a machine-readable figure-run outcome: series plus
+// per-figure metrics snapshots, written as JSON by dpnfs-bench -report.
+type BenchReport = bench.Report
+
+// NewBenchReport starts an empty report for the options; BenchReport.Add
+// generates figures into it.
+func NewBenchReport(opt FigureOptions) *BenchReport { return bench.NewReport(opt) }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"dpnfs/internal/cluster"
+	"dpnfs/internal/metrics"
 	"dpnfs/internal/simnet"
 	"dpnfs/internal/workload"
 )
@@ -51,11 +52,17 @@ type Options struct {
 	// virtual time — the paper's numbers) or real loopback TCP (wall-clock
 	// time; results measure this host, not the paper's testbed).
 	Transport cluster.TransportKind
+	// Metrics, when set, is shared by every cluster a figure run builds, so
+	// the registry accumulates the whole sweep (all architectures, all
+	// client counts) and its snapshot lands in the JSON report.  Nil gives
+	// each figure point its own discarded registry.
+	Metrics *metrics.Registry
 }
 
 // newCluster builds one figure point's cluster with the options' transport.
 func newCluster(opt Options, cfg cluster.Config) *cluster.Cluster {
 	cfg.Transport = opt.Transport
+	cfg.Metrics = opt.Metrics
 	if opt.Transport == cluster.TransportTCP {
 		// Wall-clock runs move real bytes end to end.
 		cfg.Real = true

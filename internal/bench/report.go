@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"dpnfs/internal/metrics"
+)
+
+// Report is the machine-readable outcome of a figure run: the regenerated
+// series plus, per figure, a snapshot of the metrics registry that
+// accumulated across every cluster of the sweep.  dpnfs-bench -report
+// writes one of these as JSON (BENCH_*.json), giving figure runs a perf
+// trajectory that tooling can diff across commits.
+type Report struct {
+	// Paper identifies the source evaluation these figures reproduce.
+	Paper string `json:"paper"`
+	// Scale is the data-size factor the run used (1.0 = paper sizes).
+	Scale float64 `json:"scale"`
+	// Transport is the cluster wiring ("sim" or "tcp").
+	Transport string `json:"transport"`
+	// Figures holds one entry per generated figure, in run order.
+	Figures []FigureReport `json:"figures"`
+}
+
+// FigureReport is one figure's series plus its sweep-wide metrics.
+type FigureReport struct {
+	Figure
+	// Metrics is the registry snapshot taken after the figure's sweep
+	// completed; nil when the run did not collect metrics.
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
+}
+
+// PaperID names the reproduced evaluation in reports.
+const PaperID = "Hildebrand-Honeyman-HPDC07-Direct-pNFS"
+
+// NewReport starts an empty report for the options.
+func NewReport(opt Options) *Report {
+	transport := opt.Transport
+	if transport == "" {
+		transport = "sim"
+	}
+	scale := opt.Scale
+	if scale <= 0 {
+		scale = 1.0
+	}
+	return &Report{Paper: PaperID, Scale: scale, Transport: string(transport)}
+}
+
+// Add generates figure id with a fresh shared registry, appends the result
+// (series + metrics snapshot) to the report, and returns the figure for
+// printing.  Unknown ids fail loudly.
+func (r *Report) Add(id string, opt Options) (Figure, error) {
+	gen, ok := All[id]
+	if !ok {
+		return Figure{}, fmt.Errorf("bench: unknown figure %q (known: %v)", id, IDs)
+	}
+	opt.Metrics = metrics.NewRegistry()
+	fig, err := gen(opt)
+	if err != nil {
+		return fig, err
+	}
+	snap := opt.Metrics.Snapshot()
+	r.Figures = append(r.Figures, FigureReport{Figure: fig, Metrics: &snap})
+	return fig, nil
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report to path (the -report=out.json flag).
+func (r *Report) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadReport parses a report written by WriteJSON/WriteFile.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dpnfs/internal/cluster"
+)
+
+// TestReportJSONRoundTrip pins the report serialization: a report written
+// with WriteJSON must read back equal through ReadReport.
+func TestReportJSONRoundTrip(t *testing.T) {
+	opt := Options{Scale: 0.01}
+	r := NewReport(opt)
+	r.Figures = append(r.Figures, FigureReport{
+		Figure: Figure{
+			ID: "Fig6a", Title: "write", XLabel: "clients", YLabel: "MB/s",
+			Series: []Series{{Label: "Direct-pNFS", Points: []Point{{1, 88.5}, {2, 170}}}},
+		},
+	})
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, back) {
+		t.Fatalf("round trip drifted:\nwrote %+v\nread  %+v", r, back)
+	}
+}
+
+// TestReportFigure6EndToEnd generates a small Figure 6a sweep through
+// Report.Add, writes the JSON file the -report flag would produce, and
+// verifies the figure values and a populated metrics snapshot survive.
+func TestReportFigure6EndToEnd(t *testing.T) {
+	opt := Options{
+		Scale:   0.002,
+		Clients: []int{1, 2},
+		Archs:   []cluster.Arch{cluster.ArchDirectPNFS, cluster.ArchPVFS2},
+	}
+	r := NewReport(opt)
+	fig, err := r.Add("6a", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Value("Direct-pNFS", 2) <= 0 {
+		t.Fatalf("figure has no Direct-pNFS value at 2 clients:\n%s", fig)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_6a.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(raw) {
+		t.Fatal("report file is not valid JSON")
+	}
+	back, err := ReadReport(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Paper != PaperID || back.Transport != "sim" || len(back.Figures) != 1 {
+		t.Fatalf("report header drifted: %+v", back)
+	}
+	fr := back.Figures[0]
+	if fr.ID != "Fig6a" {
+		t.Fatalf("figure id %q", fr.ID)
+	}
+	if got := fr.Figure.Value("PVFS2", 1); got != fig.Value("PVFS2", 1) {
+		t.Fatalf("PVFS2@1 drifted through JSON: %v != %v", got, fig.Value("PVFS2", 1))
+	}
+	if fr.Metrics == nil || len(fr.Metrics.Metrics) == 0 {
+		t.Fatal("report is missing the metrics snapshot")
+	}
+	// The sweep must have left per-layer traces: client ops, server
+	// compounds, PVFS daemon work, and RPC accounting.
+	want := map[string]bool{
+		"nfs_client_ops_total":        false,
+		"nfs_server_compounds_total":  false,
+		"pvfs_storage_requests_total": false,
+		"rpc_client_calls_total":      false,
+		"cluster_info":                false,
+	}
+	for _, m := range fr.Metrics.Metrics {
+		if _, ok := want[m.Name]; ok {
+			want[m.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("metrics snapshot missing %s", name)
+		}
+	}
+	// Per-architecture attribution: both swept architectures touched the
+	// storage daemons, and their series must stay separate.
+	archSeen := map[string]bool{}
+	for _, m := range fr.Metrics.Metrics {
+		if m.Name != "pvfs_storage_requests_total" {
+			continue
+		}
+		for _, s := range m.Series {
+			archSeen[s.Labels["arch"]] = true
+		}
+	}
+	for _, arch := range []string{"direct-pnfs", "pvfs2"} {
+		if !archSeen[arch] {
+			t.Errorf("storage metrics not attributed to arch %q (saw %v)", arch, archSeen)
+		}
+	}
+}

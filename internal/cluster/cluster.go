@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"dpnfs/internal/metrics"
 	"dpnfs/internal/nfs"
 	"dpnfs/internal/pnfs"
 	"dpnfs/internal/pvfs"
@@ -91,6 +92,12 @@ type Config struct {
 	// Direct-pNFS (paper §4.3 pluggable drivers).  Empty means round-robin.
 	Aggregation string
 	AggParams   []int64
+
+	// Metrics is the cluster's observability registry, threaded through
+	// every layer (rpc, nfs, pvfs — see docs/METRICS.md).  Nil gets a fresh
+	// per-cluster registry; benchmarks pass a shared one to aggregate a
+	// whole figure sweep.
+	Metrics *metrics.Registry
 }
 
 // Defaults fills in the paper's testbed values.
@@ -128,6 +135,9 @@ func (c Config) withDefaults() Config {
 	if c.Transport == "" {
 		c.Transport = TransportSim
 	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.NewRegistry()
+	}
 	return c
 }
 
@@ -140,7 +150,8 @@ type Cluster struct {
 	K      *sim.Kernel
 	Fabric *simnet.Fabric
 
-	tr rpc.Transport
+	tr         rpc.Transport
+	runSeconds *metrics.Histogram
 
 	Storage  []*pvfs.StorageServer
 	Disks    []*simdisk.Disk
@@ -154,17 +165,33 @@ type Cluster struct {
 // New builds a cluster for the configuration.
 func New(cfg Config) *Cluster {
 	cfg = cfg.withDefaults()
+	// Every instrument this cluster resolves — through any layer — carries
+	// the architecture label, so a registry shared across a figure sweep
+	// (bench.Options.Metrics) stays attributable per architecture.
+	cfg.Metrics = cfg.Metrics.WithLabel("arch", string(cfg.Arch))
 	k := sim.NewKernel(cfg.Seed)
 	f := simnet.NewFabric(k)
 	cl := &Cluster{Cfg: cfg, K: k, Fabric: f}
 	switch cfg.Transport {
 	case TransportTCP:
-		cl.tr = rpc.NewTCPTransport(0)
+		tr := rpc.NewTCPTransport(0)
+		tr.Metrics = cfg.Metrics
+		cl.tr = tr
 	case TransportSim:
-		cl.tr = &rpc.FabricTransport{Fabric: f}
+		cl.tr = &rpc.FabricTransport{Fabric: f, Metrics: cfg.Metrics}
 	default:
 		panic(fmt.Sprintf("cluster: unknown transport %q", cfg.Transport))
 	}
+	cfg.Metrics.GaugeVec("cluster_info",
+		"Cluster identity; constant 1, labeled by architecture and transport.",
+		"transport").With(string(cfg.Transport)).Set(1)
+	// Gauges describe one cluster; under a shared sweep registry each
+	// architecture's series reflects its most recently built cluster.
+	cfg.Metrics.Gauge("cluster_clients", "Application client mounts.").Set(int64(cfg.Clients))
+	cfg.Metrics.Gauge("cluster_backends", "Back-end nodes incl. the metadata manager.").Set(int64(cfg.Backends))
+	cl.runSeconds = cfg.Metrics.Histogram("cluster_run_seconds",
+		"Workload run durations (virtual time on sim, wall clock on tcp).",
+		[]float64{0.1, 0.3, 1, 3, 10, 30, 100, 300, 1000, 3000})
 
 	switch cfg.Arch {
 	case ArchDirectPNFS:
@@ -224,6 +251,7 @@ func (cl *Cluster) buildBackend(nodes int, diskScale float64) {
 		cl.Disks = append(cl.Disks, disk)
 		cl.Storage = append(cl.Storage, pvfs.NewStorageServer(pvfs.StorageConfig{
 			Transport: cl.tr, Node: n, Disk: disk, Costs: cfg.PVFSCosts,
+			Metrics: cfg.Metrics,
 		}))
 	}
 	cl.mdsNode = cl.storageNodes[0]
@@ -234,6 +262,7 @@ func (cl *Cluster) buildBackend(nodes int, diskScale float64) {
 		Transport: cl.tr, Node: cl.mdsNode, Costs: cfg.PVFSCosts,
 		Dist:    pvfs.DistParams{StripeSize: cfg.StripeSize, NumServers: uint32(len(cl.storageNodes))},
 		IOConns: ioConnsFromMDS,
+		Metrics: cfg.Metrics,
 	})
 }
 
@@ -244,10 +273,11 @@ func (cl *Cluster) pvfsClientAt(n *simnet.Node) *pvfs.Client {
 		io = append(io, cl.dial(n.Name, s.Name, pvfs.ServiceIO))
 	}
 	return pvfs.NewClient(pvfs.ClientConfig{
-		Node:  n,
-		Costs: cl.Cfg.PVFSCosts,
-		Meta:  cl.dial(n.Name, cl.mdsNode.Name, pvfs.ServiceMeta),
-		IO:    io,
+		Node:    n,
+		Costs:   cl.Cfg.PVFSCosts,
+		Meta:    cl.dial(n.Name, cl.mdsNode.Name, pvfs.ServiceMeta),
+		IO:      io,
+		Metrics: cl.Cfg.Metrics,
 	})
 }
 
@@ -271,6 +301,7 @@ func (cl *Cluster) nfsMountAt(n *simnet.Node, mdsNode *simnet.Node) *nfs.Client 
 		WSize: cl.Cfg.WSize, RSize: cl.Cfg.RSize,
 		MaxReadAhead: 8 * cl.Cfg.RSize,
 		Real:         cl.Cfg.Real,
+		Metrics:      cl.Cfg.Metrics,
 	})
 }
 
@@ -376,7 +407,7 @@ func (cl *Cluster) deviceList(nodes []*simnet.Node) []pnfs.DeviceInfo {
 func nfsServeOn(cl *Cluster, n *simnet.Node, service string, b nfs.Backend) {
 	nfs.NewServer(nfs.ServerConfig{
 		Backend: b, Costs: cl.Cfg.NFSCosts, Node: n, Threads: cl.Cfg.Threads,
-		Transport: cl.tr, Service: service,
+		Transport: cl.tr, Service: service, Metrics: cl.Cfg.Metrics,
 	})
 }
 
@@ -396,6 +427,14 @@ func (cl *Cluster) RunClient(i int, fn func(ctx *rpc.Ctx, m *Mount, i int) error
 }
 
 func (cl *Cluster) runSubset(mounts []*Mount, fn func(ctx *rpc.Ctx, m *Mount, i int) error) (time.Duration, error) {
+	d, err := cl.runSubsetInner(mounts, fn)
+	if err == nil {
+		cl.runSeconds.ObserveDuration(d)
+	}
+	return d, err
+}
+
+func (cl *Cluster) runSubsetInner(mounts []*Mount, fn func(ctx *rpc.Ctx, m *Mount, i int) error) (time.Duration, error) {
 	if cl.Cfg.Transport == TransportTCP {
 		return cl.runSubsetRealtime(mounts, fn)
 	}
@@ -460,6 +499,12 @@ func (cl *Cluster) runSubsetRealtime(mounts []*Mount, fn func(ctx *rpc.Ctx, m *M
 // Transport exposes the cluster's RPC wiring (cmd/dpnfs-serve prints TCP
 // addresses from it).
 func (cl *Cluster) Transport() rpc.Transport { return cl.tr }
+
+// Metrics returns the cluster's observability registry: every layer's
+// instruments aggregated per cluster (or per figure sweep when Config
+// supplied a shared registry).  cmd/dpnfs-serve exposes it at /metrics;
+// dpnfs-bench embeds its snapshot in JSON reports.
+func (cl *Cluster) Metrics() *metrics.Registry { return cl.Cfg.Metrics }
 
 // Close tears down transport state: listeners and connection pools in TCP
 // mode, a no-op on the simulated fabric.  TCP-mode clusters must be closed

@@ -1,6 +1,11 @@
 // Package fserr maps between Go file-system errors (package vfs) and the
 // numeric error codes carried in protocol replies, shared by the PVFS2 and
 // NFSv4.1 wire formats.
+//
+// Paper mapping: the NFSv4 status codes of RFC 3530/5661 that the paper's
+// prototype returns (e.g. the stale-handle errors its §6.4.4 failover path
+// recovers from), collapsed to the subset both protocols in this
+// repository need.
 package fserr
 
 import (

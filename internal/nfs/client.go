@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dpnfs/internal/metrics"
 	"dpnfs/internal/payload"
 	"dpnfs/internal/pnfs"
 	"dpnfs/internal/rpc"
@@ -34,6 +35,9 @@ type ClientConfig struct {
 	FlushParallel int
 	// Real makes reads and writes carry actual bytes end to end.
 	Real bool
+	// Metrics is the shared observability registry (docs/METRICS.md).  Nil
+	// gives the mount a private registry, so Metrics() always works.
+	Metrics *metrics.Registry
 }
 
 // Client is one NFSv4.1 mount: session state, device connections, and the
@@ -67,6 +71,16 @@ type Client struct {
 	// Stats
 	RPCs    uint64
 	metrics *Metrics
+
+	// Client-cache observability: page-cache and layout-cache hit rates are
+	// what separate the NFS architectures from cacheless PVFS2 on re-read
+	// (Figure 7) and small-I/O (Figures 6d/6e) workloads.
+	pcHits      *metrics.Counter
+	pcMisses    *metrics.Counter
+	raChunks    *metrics.Counter
+	layoutHits  *metrics.Counter
+	slotWaits   *metrics.Histogram
+	slotWaitCnt *metrics.Counter
 }
 
 // Metrics returns the mount's per-operation latency/volume table.
@@ -94,12 +108,25 @@ func NewClient(cfg ClientConfig) *Client {
 	if cfg.Name == "" {
 		cfg.Name = "client"
 	}
+	reg := orPrivate(cfg.Metrics)
 	c := &Client{
 		cfg:        cfg,
 		devices:    make(map[pnfs.DeviceID]rpc.Conn),
 		layouts:    make(map[uint64]*pnfs.FileLayout),
 		inodeCache: make(map[uint64]*inodeState),
-		metrics:    newMetrics(),
+		metrics:    newMetrics(reg),
+		pcHits: reg.Counter("nfs_client_pagecache_hits_total",
+			"Reads served entirely from the client page cache (no RPC)."),
+		pcMisses: reg.Counter("nfs_client_pagecache_misses_total",
+			"Reads that fetched at least one chunk from a server."),
+		raChunks: reg.Counter("nfs_client_readahead_chunks_total",
+			"Chunks fetched asynchronously by sequential readahead."),
+		layoutHits: reg.Counter("nfs_client_layout_cache_hits_total",
+			"Opens that reused a cached layout instead of LAYOUTGET."),
+		slotWaits: reg.Histogram("nfs_client_slot_wait_seconds",
+			"Time spent waiting for a free session slot.", metrics.DurationBuckets),
+		slotWaitCnt: reg.Counter("nfs_client_slot_acquires_total",
+			"Sessioned compounds that acquired a slot."),
 	}
 	c.slotSem = sim.NewSemaphore(cfg.Name+"/slots", int(cfg.Slots))
 	c.rtSlots = make(chan struct{}, cfg.Slots)
@@ -136,13 +163,20 @@ func (c *Client) call(ctx *rpc.Ctx, conn rpc.Conn, sessioned bool, ops ...Op) (*
 	c.chargeOp(ctx, len(ops), 0)
 	args := &CompoundArgs{Ops: ops}
 	if sessioned && c.session != 0 {
+		// Slot-table backpressure is visible here: the wait is virtual time
+		// under simulation and wall clock over TCP.
 		if ctx.P != nil {
+			waitStart := ctx.Now()
 			c.slotSem.Acquire(ctx.P, 1)
+			c.slotWaits.ObserveDuration(time.Duration(ctx.Now() - waitStart))
 			defer c.slotSem.Release(1)
 		} else {
+			waitStart := time.Now()
 			c.rtSlots <- struct{}{}
+			c.slotWaits.ObserveDuration(time.Since(waitStart))
 			defer func() { <-c.rtSlots }()
 		}
+		c.slotWaitCnt.Inc()
 		c.slotMu.Lock()
 		slot := c.freeSlots[len(c.freeSlots)-1]
 		c.freeSlots = c.freeSlots[:len(c.freeSlots)-1]
@@ -339,6 +373,7 @@ func (c *Client) Create(ctx *rpc.Ctx, path string) (*File, error) {
 // whole file and stay valid for the lifetime of the inode (paper §5).
 func (f *File) fetchLayout(ctx *rpc.Ctx) error {
 	if l, ok := f.c.layouts[f.fh]; ok {
+		f.c.layoutHits.Inc()
 		f.layout = l
 	} else {
 		rep, err := f.c.call(ctx, f.c.cfg.MDS, true, &OpPutFH{FH: f.fh}, &OpLayoutGet{})
@@ -568,6 +603,11 @@ func (c *Client) Read(ctx *rpc.Ctx, f *File, off, n int64) (payload.Payload, int
 		}
 		chunks = append(chunks, f.cache.missingResident(lo, hi)...)
 	}
+	if len(chunks) == 0 {
+		c.pcHits.Inc()
+	} else {
+		c.pcMisses.Inc()
+	}
 	errs := make([]error, len(chunks))
 	rpc.Parallel(ctx, len(chunks), func(ctx *rpc.Ctx, i int) {
 		errs[i] = c.readRange(ctx, f, chunks[i])
@@ -619,6 +659,7 @@ func (c *Client) prefetch(ctx *rpc.Ctx, f *File, start, window int64) {
 			break // window does not yet cover a whole chunk
 		}
 		for _, gap := range f.cache.missingResident(f.raFrontier, chunkEnd) {
+			c.raChunks.Inc()
 			fl := &raFlight{ext: gap}
 			fl.wg.Add(1)
 			f.inflight = append(f.inflight, fl)

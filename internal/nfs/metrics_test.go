@@ -6,23 +6,25 @@ import (
 	"time"
 
 	"dpnfs/internal/fserr"
+	"dpnfs/internal/metrics"
 	"dpnfs/internal/payload"
 	"dpnfs/internal/rpc"
 )
 
 func TestMetricsRecordAndPercentiles(t *testing.T) {
-	var om OpMetrics
+	m := newMetrics(nil)
 	for i := 0; i < 90; i++ {
-		om.record(50*time.Microsecond, 0, nil)
+		m.record(OpNumRead, 50*time.Microsecond, 0, nil)
 	}
 	for i := 0; i < 10; i++ {
-		om.record(50*time.Millisecond, 0, nil)
+		m.record(OpNumRead, 50*time.Millisecond, 0, nil)
 	}
-	if om.Count != 100 {
-		t.Fatalf("count %d", om.Count)
+	om := m.Op(OpNumRead)
+	if om == nil || om.Count() != 100 {
+		t.Fatalf("op metrics %+v", om)
 	}
-	if om.Max != 50*time.Millisecond {
-		t.Fatalf("max %v", om.Max)
+	if om.Max() != 50*time.Millisecond {
+		t.Fatalf("max %v", om.Max())
 	}
 	if p50 := om.Percentile(50); p50 > time.Millisecond {
 		t.Fatalf("p50 %v, want ≤ 100µs bucket", p50)
@@ -36,11 +38,14 @@ func TestMetricsRecordAndPercentiles(t *testing.T) {
 }
 
 func TestMetricsErrorsCounted(t *testing.T) {
-	var om OpMetrics
-	om.record(time.Millisecond, 0, nil)
-	om.record(time.Millisecond, 0, fserr.ErrIO)
-	if om.Errors != 1 {
-		t.Fatalf("errors %d", om.Errors)
+	m := newMetrics(nil)
+	m.record(OpNumWrite, time.Millisecond, 0, nil)
+	m.record(OpNumWrite, time.Millisecond, 0, fserr.ErrIO)
+	if got := m.Op(OpNumWrite).Errors(); got != 1 {
+		t.Fatalf("errors %d", got)
+	}
+	if m.Op(OpNumCommit) != nil {
+		t.Fatal("never-issued op should report nil")
 	}
 }
 
@@ -57,10 +62,10 @@ func TestClientMetricsThroughMount(t *testing.T) {
 		}
 	})
 	mt := m.client.Metrics()
-	if mt.Op(OpNumWrite) == nil || mt.Op(OpNumWrite).Count == 0 {
+	if mt.Op(OpNumWrite) == nil || mt.Op(OpNumWrite).Count() == 0 {
 		t.Fatal("WRITE ops not recorded")
 	}
-	if got := mt.Op(OpNumWrite).Bytes; got != 4<<20 {
+	if got := mt.Op(OpNumWrite).Bytes(); got != 4<<20 {
 		t.Fatalf("WRITE bytes %d, want %d", got, 4<<20)
 	}
 	if mt.Op(OpNumCommit) == nil {
@@ -73,6 +78,38 @@ func TestClientMetricsThroughMount(t *testing.T) {
 	for _, want := range []string{"WRITE", "COMMIT", "OPEN", "mean", "p95"} {
 		if !strings.Contains(table, want) {
 			t.Errorf("metrics table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+// TestMountSharedRegistry proves the mount's table and the shared registry
+// are two views of the same instruments: what the table reports is exactly
+// what a /metrics endpoint would export.
+func TestMountSharedRegistry(t *testing.T) {
+	reg := metrics.NewRegistry()
+	m := newTestMountWithRegistry(t, reg)
+	m.run(t, func(ctx *rpc.Ctx) {
+		f, err := m.client.Create(ctx, "/g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.client.Write(ctx, f, 0, payload.Synthetic(2<<20))
+		if err := m.client.Close(ctx, f); err != nil {
+			t.Fatal(err)
+		}
+	})
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`nfs_client_ops_total{op="WRITE"}`,
+		`nfs_client_op_bytes_total{op="WRITE"} 2097152`,
+		`nfs_client_op_seconds_bucket{op="COMMIT",le="+Inf"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("registry exposition missing %q:\n%s", want, out)
 		}
 	}
 }

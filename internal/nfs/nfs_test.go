@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dpnfs/internal/fserr"
+	"dpnfs/internal/metrics"
 	"dpnfs/internal/payload"
 	"dpnfs/internal/pnfs"
 	"dpnfs/internal/rpc"
@@ -26,6 +27,18 @@ type testMount struct {
 
 func newTestMount(t *testing.T, real bool) *testMount {
 	t.Helper()
+	return newTestMountFull(t, real, nil)
+}
+
+// newTestMountWithRegistry wires the mount's client into a shared metrics
+// registry (metrics_test.go).
+func newTestMountWithRegistry(t *testing.T, reg *metrics.Registry) *testMount {
+	t.Helper()
+	return newTestMountFull(t, false, reg)
+}
+
+func newTestMountFull(t *testing.T, real bool, reg *metrics.Registry) *testMount {
+	t.Helper()
 	k := sim.NewKernel(1)
 	f := simnet.NewFabric(k)
 	srvNode := f.AddNode(simnet.NodeConfig{Name: "server"})
@@ -37,6 +50,7 @@ func newTestMount(t *testing.T, real bool) *testMount {
 		MDS:          &rpc.SimTransport{Fabric: f, Src: clNode, Dst: srvNode, Service: Service},
 		Real:         real,
 		MaxReadAhead: 4 << 20,
+		Metrics:      reg,
 	})
 	return &testMount{k: k, client: client, server: server, back: back}
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dpnfs/internal/fserr"
+	"dpnfs/internal/metrics"
 	"dpnfs/internal/payload"
 	"dpnfs/internal/pnfs"
 	"dpnfs/internal/rpc"
@@ -89,6 +90,9 @@ type ServerConfig struct {
 	// Service overrides the registered service name (default Service); the
 	// cluster layer uses distinct names for metadata and data roles.
 	Service string
+	// Metrics is the shared observability registry (docs/METRICS.md).
+	// Nil disables server-side metrics.
+	Metrics *metrics.Registry
 }
 
 // Server is an NFSv4.1 server instance (metadata or data role is determined
@@ -98,11 +102,22 @@ type ServerConfig struct {
 type Server struct {
 	cfg ServerConfig
 
+	// Per-op counters are resolved once at construction and indexed by op
+	// number, so the COMPOUND loop records with a single atomic add.
+	compounds  *metrics.Counter
+	replays    *metrics.Counter
+	bytesRead  *metrics.Counter
+	bytesWrite *metrics.Counter
+	opCounters [maxOpNum + 1]*metrics.Counter
+
 	mu       sync.Mutex // guards nextID, sessions, clients, session slots
 	nextID   uint64
 	sessions map[uint64]*session
 	clients  map[string]uint64
 }
+
+// maxOpNum bounds the RFC 5661 operation-number space this server speaks.
+const maxOpNum = 64
 
 // NewServer creates the server and registers its RPC service when a
 // transport or fabric is configured.
@@ -118,6 +133,22 @@ func NewServer(cfg ServerConfig) *Server {
 	service := cfg.Service
 	if service == "" {
 		service = Service
+	}
+	reg := cfg.Metrics // nil-safe: instruments land in the discard registry
+	s.compounds = reg.CounterVec("nfs_server_compounds_total",
+		"COMPOUND procedures dispatched.", "service").With(service)
+	s.replays = reg.CounterVec("nfs_server_replays_total",
+		"Retransmissions answered from the session replay cache.", "service").With(service)
+	s.bytesRead = reg.CounterVec("nfs_server_bytes_read_total",
+		"Payload bytes served by READ.", "service").With(service)
+	s.bytesWrite = reg.CounterVec("nfs_server_bytes_written_total",
+		"Payload bytes accepted by WRITE.", "service").With(service)
+	opsVec := reg.CounterVec("nfs_server_ops_total",
+		"Operations executed inside COMPOUNDs, by RFC 5661 op name.", "service", "op")
+	for num := range opCtor {
+		if num <= maxOpNum {
+			s.opCounters[num] = opsVec.With(service, opName(num))
+		}
 	}
 	switch {
 	case cfg.Transport != nil && cfg.Node != nil:
@@ -145,6 +176,7 @@ func (s *Server) Handle(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshaler, rpc.
 	if !ok {
 		return nil, rpc.StatusGarbageArgs
 	}
+	s.compounds.Inc()
 	var cpu *sim.KServer
 	if s.cfg.Node != nil {
 		cpu = s.cfg.Node.CPU
@@ -169,6 +201,7 @@ func (s *Server) Handle(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshaler, rpc.
 			// Retransmission: answer from the replay cache.
 			rep := sess.lastRep[args.Slot]
 			s.mu.Unlock()
+			s.replays.Inc()
 			return rep, rpc.StatusOK
 		}
 		if args.Seq != sess.lastSeq[args.Slot]+1 {
@@ -203,6 +236,9 @@ func (s *Server) run(ctx *rpc.Ctx, cpu *sim.KServer, args *CompoundArgs) *Compou
 		return rep
 	}
 	for _, op := range args.Ops {
+		if n := op.Num(); n <= maxOpNum && s.opCounters[n] != nil {
+			s.opCounters[n].Inc()
+		}
 		switch o := op.(type) {
 		case *OpExchangeID:
 			s.mu.Lock()
@@ -286,6 +322,9 @@ func (s *Server) run(ctx *rpc.Ctx, cpu *sim.KServer, args *CompoundArgs) *Compou
 			if err != nil {
 				return fail(&ResRead{Errno: fserr.ToErrno(err)})
 			}
+			if n := data.Len(); n > 0 {
+				s.bytesRead.Add(uint64(n))
+			}
 			rep.Results = append(rep.Results, &ResRead{Eof: eof, Data: data})
 
 		case *OpWrite:
@@ -293,6 +332,9 @@ func (s *Server) run(ctx *rpc.Ctx, cpu *sim.KServer, args *CompoundArgs) *Compou
 			newSize, err := b.Write(ctx, cur, o.Off, o.Data, o.Stable)
 			if err != nil {
 				return fail(&ResWrite{Errno: fserr.ToErrno(err)})
+			}
+			if n := o.Data.Len(); n > 0 {
+				s.bytesWrite.Add(uint64(n))
 			}
 			rep.Results = append(rep.Results, &ResWrite{Count: o.Data.Len(), NewSize: newSize})
 

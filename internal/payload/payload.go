@@ -3,6 +3,10 @@
 // the simulated transport passes typed messages by reference and charges the
 // NIC for Payload.WireSize() without materializing buffers; integration
 // tests and the TCP demo use real bytes end to end.
+//
+// Paper mapping: the paper's workloads write up to 500 MB per client
+// (§6.2); synthetic payloads are what let the reproduction sweep those
+// data sizes across five architectures and eight client counts in seconds.
 package payload
 
 import (

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"dpnfs/internal/metrics"
 	"dpnfs/internal/payload"
 	"dpnfs/internal/rpc"
 	"dpnfs/internal/sim"
@@ -23,12 +24,16 @@ type ClientConfig struct {
 	// MaxTransfer caps a single I/O request's payload; larger extents are
 	// split ("large transfer buffers").
 	MaxTransfer int64
+	// Metrics is the shared observability registry (docs/METRICS.md); nil
+	// discards.
+	Metrics *metrics.Registry
 }
 
 // Client is the PVFS2 client library: stateless, no data cache, no
 // write-back — every Read/Write goes to the daemons synchronously.
 type Client struct {
-	cfg ClientConfig
+	cfg   ClientConfig
+	stats *clientStats
 }
 
 // NewClient returns a client with defaults applied.
@@ -39,7 +44,7 @@ func NewClient(cfg ClientConfig) *Client {
 	if cfg.MaxTransfer <= 0 {
 		cfg.MaxTransfer = 256 << 10 // PVFS2 flow buffer size
 	}
-	return &Client{cfg: cfg}
+	return &Client{cfg: cfg, stats: newClientStats(cfg.Metrics)}
 }
 
 // File is an open PVFS2 file reference.
@@ -148,6 +153,10 @@ func (c *Client) runBounded(ctx *rpc.Ctx, reqs []ioRequest, fn func(ctx *rpc.Ctx
 func (c *Client) Write(ctx *rpc.Ctx, f *File, off int64, data payload.Payload, syncData bool) (int64, error) {
 	c.chargeOp(ctx, data.Len())
 	reqs := c.split(f.mapper.Map(off, data.Len()))
+	c.stats.ioRequests.Add(uint64(len(reqs)))
+	if n := data.Len(); n > 0 {
+		c.stats.bytesWrite.Add(uint64(n))
+	}
 	var mu sync.Mutex // requests run on concurrent processes/goroutines
 	var logical int64
 	err := c.runBounded(ctx, reqs, func(ctx *rpc.Ctx, r ioRequest) error {
@@ -180,6 +189,7 @@ func (c *Client) Read(ctx *rpc.Ctx, f *File, off, n int64, wantReal bool) (paylo
 	c.chargeOp(ctx, n)
 	seed := off / f.Dist.StripeSize
 	reqs := c.split(f.mapper.ReadMap(off, n, seed))
+	c.stats.ioRequests.Add(uint64(len(reqs)))
 	var buf []byte
 	if wantReal {
 		buf = make([]byte, n)
@@ -216,6 +226,9 @@ func (c *Client) Read(ctx *rpc.Ctx, f *File, off, n int64, wantReal bool) (paylo
 	valid := maxEnd - off
 	if valid < 0 {
 		valid = 0
+	}
+	if valid > 0 {
+		c.stats.bytesRead.Add(uint64(valid))
 	}
 	if wantReal {
 		return payload.Real(buf[:valid]), valid, nil

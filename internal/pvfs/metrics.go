@@ -1,0 +1,113 @@
+package pvfs
+
+import (
+	"fmt"
+
+	"dpnfs/internal/metrics"
+)
+
+// ProcName renders a PVFS2 procedure number as a stable metric label.
+func ProcName(proc uint32) string {
+	switch proc {
+	case ProcLookup:
+		return "lookup"
+	case ProcCreate:
+		return "create"
+	case ProcRemove:
+		return "remove"
+	case ProcMkdir:
+		return "mkdir"
+	case ProcReadDir:
+		return "readdir"
+	case ProcGetAttr:
+		return "getattr"
+	case ProcTruncate:
+		return "truncate"
+	case ProcLookupH:
+		return "lookup-h"
+	case ProcCreateH:
+		return "create-h"
+	case ProcMkdirH:
+		return "mkdir-h"
+	case ProcRemoveH:
+		return "remove-h"
+	case ProcRenameH:
+		return "rename-h"
+	case ProcReadDirH:
+		return "readdir-h"
+	case ProcIORead:
+		return "io-read"
+	case ProcIOWrite:
+		return "io-write"
+	case ProcIOCreate:
+		return "io-create"
+	case ProcIORemove:
+		return "io-remove"
+	case ProcIOGetSize:
+		return "io-getsize"
+	case ProcIOFlush:
+		return "io-flush"
+	case ProcIOTruncate:
+		return "io-truncate"
+	}
+	return fmt.Sprintf("proc-%d", proc)
+}
+
+// storageStats bundles one storage daemon's instruments.  The request
+// counters are resolved per proc on first use (bounded: the proc table is
+// fixed), everything else at construction.
+type storageStats struct {
+	requests   *metrics.CounterVec
+	bytesRead  *metrics.Counter
+	bytesWrite *metrics.Counter
+	buffers    *metrics.Gauge
+	bufWait    *metrics.Histogram
+}
+
+// newStorageStats resolves the daemon's instruments; reg may be nil.
+func newStorageStats(reg *metrics.Registry) *storageStats {
+	return &storageStats{
+		requests: reg.CounterVec("pvfs_storage_requests_total",
+			"Storage-daemon requests, by procedure.", "proc"),
+		bytesRead: reg.Counter("pvfs_storage_bytes_read_total",
+			"Datafile bytes served by io-read (storage-daemon read throughput)."),
+		bytesWrite: reg.Counter("pvfs_storage_bytes_written_total",
+			"Datafile bytes accepted by io-write (storage-daemon write throughput)."),
+		buffers: reg.Gauge("pvfs_storage_buffer_slots_in_use",
+			"Transfer-buffer pool slots currently held (paper §5 fixed pool)."),
+		bufWait: reg.Histogram("pvfs_storage_buffer_wait_seconds",
+			"Time spent waiting for transfer-buffer slots.", metrics.DurationBuckets),
+	}
+}
+
+// metaStats bundles the metadata server's instruments.
+type metaStats struct {
+	requests *metrics.CounterVec
+}
+
+func newMetaStats(reg *metrics.Registry) *metaStats {
+	return &metaStats{
+		requests: reg.CounterVec("pvfs_meta_requests_total",
+			"Metadata-server requests, by procedure.", "proc"),
+	}
+}
+
+// clientStats bundles the client library's instruments: request fan-out and
+// bytes moved, the raw material for the paper's small-I/O analysis (§6.4.1:
+// cacheless clients pass every application request straight through).
+type clientStats struct {
+	ioRequests *metrics.Counter
+	bytesRead  *metrics.Counter
+	bytesWrite *metrics.Counter
+}
+
+func newClientStats(reg *metrics.Registry) *clientStats {
+	return &clientStats{
+		ioRequests: reg.Counter("pvfs_client_io_requests_total",
+			"Storage-daemon I/O requests issued (after MaxTransfer splitting)."),
+		bytesRead: reg.Counter("pvfs_client_bytes_read_total",
+			"Logical bytes read by the client library."),
+		bytesWrite: reg.Counter("pvfs_client_bytes_written_total",
+			"Logical bytes written by the client library."),
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dpnfs/internal/fserr"
+	"dpnfs/internal/metrics"
 	"dpnfs/internal/payload"
 	"dpnfs/internal/rpc"
 	"dpnfs/internal/sim"
@@ -57,6 +58,9 @@ type StorageConfig struct {
 	// abstraction (simulated fabric or real TCP) under Node's name instead
 	// of the legacy Fabric path.
 	Transport rpc.Transport
+	// Metrics is the shared observability registry (docs/METRICS.md); nil
+	// discards.
+	Metrics *metrics.Registry
 }
 
 // StorageServer is one PVFS2 storage daemon (Trove+BMI equivalent): it owns
@@ -65,6 +69,7 @@ type StorageServer struct {
 	cfg     StorageConfig
 	store   *vfs.Store
 	bufPool *sim.Semaphore
+	stats   *storageStats
 
 	mu      sync.Mutex // guards objects
 	objects map[Handle]vfs.FileID
@@ -86,6 +91,7 @@ func NewStorageServer(cfg StorageConfig) *StorageServer {
 		cfg:     cfg,
 		store:   vfs.New(),
 		objects: make(map[Handle]vfs.FileID),
+		stats:   newStorageStats(cfg.Metrics),
 	}
 	name := "pvfs-storage"
 	if cfg.Node != nil {
@@ -157,12 +163,19 @@ func (s *StorageServer) acquireBuffers(ctx *rpc.Ctx, n int64) func() {
 		return func() {}
 	}
 	slots := s.bufSlots(n)
+	waitStart := ctx.Now()
 	s.bufPool.Acquire(ctx.P, slots)
-	return func() { s.bufPool.Release(slots) }
+	s.stats.bufWait.ObserveDuration(time.Duration(ctx.Now() - waitStart))
+	s.stats.buffers.Add(int64(slots))
+	return func() {
+		s.stats.buffers.Add(int64(-slots))
+		s.bufPool.Release(slots)
+	}
 }
 
 // Handle dispatches one storage daemon request.
 func (s *StorageServer) Handle(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshaler, rpc.Status) {
+	s.stats.requests.With(ProcName(proc)).Inc()
 	var cpu *sim.KServer
 	if s.cfg.Node != nil {
 		cpu = s.cfg.Node.CPU
@@ -247,6 +260,9 @@ func (s *StorageServer) Handle(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshale
 				s.cfg.Disk.Sync(ctx.P)
 			}
 		}
+		if n > 0 {
+			s.stats.bytesWrite.Add(uint64(n))
+		}
 		return &IOWriteRep{ObjSize: objSize}, rpc.StatusOK
 
 	case ProcIORead:
@@ -270,6 +286,9 @@ func (s *StorageServer) Handle(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshale
 		ctx.Defer(release)
 		if ctx.P != nil && s.cfg.Disk != nil && n > 0 {
 			s.cfg.Disk.Read(ctx.P, uint64(a.Handle), a.Off, n)
+		}
+		if n > 0 {
+			s.stats.bytesRead.Add(uint64(n))
 		}
 		rep := &IOReadRep{Eof: n < a.Len}
 		if a.WantReal {
@@ -341,6 +360,9 @@ type MetaConfig struct {
 	// Transport, when set, registers ServiceMeta through the transport
 	// abstraction instead of the legacy Fabric path.
 	Transport rpc.Transport
+	// Metrics is the shared observability registry (docs/METRICS.md); nil
+	// discards.
+	Metrics *metrics.Registry
 }
 
 // MetaServer is the PVFS2 metadata manager: it owns the namespace and
@@ -348,6 +370,7 @@ type MetaConfig struct {
 type MetaServer struct {
 	cfg   MetaConfig
 	store *vfs.Store
+	stats *metaStats
 }
 
 // NewMetaServer creates the MDS and registers its RPC service on the node
@@ -362,7 +385,7 @@ func NewMetaServer(cfg MetaConfig) *MetaServer {
 	if cfg.Threads <= 0 {
 		cfg.Threads = 16
 	}
-	m := &MetaServer{cfg: cfg, store: vfs.New()}
+	m := &MetaServer{cfg: cfg, store: vfs.New(), stats: newMetaStats(cfg.Metrics)}
 	switch {
 	case cfg.Transport != nil && cfg.Node != nil:
 		if _, err := cfg.Transport.Serve(cfg.Node.Name, ServiceMeta, MetaRegistry(), m.Handle, cfg.Threads); err != nil {
@@ -407,6 +430,7 @@ func (m *MetaServer) fanout(ctx *rpc.Ctx, fn func(ctx *rpc.Ctx, dev int) error) 
 
 // Handle dispatches one metadata request.
 func (m *MetaServer) Handle(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshaler, rpc.Status) {
+	m.stats.requests.With(ProcName(proc)).Inc()
 	var cpu *sim.KServer
 	if m.cfg.Node != nil {
 		cpu = m.cfg.Node.CPU

@@ -201,6 +201,10 @@ type SimTransport struct {
 	Src     *simnet.Node
 	Dst     *simnet.Node
 	Service string
+
+	// stats, when set by FabricTransport.Dial, records per-call latency
+	// (virtual time) and wire bytes.
+	stats *connStats
 }
 
 // Call implements Conn over the simulated fabric.  It blocks the calling
@@ -211,18 +215,35 @@ func (t *SimTransport) Call(ctx *Ctx, proc uint32, args xdr.Marshaler, rep xdr.U
 	if ctx.P == nil {
 		panic("rpc: SimTransport.Call without a simulated process")
 	}
+	done := t.stats.callStart()
+	start := ctx.Now()
 	rc := sim.NewChan("reply")
 	msg := call{proc: proc, req: args, replyTo: rc, from: t.Src}
-	t.Fabric.Send(ctx.P, t.Src, t.Dst, t.Service, msg, WireSizeOf(args)+HeaderBytes)
+	size := WireSizeOf(args) + HeaderBytes
+	t.stats.addSent(size)
+	t.Fabric.Send(ctx.P, t.Src, t.Dst, t.Service, msg, size)
 	rm := rc.Recv(ctx.P).(simnet.Message)
 	r := rm.Payload.(reply)
+	if t.stats != nil {
+		// Error replies still carry a frame header on the wire; count it so
+		// sim and TCP byte accounting agree for identical traffic.
+		recv := int64(HeaderBytes)
+		if r.resp != nil {
+			recv += WireSizeOf(r.resp)
+		}
+		t.stats.addRecv(recv)
+	}
 	if r.status != StatusOK {
+		done(time.Duration(ctx.Now()-start), r.status)
 		return r.status
 	}
 	if rep == nil {
+		done(time.Duration(ctx.Now()-start), nil)
 		return nil
 	}
-	return copyReply(rep, r.resp)
+	err := copyReply(rep, r.resp)
+	done(time.Duration(ctx.Now()-start), err)
+	return err
 }
 
 // copyReply moves the server's typed response into the caller's reply

@@ -300,7 +300,7 @@ func TestHeaderBytesMatchesWire(t *testing.T) {
 	// An empty-body frame must be exactly HeaderBytes long on the wire.
 	var mu sync.Mutex
 	var buf writeRecorder
-	if err := writeFrame(&buf, &mu, 1, msgCall, 2, nil); err != nil {
+	if _, err := writeFrame(&buf, &mu, 1, msgCall, 2, nil); err != nil {
 		t.Fatal(err)
 	}
 	if len(buf) != HeaderBytes {

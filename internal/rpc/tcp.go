@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"dpnfs/internal/xdr"
 )
@@ -78,14 +79,15 @@ func appendFrame(xid, mtype, word uint32, body xdr.Marshaler) []byte {
 }
 
 // writeFrame serializes one frame onto w under mu (frames from concurrent
-// calls interleave whole, never byte-wise).
-func writeFrame(w io.Writer, mu *sync.Mutex, xid, mtype, word uint32, body xdr.Marshaler) error {
+// calls interleave whole, never byte-wise), returning the frame length.
+func writeFrame(w io.Writer, mu *sync.Mutex, xid, mtype, word uint32, body xdr.Marshaler) (int, error) {
 	b := appendFrame(xid, mtype, word, body)
 	mu.Lock()
 	_, err := w.Write(b)
 	mu.Unlock()
+	n := len(b)
 	PutBuf(b)
-	return err
+	return n, err
 }
 
 // readFrame reads one frame into a pooled record buffer.  body aliases rec;
@@ -130,6 +132,7 @@ func readFrame(r io.Reader) (xid, mtype, word uint32, body, rec []byte, err erro
 type TCPClient struct {
 	conn    net.Conn
 	writeMu sync.Mutex
+	stats   *connStats // byte accounting only; nil records nothing
 
 	mu      sync.Mutex
 	nextXid uint32
@@ -144,12 +147,16 @@ type tcpReply struct {
 }
 
 // DialTCP connects to a TCP RPC server.
-func DialTCP(addr string) (*TCPClient, error) {
+func DialTCP(addr string) (*TCPClient, error) { return dialTCP(addr, nil) }
+
+// dialTCP connects with an optional stats bundle.  stats must be installed
+// before the read loop starts: the loop reads c.stats unsynchronized.
+func dialTCP(addr string, stats *connStats) (*TCPClient, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	c := &TCPClient{conn: conn, pending: make(map[uint32]chan tcpReply)}
+	c := &TCPClient{conn: conn, stats: stats, pending: make(map[uint32]chan tcpReply)}
 	go c.readLoop()
 	return c, nil
 }
@@ -161,6 +168,7 @@ func (c *TCPClient) readLoop() {
 			c.fail(err)
 			return
 		}
+		c.stats.addRecv(int64(len(rec)) + 4) // record body + length word
 		if mtype != msgReply {
 			PutBuf(rec)
 			c.fail(fmt.Errorf("rpc: unexpected message type %d from server", mtype))
@@ -219,12 +227,14 @@ func (c *TCPClient) Call(_ *Ctx, proc uint32, args xdr.Marshaler, rep xdr.Unmars
 	c.pending[xid] = ch
 	c.mu.Unlock()
 
-	if err := writeFrame(c.conn, &c.writeMu, xid, msgCall, proc, args); err != nil {
+	n, err := writeFrame(c.conn, &c.writeMu, xid, msgCall, proc, args)
+	if err != nil {
 		c.mu.Lock()
 		delete(c.pending, xid)
 		c.mu.Unlock()
 		return &SendError{Err: err}
 	}
+	c.stats.addSent(int64(n))
 	r, ok := <-ch
 	if !ok {
 		c.mu.Lock()
@@ -247,7 +257,8 @@ func (c *TCPClient) Call(_ *Ctx, proc uint32, args xdr.Marshaler, rep xdr.Unmars
 // lazily, and a call that fails at the transport level (never an RPC-level
 // Status) is retried once on a fresh connection.
 type TCPPool struct {
-	addr string
+	addr  string
+	stats *connStats // set by TCPTransport.Dial; nil records nothing
 
 	mu     sync.Mutex
 	conns  []*TCPClient
@@ -284,10 +295,11 @@ func (p *TCPPool) pick() (*TCPClient, error) {
 	if c != nil {
 		c.Close()
 	}
-	nc, err := DialTCP(p.addr)
+	nc, err := dialTCP(p.addr, p.stats)
 	if err != nil {
 		return nil, err
 	}
+	p.stats.connect()
 	p.conns[i] = nc
 	return nc, nil
 }
@@ -298,8 +310,19 @@ func (p *TCPPool) pick() (*TCPClient, error) {
 // and not every operation tolerates re-execution (NFS sessions have a
 // replay cache; the PVFS2 protocol does not).
 func (p *TCPPool) Call(ctx *Ctx, proc uint32, args xdr.Marshaler, rep xdr.Unmarshaler) error {
+	done := p.stats.callStart()
+	start := time.Now()
+	err := p.call(ctx, proc, args, rep)
+	done(time.Since(start), err)
+	return err
+}
+
+func (p *TCPPool) call(ctx *Ctx, proc uint32, args xdr.Marshaler, rep xdr.Unmarshaler) error {
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
+		if attempt > 0 {
+			p.stats.retry()
+		}
 		c, err := p.pick()
 		if err != nil {
 			return err
@@ -426,7 +449,7 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 			hctx := &Ctx{serialized: true}
 			rep, status := s.handler(hctx, proc, body)
 			PutBuf(rec)
-			_ = writeFrame(conn, &writeMu, xid, msgReply, uint32(status), rep)
+			_, _ = writeFrame(conn, &writeMu, xid, msgReply, uint32(status), rep)
 			hctx.runDeferred()
 		}(xid, proc, body, rec)
 	}

@@ -17,7 +17,7 @@ func TestFrameRoundTrip(t *testing.T) {
 	body := &echoArgs{N: 99, Blob: []byte("frame body bytes")}
 	var buf bytes.Buffer
 	var mu sync.Mutex
-	if err := writeFrame(&buf, &mu, 7, msgCall, procEcho, body); err != nil {
+	if _, err := writeFrame(&buf, &mu, 7, msgCall, procEcho, body); err != nil {
 		t.Fatal(err)
 	}
 	if want := HeaderBytes + int(body.WireSize()); buf.Len() != want {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sync"
 
+	"dpnfs/internal/metrics"
 	"dpnfs/internal/simnet"
 	"dpnfs/internal/xdr"
 )
@@ -34,6 +35,9 @@ type Transport interface {
 // already exist on the fabric (topology is built by the cluster layer).
 type FabricTransport struct {
 	Fabric *simnet.Fabric
+	// Metrics, when set, instruments every conn and served handler
+	// (docs/METRICS.md).  Latencies are virtual time.
+	Metrics *metrics.Registry
 }
 
 // Serve implements Transport via ServeSim.
@@ -43,7 +47,7 @@ func (t *FabricTransport) Serve(node, service string, _ *Registry, h Handler, th
 		Node:    t.Fabric.Node(node),
 		Service: service,
 		Threads: threads,
-		Handler: h,
+		Handler: instrumentHandler(t.Metrics, "sim", service, h),
 	})
 	return node, nil
 }
@@ -55,6 +59,7 @@ func (t *FabricTransport) Dial(from, node, service string) (Conn, error) {
 		Src:     t.Fabric.Node(from),
 		Dst:     t.Fabric.Node(node),
 		Service: service,
+		stats:   newConnStats(t.Metrics, "sim", service),
 	}, nil
 }
 
@@ -71,6 +76,9 @@ type TCPTransport struct {
 	Host string
 	// PoolConns is the per-server connection pool size (0 = default).
 	PoolConns int
+	// Metrics, when set, instruments every pool and served handler
+	// (docs/METRICS.md).  Latencies are wall clock.
+	Metrics *metrics.Registry
 
 	mu      sync.Mutex
 	servers map[string]*TCPServer // key: node + "/" + service
@@ -100,6 +108,7 @@ func (t *TCPTransport) host() string {
 // handler concurrency to threads (the "NFS server threads" knob) across all
 // of the service's connections.
 func (t *TCPTransport) Serve(node, service string, reg *Registry, h Handler, threads int) (string, error) {
+	h = instrumentHandler(t.Metrics, "tcp", service, h)
 	if threads > 0 {
 		sem := make(chan struct{}, threads)
 		inner := h
@@ -147,6 +156,7 @@ func (t *TCPTransport) Dial(from, node, service string) (Conn, error) {
 		return nil, fmt.Errorf("rpc: no service registered at %s", serverKey)
 	}
 	p := NewTCPPool(addr, t.PoolConns)
+	p.stats = newConnStats(t.Metrics, "tcp", service)
 	t.pools[poolKey] = p
 	return p, nil
 }

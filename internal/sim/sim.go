@@ -12,6 +12,10 @@
 // All benchmark clusters in this repository run on virtual time: a run that
 // simulates minutes of I/O completes in milliseconds of wall time, and the
 // throughput figures derived from it are exactly reproducible.
+//
+// Paper mapping: this kernel stands in for the paper's physical testbed
+// (§6.1) — it is what lets every figure of the evaluation (§6.2–§6.4) be
+// regenerated deterministically instead of re-run on 2007 hardware.
 package sim
 
 import (

@@ -9,6 +9,10 @@
 // therefore costs m/bw + latency, not 2·m/bw, while contention at either
 // endpoint queues FIFO — exactly the bottleneck structure that shapes the
 // paper's throughput curves.
+//
+// Paper mapping: the testbed network of §6.1 — gigabit Ethernet NICs
+// (simnet.Gigabit) everywhere, with simnet.FastEther reproducing the
+// 100 Mbps constrained-network experiment of Figure 6c.
 package simnet
 
 import (

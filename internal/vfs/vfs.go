@@ -8,6 +8,11 @@
 // integration tests verify end-to-end data integrity through every protocol
 // stack.  Timing is not modelled here; servers charge simdisk/simnet
 // resources separately.
+//
+// Paper mapping: the local file systems under the paper's servers (§6.1 —
+// ext3 under the PVFS2 daemons, the exported namespace on the MDS); this
+// package is deliberately timing-free so all performance behaviour comes
+// from the protocol and resource models around it.
 package vfs
 
 import (

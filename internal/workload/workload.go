@@ -3,6 +3,10 @@
 // and Postmark macro-benchmarks, and the SSH-build task.  Each workload is
 // written once against cluster.Mount and runs unchanged on all five
 // architectures.
+//
+// Paper mapping: IOR drives Figures 6 (writes, §6.3.1) and 7 (warm-cache
+// reads, §6.3.2); ATLAS, BTIO, OLTP, and Postmark drive Figures 8a–8d
+// (§6.4.1–§6.4.2); SSHBuild reproduces the §6.4.3 build-phase study.
 package workload
 
 import (
