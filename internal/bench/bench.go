@@ -1,8 +1,23 @@
 // Package bench regenerates every figure in the paper's evaluation
-// (Figures 6, 7, and 8, plus the §6.4.3 SSH-build study).  Each figure
-// function builds fresh clusters per (architecture, client-count) point,
-// runs the corresponding workload, and returns a Figure whose series can be
-// printed as the table the paper plots.
+// (Figures 6, 7, and 8, plus the §6.4.3 SSH-build study) and the
+// repository's own degraded-mode figure (a storage-node crash mid-run,
+// docs/FAULTS.md).  Each figure function builds fresh clusters per
+// (architecture, client-count) point, runs the corresponding workload, and
+// returns a Figure whose series can be printed as the table the paper
+// plots.
+//
+// # Determinism
+//
+// Two runs of the same figure with the same Options (and, for the degraded
+// figure, the same fault plan) produce identical Figure values.  The rule
+// that guarantees it — pinned by TestFigureDeterminism — is that every
+// source of randomness on the simulated path threads from an explicit
+// seed: cluster.Config.Seed feeds the simulation kernel (whose RNG also
+// drives injected link loss), faults plans are pure functions of their own
+// seed, and no wall-clock or global-RNG value may enter a simulated run.
+// New figure code must follow the same rule: derive any randomness from
+// the cluster seed or a plan seed, never from time.Now or package rand
+// globals.
 package bench
 
 import (
@@ -12,6 +27,7 @@ import (
 	"time"
 
 	"dpnfs/internal/cluster"
+	"dpnfs/internal/faults"
 	"dpnfs/internal/metrics"
 	"dpnfs/internal/simnet"
 	"dpnfs/internal/workload"
@@ -333,6 +349,60 @@ func Fig8d(opt Options) (Figure, error) {
 	return fig, nil
 }
 
+// Degraded-figure schedule: the crash window is deep enough into the run
+// for a clean "before" baseline, and the outage is long enough that every
+// architecture's recovery machinery (layout refetch, MDS-proxied fallback,
+// striped-I/O retry) engages before the restart heals it.
+const (
+	degradedCrashAt   = 2 * time.Second
+	degradedRestartAt = 6 * time.Second
+	degradedTail      = 3 * time.Second
+	degradedVictim    = "io1" // a non-MDS storage node present in every arch
+)
+
+// Degraded is the repository's degraded-mode figure (not from the paper):
+// aggregate write throughput before, during, and after a storage-node
+// crash, per architecture, under one shared fault plan.  X is the phase
+// (1=before, 2=during, 3=after).  See docs/FAULTS.md for interpretation.
+func Degraded(opt Options) (Figure, error) {
+	opt = opt.withDefaults([]int{2}, cluster.Archs)
+	fig := Figure{
+		ID:     "degraded",
+		Title:  "write under a storage-node crash (phases: 1=before 2=during 3=after)",
+		XLabel: "phase",
+		YLabel: "aggregate MB/s",
+	}
+	if opt.Transport == cluster.TransportTCP {
+		return fig, fmt.Errorf("degraded: this figure requires the sim transport (virtual-time windows)")
+	}
+	plan := faults.NewPlan(1,
+		faults.StorageNodeCrash{At: degradedCrashAt, Node: degradedVictim},
+		faults.StorageNodeRestart{At: degradedRestartAt, Node: degradedVictim},
+	)
+	n := opt.Clients[0]
+	for _, arch := range opt.Archs {
+		cl := newCluster(opt, cluster.Config{Arch: arch, Clients: n, Faults: plan})
+		res, err := workload.Degraded(cl, workload.DegradedConfig{
+			CrashAt:   degradedCrashAt,
+			RestartAt: degradedRestartAt,
+			Tail:      degradedTail,
+		})
+		cl.Close()
+		if err != nil {
+			return fig, fmt.Errorf("degraded/%s: %w", arch, err)
+		}
+		fig.Series = append(fig.Series, Series{
+			Label: archLabel(arch),
+			Points: []Point{
+				{X: 1, Y: res.Before},
+				{X: 2, Y: res.During},
+				{X: 3, Y: res.After},
+			},
+		})
+	}
+	return fig, nil
+}
+
 // SSHBuild regenerates the §6.4.3 phase comparison.
 func SSHBuild(opt Options) (Figure, error) {
 	opt = opt.withDefaults([]int{1}, fig8Archs)
@@ -361,11 +431,11 @@ var All = map[string]func(Options) (Figure, error){
 	"6a": Fig6a, "6b": Fig6b, "6c": Fig6c, "6d": Fig6d, "6e": Fig6e,
 	"7a": Fig7a, "7b": Fig7b, "7c": Fig7c, "7d": Fig7d,
 	"8a": Fig8a, "8b": Fig8b, "8c": Fig8c, "8d": Fig8d,
-	"ssh": SSHBuild,
+	"ssh": SSHBuild, "degraded": Degraded,
 }
 
 // IDs lists figure IDs in presentation order.
-var IDs = []string{"6a", "6b", "6c", "6d", "6e", "7a", "7b", "7c", "7d", "8a", "8b", "8c", "8d", "ssh"}
+var IDs = []string{"6a", "6b", "6c", "6d", "6e", "7a", "7b", "7c", "7d", "8a", "8b", "8c", "8d", "ssh", "degraded"}
 
 // Elapsed wraps a duration for table rendering.
 func Elapsed(d time.Duration) float64 { return d.Seconds() }

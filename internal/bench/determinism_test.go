@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"dpnfs/internal/cluster"
+)
+
+// TestFigureDeterminism pins the package's seed-threading rule (see the
+// package doc): two runs of the same figure with the same options — and,
+// for the degraded figure, the same fault plan — produce identical Figure
+// values.  Any wall-clock or global-RNG leakage into the simulated path
+// breaks this immediately.
+func TestFigureDeterminism(t *testing.T) {
+	archs := []cluster.Arch{cluster.ArchDirectPNFS, cluster.ArchPVFS2}
+
+	opt := Options{Scale: 0.02, Clients: []int{2}, Archs: archs}
+	a, err := Fig6a(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig6a(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("Fig6a not deterministic:\n%v\nvs\n%v", a, b)
+	}
+
+	d1, err := Degraded(Options{Archs: archs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Degraded(Options{Archs: archs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d1, d2) {
+		t.Errorf("Degraded figure not deterministic:\n%v\nvs\n%v", d1, d2)
+	}
+	// The degraded figure must actually show degradation and recovery:
+	// during < before, and after recovers to at least half of before.
+	for _, s := range d1.Series {
+		before, during, after := s.Points[0].Y, s.Points[1].Y, s.Points[2].Y
+		if before <= 0 {
+			t.Errorf("%s: no baseline throughput", s.Label)
+		}
+		if during >= before/2 {
+			t.Errorf("%s: outage did not degrade throughput (before %.1f, during %.1f)", s.Label, before, during)
+		}
+		if after < before/2 {
+			t.Errorf("%s: throughput did not recover after restart (before %.1f, after %.1f)", s.Label, before, after)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"dpnfs/internal/faults"
 	"dpnfs/internal/metrics"
 	"dpnfs/internal/nfs"
 	"dpnfs/internal/pnfs"
@@ -98,6 +99,14 @@ type Config struct {
 	// per-cluster registry; benchmarks pass a shared one to aggregate a
 	// whole figure sweep.
 	Metrics *metrics.Registry
+
+	// Faults, when set, is the deterministic fault plan replayed against
+	// the cluster (docs/FAULTS.md).  While armed (the default; see
+	// ArmFaults) the plan re-arms relative to the start of every
+	// Run/RunClient, so pair each crash with a restart to leave the
+	// cluster healed between runs.  All five architectures accept the same
+	// plan.
+	Faults *faults.Plan
 }
 
 // Defaults fills in the paper's testbed values.
@@ -160,6 +169,12 @@ type Cluster struct {
 
 	storageNodes []*simnet.Node
 	mdsNode      *simnet.Node
+
+	// Fault-injection state (Config.Faults, docs/FAULTS.md).
+	injector   *faults.Injector
+	faultMu    sync.Mutex
+	disarmed   bool
+	diskByNode map[string]*simdisk.Disk
 }
 
 // New builds a cluster for the configuration.
@@ -171,7 +186,7 @@ func New(cfg Config) *Cluster {
 	cfg.Metrics = cfg.Metrics.WithLabel("arch", string(cfg.Arch))
 	k := sim.NewKernel(cfg.Seed)
 	f := simnet.NewFabric(k)
-	cl := &Cluster{Cfg: cfg, K: k, Fabric: f}
+	cl := &Cluster{Cfg: cfg, K: k, Fabric: f, diskByNode: make(map[string]*simdisk.Disk)}
 	switch cfg.Transport {
 	case TransportTCP:
 		tr := rpc.NewTCPTransport(0)
@@ -215,6 +230,9 @@ func New(cfg Config) *Cluster {
 	default:
 		panic(fmt.Sprintf("cluster: unknown architecture %q", cfg.Arch))
 	}
+	if cfg.Faults != nil {
+		cl.injector = faults.NewInjector(cfg.Faults, cl, cfg.Metrics)
+	}
 	return cl
 }
 
@@ -249,6 +267,7 @@ func (cl *Cluster) buildBackend(nodes int, diskScale float64) {
 		dcfg.WriteBPS *= diskScale
 		disk := simdisk.New(dcfg)
 		cl.Disks = append(cl.Disks, disk)
+		cl.diskByNode[n.Name] = disk
 		cl.Storage = append(cl.Storage, pvfs.NewStorageServer(pvfs.StorageConfig{
 			Transport: cl.tr, Node: n, Disk: disk, Costs: cfg.PVFSCosts,
 			Metrics: cfg.Metrics,
@@ -414,6 +433,72 @@ func nfsServeOn(cl *Cluster, n *simnet.Node, service string, b nfs.Backend) {
 // Mounts returns the per-client application mounts.
 func (cl *Cluster) Mounts() []*Mount { return cl.mounts }
 
+// FaultCandidates returns the storage nodes a fault plan may crash without
+// severing the metadata path: every storage node except the one doubling as
+// metadata manager.  The list is identical in spirit across architectures
+// ("io1", "io2", ...), so one plan drives all five.
+func (cl *Cluster) FaultCandidates() []string {
+	var out []string
+	for _, n := range cl.storageNodes {
+		if n != cl.mdsNode {
+			out = append(out, n.Name)
+		}
+	}
+	return out
+}
+
+// ArmFaults enables (the default) or disables replay of Config.Faults for
+// subsequent runs — benchmarks disarm it around setup phases so only the
+// measured run suffers the plan.
+func (cl *Cluster) ArmFaults(on bool) {
+	cl.faultMu.Lock()
+	cl.disarmed = !on
+	cl.faultMu.Unlock()
+}
+
+// armedInjector returns the injector if a plan is configured and armed.
+func (cl *Cluster) armedInjector() *faults.Injector {
+	cl.faultMu.Lock()
+	defer cl.faultMu.Unlock()
+	if cl.disarmed {
+		return nil
+	}
+	return cl.injector
+}
+
+// SetNodeDown implements faults.Target.  On the simulated fabric the node
+// itself is marked down (the rpc layer turns calls to it into retryable
+// timeouts); in TCP mode the transport gates every conn dialed to the node.
+func (cl *Cluster) SetNodeDown(node string, down bool) {
+	if tcp, ok := cl.tr.(*rpc.TCPTransport); ok {
+		tcp.SetNodeDown(node, down)
+		return
+	}
+	cl.Fabric.Node(node).SetDown(down)
+}
+
+// SetLink implements faults.Target: loss/extra-delay on the node's NIC.
+// Link faults are a property of the simulated network model; in TCP mode
+// (real sockets) they are a no-op.
+func (cl *Cluster) SetLink(node string, loss float64, extraRTT time.Duration) {
+	if _, ok := cl.tr.(*rpc.TCPTransport); ok {
+		return
+	}
+	cl.Fabric.Node(node).SetLink(loss, extraRTT)
+}
+
+// SetDiskSlow implements faults.Target: scales the node's disk service
+// time.  Disks are simulated-only state, so this is a no-op in TCP mode
+// and on nodes without a disk (dedicated data servers, clients).
+func (cl *Cluster) SetDiskSlow(node string, factor float64) {
+	if _, ok := cl.tr.(*rpc.TCPTransport); ok {
+		return
+	}
+	if d, ok := cl.diskByNode[node]; ok {
+		d.SetSlowFactor(factor)
+	}
+}
+
 // Run drives the simulation with fn as client i's application process and
 // returns the virtual duration from start to when every application process
 // has finished.
@@ -441,6 +526,19 @@ func (cl *Cluster) runSubsetInner(mounts []*Mount, fn func(ctx *rpc.Ctx, m *Moun
 	errs := make([]error, len(mounts))
 	start := cl.K.Now()
 	finish := start
+	if inj := cl.armedInjector(); inj != nil {
+		// The fault driver replays the plan relative to this run's start.
+		// The kernel drains all scheduled events before Run returns, so
+		// every event fires even if the applications finish first — a
+		// paired crash/restart plan always leaves the cluster healed.
+		events := inj.Events()
+		cl.K.Go("faults-driver", func(p *sim.Proc) {
+			for _, ev := range events {
+				p.SleepUntilTime(start + sim.Time(ev.When()))
+				inj.Apply(ev)
+			}
+		})
+	}
 	for i, m := range mounts {
 		i, m := i, m
 		cl.K.Go(fmt.Sprintf("app%d", i), func(p *sim.Proc) {
@@ -474,6 +572,31 @@ func (cl *Cluster) runSubsetInner(mounts []*Mount, fn func(ctx *rpc.Ctx, m *Moun
 func (cl *Cluster) runSubsetRealtime(mounts []*Mount, fn func(ctx *rpc.Ctx, m *Mount, i int) error) (time.Duration, error) {
 	errs := make([]error, len(mounts))
 	start := time.Now()
+	if inj := cl.armedInjector(); inj != nil {
+		// Wall-clock fault driver.  Events not yet due when the run ends
+		// are skipped (unlike the simulated driver, which always drains);
+		// plans for TCP runs should fit inside the workload's duration.
+		stop := make(chan struct{})
+		var drv sync.WaitGroup
+		drv.Add(1)
+		go func() {
+			defer drv.Done()
+			for _, ev := range inj.Events() {
+				if d := time.Until(start.Add(ev.When())); d > 0 {
+					select {
+					case <-time.After(d):
+					case <-stop:
+						return
+					}
+				}
+				inj.Apply(ev)
+			}
+		}()
+		defer func() {
+			close(stop)
+			drv.Wait()
+		}()
+	}
 	var wg sync.WaitGroup
 	for i, m := range mounts {
 		wg.Add(1)

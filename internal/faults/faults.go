@@ -1,0 +1,269 @@
+// Package faults is the deterministic fault-injection engine: a Plan is a
+// seed-driven schedule of events (storage-node crashes and restarts, link
+// degradation, slow disks) that a cluster replays against itself while a
+// workload runs.  The same plan drives every architecture, which is what
+// turns the simulator into a testbed for the paper's *unhappy* paths —
+// layout recall/refetch and MDS-proxied fallback under storage-node loss
+// (paper §3–§4, §6).
+//
+// Determinism: a plan's schedule is fixed by its Events (and, for
+// RandomPlan, by its seed alone).  Under the simulation kernel events fire
+// at exact virtual times, so two runs of the same (workload seed, fault
+// plan) pair are byte-identical — the property the bench determinism
+// regression test pins.
+//
+// The engine itself is transport- and protocol-agnostic: it manipulates an
+// abstract Target (implemented by cluster.Cluster), and every applied
+// injection is counted in the shared metrics registry as
+// faults_injected_total{kind,node}.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"dpnfs/internal/metrics"
+)
+
+// Target is the surface an injector manipulates.  cluster.Cluster implements
+// it for both transports: on the simulated fabric all three hooks apply; in
+// TCP mode only node down/up is meaningful (links and disks are not
+// modeled on real sockets) and the others are no-ops.
+type Target interface {
+	// SetNodeDown marks every RPC service on node unreachable (down=true)
+	// or reachable again (down=false).  Calls to a down node surface as
+	// retryable errors at the rpc layer.
+	SetNodeDown(node string, down bool)
+	// SetLink degrades the node's network interface: loss is the
+	// probability that a message pays a retransmission timeout, extraRTT is
+	// added round-trip delay (half per direction).  (0, 0) restores the
+	// link.
+	SetLink(node string, loss float64, extraRTT time.Duration)
+	// SetDiskSlow scales the node's disk service time by factor (>= 1).
+	// Factor 1 restores full speed.
+	SetDiskSlow(node string, factor float64)
+}
+
+// Event is one scheduled injection.  Concrete events are the exported
+// structs below; At is relative to the start of the run the plan is armed
+// for.
+type Event interface {
+	// When returns the event's offset from the start of the run.
+	When() time.Duration
+	// Kind returns a short label for metrics and traces.
+	Kind() string
+	// Target returns the node the event manipulates.
+	Target() string
+	// Apply performs the injection.
+	Apply(tg Target)
+}
+
+// StorageNodeCrash takes every service on Node offline at At.
+type StorageNodeCrash struct {
+	At   time.Duration
+	Node string
+}
+
+func (e StorageNodeCrash) When() time.Duration { return e.At }
+func (e StorageNodeCrash) Kind() string        { return "crash" }
+func (e StorageNodeCrash) Target() string      { return e.Node }
+func (e StorageNodeCrash) Apply(tg Target)     { tg.SetNodeDown(e.Node, true) }
+
+// StorageNodeRestart brings a crashed node back at At.  The simulated
+// store survives the crash (the model is a node reboot, not media loss), so
+// restarting restores access to the node's stripe data.
+type StorageNodeRestart struct {
+	At   time.Duration
+	Node string
+}
+
+func (e StorageNodeRestart) When() time.Duration { return e.At }
+func (e StorageNodeRestart) Kind() string        { return "restart" }
+func (e StorageNodeRestart) Target() string      { return e.Node }
+func (e StorageNodeRestart) Apply(tg Target)     { tg.SetNodeDown(e.Node, false) }
+
+// LinkDegrade makes the node's link lossy/slow at At: each message pays a
+// retransmission timeout with probability Loss, and every round trip
+// through the node pays ExtraRTT of added delay (half per direction).
+// Pair with LinkRestore to heal.
+type LinkDegrade struct {
+	At       time.Duration
+	Node     string
+	Loss     float64
+	ExtraRTT time.Duration
+}
+
+func (e LinkDegrade) When() time.Duration { return e.At }
+func (e LinkDegrade) Kind() string        { return "link-degrade" }
+func (e LinkDegrade) Target() string      { return e.Node }
+func (e LinkDegrade) Apply(tg Target)     { tg.SetLink(e.Node, e.Loss, e.ExtraRTT) }
+
+// LinkRestore heals a degraded link at At.
+type LinkRestore struct {
+	At   time.Duration
+	Node string
+}
+
+func (e LinkRestore) When() time.Duration { return e.At }
+func (e LinkRestore) Kind() string        { return "link-restore" }
+func (e LinkRestore) Target() string      { return e.Node }
+func (e LinkRestore) Apply(tg Target)     { tg.SetLink(e.Node, 0, 0) }
+
+// SlowDisk multiplies the node's disk service time by Factor at At.
+// Factor 1 restores full speed.
+type SlowDisk struct {
+	At     time.Duration
+	Node   string
+	Factor float64
+}
+
+func (e SlowDisk) When() time.Duration { return e.At }
+func (e SlowDisk) Kind() string        { return "slow-disk" }
+func (e SlowDisk) Target() string      { return e.Node }
+func (e SlowDisk) Apply(tg Target)     { tg.SetDiskSlow(e.Node, e.Factor) }
+
+// Plan is a schedule of fault events.  A cluster built with
+// cluster.Config.Faults re-arms the plan relative to the start of every
+// workload run (Run/RunClient) while faults are armed; pair every crash
+// with a restart (and every degrade with a restore) so the cluster heals
+// between runs.
+type Plan struct {
+	// Seed records the derivation seed for reproducibility reporting; it is
+	// informational for hand-built plans and authoritative for RandomPlan.
+	Seed   int64
+	Events []Event
+}
+
+// NewPlan builds a plan from explicit events.
+func NewPlan(seed int64, events ...Event) *Plan {
+	return &Plan{Seed: seed, Events: events}
+}
+
+// Sorted returns the events in firing order (stable for equal times, so
+// plans replay identically).
+func (p *Plan) Sorted() []Event {
+	out := make([]Event, len(p.Events))
+	copy(out, p.Events)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].When() < out[j].When() })
+	return out
+}
+
+// Horizon returns the offset of the last event.
+func (p *Plan) Horizon() time.Duration {
+	var h time.Duration
+	for _, e := range p.Events {
+		if e.When() > h {
+			h = e.When()
+		}
+	}
+	return h
+}
+
+// String renders the schedule for logs and failure messages.
+func (p *Plan) String() string {
+	s := fmt.Sprintf("faults.Plan{seed=%d", p.Seed)
+	for _, e := range p.Sorted() {
+		s += fmt.Sprintf(" %s@%v:%s", e.Kind(), e.When(), e.Target())
+	}
+	return s + "}"
+}
+
+// Injector binds a plan to a target and counts every applied injection in
+// the metrics registry (faults_injected_total, docs/METRICS.md).
+type Injector struct {
+	plan    *Plan
+	target  Target
+	applied *metrics.CounterVec
+}
+
+// NewInjector builds an injector.  reg may be nil (injections go uncounted).
+func NewInjector(plan *Plan, target Target, reg *metrics.Registry) *Injector {
+	in := &Injector{plan: plan, target: target}
+	if reg != nil {
+		in.applied = reg.CounterVec("faults_injected_total",
+			"Fault events applied to the cluster, by event kind and target node.",
+			"kind", "node")
+	}
+	return in
+}
+
+// Events returns the plan's events in firing order.
+func (in *Injector) Events() []Event { return in.plan.Sorted() }
+
+// Apply performs one injection and counts it.
+func (in *Injector) Apply(ev Event) {
+	ev.Apply(in.target)
+	if in.applied != nil {
+		in.applied.With(ev.Kind(), ev.Target()).Inc()
+	}
+}
+
+// RandomPlan derives a reproducible plan from seed alone: one crash/restart
+// pair on one of nodes, plus (half the time each) a degraded link and a
+// slow disk, all within horizon.  The crash lands in the first fifth of the
+// horizon and heals before 0.8·horizon, so a workload paced across the
+// horizon always overlaps the outage.
+func RandomPlan(seed int64, nodes []string, horizon time.Duration) *Plan {
+	if len(nodes) == 0 {
+		panic("faults: RandomPlan needs at least one node")
+	}
+	if horizon <= 0 {
+		horizon = time.Second
+	}
+	rng := rand.New(rand.NewSource(seed))
+	h := float64(horizon)
+	at := func(lo, hi float64) time.Duration { return time.Duration(h * (lo + rng.Float64()*(hi-lo))) }
+
+	victim := nodes[rng.Intn(len(nodes))]
+	crash := at(0.02, 0.2)
+	restart := crash + at(0.2, 0.5)
+	p := NewPlan(seed,
+		StorageNodeCrash{At: crash, Node: victim},
+		StorageNodeRestart{At: restart, Node: victim},
+	)
+	if rng.Float64() < 0.5 {
+		n := nodes[rng.Intn(len(nodes))]
+		p.Events = append(p.Events,
+			LinkDegrade{At: at(0, 0.3), Node: n, Loss: 0.05 + rng.Float64()*0.15, ExtraRTT: time.Duration(200e3 + rng.Float64()*1.8e6)},
+			LinkRestore{At: at(0.6, 0.85), Node: n},
+		)
+	}
+	if rng.Float64() < 0.5 {
+		n := nodes[rng.Intn(len(nodes))]
+		p.Events = append(p.Events,
+			SlowDisk{At: at(0, 0.3), Node: n, Factor: 2 + rng.Float64()*6},
+			SlowDisk{At: at(0.6, 0.85), Node: n, Factor: 1},
+		)
+	}
+	return p
+}
+
+// TB is the slice of testing.TB the Chaos harness needs (kept as a local
+// interface so non-test binaries that link this package do not pull in the
+// testing machinery).
+type TB interface {
+	Helper()
+	Logf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// Chaos drives a chaos-style test: rounds reproducible random plans derived
+// from seed, each handed to fn, which runs a workload under the plan and
+// verifies end-to-end integrity (returning an error on corruption or
+// failure).  The failure message names the round's derived seed so any
+// round can be replayed in isolation via RandomPlan.
+func Chaos(t TB, seed int64, rounds int, nodes []string, horizon time.Duration, fn func(round int, plan *Plan) error) {
+	t.Helper()
+	for round := 0; round < rounds; round++ {
+		// splitmix-style derivation keeps round seeds decorrelated while
+		// remaining a pure function of (seed, round).
+		rs := int64(uint64(seed) + uint64(round+1)*0x9e3779b97f4a7c15)
+		plan := RandomPlan(rs, nodes, horizon)
+		t.Logf("chaos round %d: %v", round, plan)
+		if err := fn(round, plan); err != nil {
+			t.Fatalf("chaos round %d (replay with faults.RandomPlan(%d, ...)): %v", round, rs, err)
+		}
+	}
+}

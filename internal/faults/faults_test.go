@@ -1,0 +1,160 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"dpnfs/internal/metrics"
+)
+
+// recordingTarget logs applied injections for assertions.
+type recordingTarget struct {
+	log []string
+}
+
+func (r *recordingTarget) SetNodeDown(node string, down bool) {
+	if down {
+		r.log = append(r.log, "down:"+node)
+	} else {
+		r.log = append(r.log, "up:"+node)
+	}
+}
+func (r *recordingTarget) SetLink(node string, loss float64, extra time.Duration) {
+	if loss == 0 && extra == 0 {
+		r.log = append(r.log, "link-ok:"+node)
+	} else {
+		r.log = append(r.log, "link-bad:"+node)
+	}
+}
+func (r *recordingTarget) SetDiskSlow(node string, factor float64) {
+	if factor <= 1 {
+		r.log = append(r.log, "disk-ok:"+node)
+	} else {
+		r.log = append(r.log, "disk-slow:"+node)
+	}
+}
+
+func TestPlanSortedAndHorizon(t *testing.T) {
+	p := NewPlan(1,
+		StorageNodeRestart{At: 300 * time.Millisecond, Node: "io1"},
+		StorageNodeCrash{At: 100 * time.Millisecond, Node: "io1"},
+		SlowDisk{At: 200 * time.Millisecond, Node: "io2", Factor: 4},
+	)
+	ev := p.Sorted()
+	if ev[0].Kind() != "crash" || ev[1].Kind() != "slow-disk" || ev[2].Kind() != "restart" {
+		t.Fatalf("bad firing order: %v %v %v", ev[0].Kind(), ev[1].Kind(), ev[2].Kind())
+	}
+	if p.Horizon() != 300*time.Millisecond {
+		t.Fatalf("horizon %v, want 300ms", p.Horizon())
+	}
+}
+
+func TestInjectorAppliesAndCounts(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tg := &recordingTarget{}
+	in := NewInjector(NewPlan(1,
+		StorageNodeCrash{At: 0, Node: "io1"},
+		LinkDegrade{At: time.Millisecond, Node: "io2", Loss: 0.1, ExtraRTT: time.Millisecond},
+		SlowDisk{At: 2 * time.Millisecond, Node: "io3", Factor: 3},
+		StorageNodeRestart{At: 3 * time.Millisecond, Node: "io1"},
+		LinkRestore{At: 4 * time.Millisecond, Node: "io2"},
+		SlowDisk{At: 5 * time.Millisecond, Node: "io3", Factor: 1},
+	), tg, reg)
+	for _, ev := range in.Events() {
+		in.Apply(ev)
+	}
+	want := []string{"down:io1", "link-bad:io2", "disk-slow:io3", "up:io1", "link-ok:io2", "disk-ok:io3"}
+	if !reflect.DeepEqual(tg.log, want) {
+		t.Fatalf("applied %v, want %v", tg.log, want)
+	}
+	var total float64
+	for _, m := range reg.Snapshot().Metrics {
+		if m.Name == "faults_injected_total" {
+			for _, s := range m.Series {
+				total += s.Value
+			}
+		}
+	}
+	if total != 6 {
+		t.Fatalf("faults_injected_total = %v, want 6", total)
+	}
+}
+
+func TestRandomPlanDeterministicAndPaired(t *testing.T) {
+	nodes := []string{"io1", "io2", "io3"}
+	a := RandomPlan(42, nodes, time.Second)
+	b := RandomPlan(42, nodes, time.Second)
+	if a.String() != b.String() {
+		t.Fatalf("same seed, different plans:\n%v\n%v", a, b)
+	}
+	if c := RandomPlan(43, nodes, time.Second); c.String() == a.String() {
+		t.Fatal("different seeds produced identical plans")
+	}
+	// Every derived plan heals itself: each crash has a later restart on
+	// the same node, and the schedule fits the horizon.
+	for seed := int64(0); seed < 50; seed++ {
+		p := RandomPlan(seed, nodes, time.Second)
+		if p.Horizon() > time.Second {
+			t.Fatalf("seed %d: horizon %v exceeds 1s", seed, p.Horizon())
+		}
+		crashes := map[string]time.Duration{}
+		for _, ev := range p.Sorted() {
+			switch e := ev.(type) {
+			case StorageNodeCrash:
+				crashes[e.Node] = e.At
+			case StorageNodeRestart:
+				at, ok := crashes[e.Node]
+				if !ok || e.At <= at {
+					t.Fatalf("seed %d: restart of %s not after its crash", seed, e.Node)
+				}
+				delete(crashes, e.Node)
+			}
+		}
+		if len(crashes) != 0 {
+			t.Fatalf("seed %d: unpaired crash %v", seed, crashes)
+		}
+	}
+}
+
+// chaosTB captures harness output without failing the real test.
+type chaosTB struct {
+	logs   int
+	fatals int
+	last   string
+}
+
+func (c *chaosTB) Helper()                      {}
+func (c *chaosTB) Logf(string, ...any)          { c.logs++ }
+func (c *chaosTB) Fatalf(f string, args ...any) { c.fatals++; c.last = f }
+func (c *chaosTB) errOnRound(round int) func(int, *Plan) error {
+	return func(r int, _ *Plan) error {
+		if r == round {
+			return errBoom
+		}
+		return nil
+	}
+}
+
+var errBoom = errTest("boom")
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }
+
+func TestChaosReportsFailingRound(t *testing.T) {
+	tb := &chaosTB{}
+	Chaos(tb, 7, 3, []string{"io1"}, time.Second, tb.errOnRound(1))
+	if tb.fatals != 1 {
+		t.Fatalf("chaos recorded %d failures, want 1", tb.fatals)
+	}
+	if tb.logs < 2 {
+		t.Fatalf("chaos logged %d plans before failing, want >= 2", tb.logs)
+	}
+	// Same seed, same derived plans: a clean callback passes all rounds.
+	tb2 := &chaosTB{}
+	Chaos(tb2, 7, 3, []string{"io1"}, time.Second, func(int, *Plan) error { return nil })
+	if tb2.fatals != 0 || tb2.logs != 3 {
+		t.Fatalf("clean chaos run: fatals=%d logs=%d", tb2.fatals, tb2.logs)
+	}
+}

@@ -57,8 +57,13 @@ type Client struct {
 	freeSlots []uint32
 	slotSeq   []uint32
 
-	root    uint64
-	pnfsOK  bool
+	root   uint64
+	pnfsOK bool
+
+	// stateMu guards devices, layouts, and inodeCache: recovery paths
+	// mutate them from parallel extent flows (simulated processes under the
+	// kernel, real goroutines over TCP).
+	stateMu sync.Mutex
 	devices map[pnfs.DeviceID]rpc.Conn
 
 	flushSem *sim.Semaphore
@@ -81,6 +86,14 @@ type Client struct {
 	layoutHits  *metrics.Counter
 	slotWaits   *metrics.Histogram
 	slotWaitCnt *metrics.Counter
+
+	// Failure-path observability (docs/FAULTS.md): device errors trigger
+	// layout eviction and a LAYOUTGET/GETDEVICELIST re-drive; extents that
+	// still cannot reach a data server are proxied through the MDS.
+	devErrors    *metrics.Counter
+	layoutEvicts *metrics.Counter
+	layoutRefch  *metrics.Counter
+	mdsFallbacks *metrics.Counter
 }
 
 // Metrics returns the mount's per-operation latency/volume table.
@@ -127,6 +140,14 @@ func NewClient(cfg ClientConfig) *Client {
 			"Time spent waiting for a free session slot.", metrics.DurationBuckets),
 		slotWaitCnt: reg.Counter("nfs_client_slot_acquires_total",
 			"Sessioned compounds that acquired a slot."),
+		devErrors: reg.Counter("nfs_client_device_errors_total",
+			"Data-server call failures observed on the pNFS data path."),
+		layoutEvicts: reg.Counter("nfs_client_layout_evictions_total",
+			"Cached layouts evicted after a device error."),
+		layoutRefch: reg.Counter("nfs_client_layout_refetches_total",
+			"Layouts re-fetched (GETDEVICELIST + LAYOUTGET) after eviction."),
+		mdsFallbacks: reg.Counter("nfs_client_mds_fallbacks_total",
+			"Extents proxied through the MDS after data-server recovery failed."),
 	}
 	c.slotSem = sim.NewSemaphore(cfg.Name+"/slots", int(cfg.Slots))
 	c.rtSlots = make(chan struct{}, cfg.Slots)
@@ -254,12 +275,21 @@ func (c *Client) Mount(ctx *rpc.Ctx) error {
 	}
 	c.root = c.rootFromRep()
 	if dl, ok := rep.Results[1].(*ResGetDevList); ok && dl.Errno == 0 && c.cfg.DialDS != nil {
+		c.stateMu.Lock()
 		for _, dev := range dl.Devices {
 			c.devices[dev.ID] = c.cfg.DialDS(dev.Addr)
 		}
 		c.pnfsOK = len(c.devices) > 0
+		c.stateMu.Unlock()
 	}
 	return nil
+}
+
+// device returns the conn for a device ID (nil if unknown).
+func (c *Client) device(id pnfs.DeviceID) rpc.Conn {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	return c.devices[id]
 }
 
 // rootFromRep is a placeholder for servers whose root is implicit: the
@@ -272,7 +302,11 @@ func (c *Client) PNFS() bool { return c.pnfsOK }
 
 // DropCaches discards all retained inode page caches (echo 3 >
 // /proc/sys/vm/drop_caches) — benchmark methodology between phases.
-func (c *Client) DropCaches() { c.inodeCache = make(map[uint64]*inodeState) }
+func (c *Client) DropCaches() {
+	c.stateMu.Lock()
+	c.inodeCache = make(map[uint64]*inodeState)
+	c.stateMu.Unlock()
+}
 
 // File is an open file on a mount.
 type File struct {
@@ -337,9 +371,11 @@ func (c *Client) open(ctx *rpc.Ctx, path string, create bool) (*File, error) {
 	// Close-to-open consistency: reuse the inode's page cache if no other
 	// client changed the file since we last saw it.
 	pc := newPageCache(c.cfg.Real)
+	c.stateMu.Lock()
 	if st, ok := c.inodeCache[or.FH]; ok && st.change == ga.Attr.Change {
 		pc = st.pc
 	}
+	c.stateMu.Unlock()
 	f := &File{
 		c:         c,
 		Path:      path,
@@ -370,9 +406,13 @@ func (c *Client) Create(ctx *rpc.Ctx, path string) (*File, error) {
 }
 
 // fetchLayout gets (or reuses) the file's layout.  Layouts apply to the
-// whole file and stay valid for the lifetime of the inode (paper §5).
+// whole file and stay valid for the lifetime of the inode (paper §5) —
+// unless a device error evicts them (recoverLayout).
 func (f *File) fetchLayout(ctx *rpc.Ctx) error {
-	if l, ok := f.c.layouts[f.fh]; ok {
+	f.c.stateMu.Lock()
+	l, ok := f.c.layouts[f.fh]
+	f.c.stateMu.Unlock()
+	if ok {
 		f.c.layoutHits.Inc()
 		f.layout = l
 	} else {
@@ -382,7 +422,9 @@ func (f *File) fetchLayout(ctx *rpc.Ctx) error {
 		}
 		lg := rep.Results[1].(*ResLayoutGet)
 		f.layout = &lg.Layout
+		f.c.stateMu.Lock()
 		f.c.layouts[f.fh] = f.layout
+		f.c.stateMu.Unlock()
 	}
 	m, err := f.layout.Mapper()
 	if err != nil {
@@ -390,11 +432,52 @@ func (f *File) fetchLayout(ctx *rpc.Ctx) error {
 	}
 	f.mapper = m
 	for _, id := range f.layout.Devices {
-		if _, ok := f.c.devices[id]; !ok {
+		if f.c.device(id) == nil {
 			return fmt.Errorf("nfs: layout references unknown device %d", id)
 		}
 	}
 	return nil
+}
+
+// recoverLayout handles a data-server failure: it evicts the file's cached
+// layout, re-drives GETDEVICELIST (re-dialing every advertised device) and
+// LAYOUTGET, and returns the fresh layout for a single retry.  A nil return
+// means recovery itself failed — the caller then proxies the extent through
+// the MDS, the protocol's guaranteed-correct fallback path (paper §4).
+func (c *Client) recoverLayout(ctx *rpc.Ctx, f *File) *pnfs.FileLayout {
+	c.stateMu.Lock()
+	delete(c.layouts, f.fh)
+	c.stateMu.Unlock()
+	c.layoutEvicts.Inc()
+	if rep, err := c.call(ctx, c.cfg.MDS, true, &OpPutRootFH{}, &OpGetDevList{}); err == nil && c.cfg.DialDS != nil {
+		if dl, ok := rep.Results[1].(*ResGetDevList); ok && dl.Errno == 0 {
+			c.stateMu.Lock()
+			for _, dev := range dl.Devices {
+				c.devices[dev.ID] = c.cfg.DialDS(dev.Addr)
+			}
+			c.stateMu.Unlock()
+		}
+	}
+	rep, err := c.call(ctx, c.cfg.MDS, true, &OpPutFH{FH: f.fh}, &OpLayoutGet{})
+	if err != nil {
+		return nil
+	}
+	lg := rep.Results[1].(*ResLayoutGet)
+	l := lg.Layout
+	if _, err := l.Mapper(); err != nil {
+		return nil
+	}
+	c.stateMu.Lock()
+	for _, id := range l.Devices {
+		if _, ok := c.devices[id]; !ok {
+			c.stateMu.Unlock()
+			return nil
+		}
+	}
+	c.layouts[f.fh] = &l
+	c.stateMu.Unlock()
+	c.layoutRefch.Inc()
+	return &l
 }
 
 // Write buffers data at off in the page cache and asynchronously flushes
@@ -455,23 +538,27 @@ func (c *Client) writeRange(ctx *rpc.Ctx, f *File, off int64, data payload.Paylo
 		}
 		return err
 	}
+	layout := f.layout
 	extents := f.mapper.Map(off, data.Len())
 	errs := make([]error, len(extents))
 	rpc.Parallel(ctx, len(extents), func(ctx *rpc.Ctx, i int) {
 		e := extents[i]
-		conn := c.devices[f.layout.Devices[e.Dev]]
-		devOff := e.Off
-		if f.layout.Direct {
-			devOff = e.DevOff
-		}
 		chunk := data.Slice(e.Off-off, e.Len)
-		_, err := c.call(ctx, conn, false,
-			&OpPutFH{FH: f.layout.FHs[e.Dev]},
-			&OpWrite{StateID: f.stateID, Off: devOff, Data: chunk},
-		)
+		_, err := c.dsWrite(ctx, f, layout, e, chunk)
 		if err != nil {
-			// Data server failure: fall back through the metadata server,
-			// which proxies I/O into the parallel file system.
+			// Device error: evict the cached layout, re-drive
+			// GETDEVICELIST + LAYOUTGET, and retry once against the fresh
+			// layout (the recalled-layout path, paper §4).
+			c.devErrors.Inc()
+			if l2 := c.recoverLayout(ctx, f); l2 != nil && e.Dev < len(l2.Devices) {
+				_, err = c.dsWrite(ctx, f, l2, e, chunk)
+			}
+		}
+		if err != nil {
+			// No reachable data server for this extent: fall back through
+			// the metadata server, which proxies I/O into the parallel
+			// file system.
+			c.mdsFallbacks.Inc()
 			_, err = c.call(ctx, c.cfg.MDS, true,
 				&OpPutFH{FH: f.fh},
 				&OpWrite{StateID: f.stateID, Off: e.Off, Data: chunk},
@@ -494,6 +581,22 @@ func (c *Client) writeRange(ctx *rpc.Ctx, f *File, off int64, data payload.Paylo
 		}
 	}
 	return nil
+}
+
+// dsWrite sends one extent's WRITE to its data server under layout l.
+func (c *Client) dsWrite(ctx *rpc.Ctx, f *File, l *pnfs.FileLayout, e stripe.Extent, chunk payload.Payload) (*CompoundRep, error) {
+	conn := c.device(l.Devices[e.Dev])
+	if conn == nil {
+		return nil, fmt.Errorf("nfs: no conn for device %d", l.Devices[e.Dev])
+	}
+	devOff := e.Off
+	if l.Direct {
+		devOff = e.DevOff
+	}
+	return c.call(ctx, conn, false,
+		&OpPutFH{FH: l.FHs[e.Dev]},
+		&OpWrite{StateID: f.stateID, Off: devOff, Data: chunk},
+	)
 }
 
 // Fsync flushes all dirty data, commits unstable writes on every touched
@@ -537,8 +640,16 @@ func (c *Client) Fsync(ctx *rpc.Ctx, f *File) error {
 			_, errs[i] = c.call(ctx, c.cfg.MDS, true, &OpPutFH{FH: f.fh}, &OpCommit{})
 			return
 		}
-		conn := c.devices[f.layout.Devices[dev]]
-		_, errs[i] = c.call(ctx, conn, false, &OpPutFH{FH: f.layout.FHs[dev]}, &OpCommit{})
+		conn := c.device(f.layout.Devices[dev])
+		_, err := c.call(ctx, conn, false, &OpPutFH{FH: f.layout.FHs[dev]}, &OpCommit{})
+		if err != nil {
+			// Crashed data server: commit through the MDS instead, which
+			// flushes the parallel FS daemons on the client's behalf.
+			c.devErrors.Inc()
+			c.mdsFallbacks.Inc()
+			_, err = c.call(ctx, c.cfg.MDS, true, &OpPutFH{FH: f.fh}, &OpCommit{})
+		}
+		errs[i] = err
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -567,10 +678,12 @@ func (c *Client) Close(ctx *rpc.Ctx, f *File) error {
 	if err != nil {
 		return err
 	}
+	c.stateMu.Lock()
 	c.inodeCache[f.fh] = &inodeState{
 		change: rep.Results[1].(*ResGetAttr).Attr.Change,
 		pc:     f.cache,
 	}
+	c.stateMu.Unlock()
 	return nil
 }
 
@@ -701,21 +814,23 @@ func (c *Client) readRange(ctx *rpc.Ctx, f *File, chunk extent) error {
 		f.cache.fill(chunk.Off, rep.Results[1].(*ResRead).Data)
 		return nil
 	}
+	layout := f.layout
 	extents := f.mapper.ReadMap(chunk.Off, chunk.len(), chunk.Off/c.cfg.RSize)
 	errs := make([]error, len(extents))
 	rpc.Parallel(ctx, len(extents), func(ctx *rpc.Ctx, i int) {
 		e := extents[i]
-		conn := c.devices[f.layout.Devices[e.Dev]]
-		devOff := e.Off
-		if f.layout.Direct {
-			devOff = e.DevOff
-		}
-		rep, err := c.call(ctx, conn, false,
-			&OpPutFH{FH: f.layout.FHs[e.Dev]},
-			&OpRead{StateID: f.stateID, Off: devOff, Len: e.Len, WantReal: want},
-		)
+		rep, err := c.dsRead(ctx, f, layout, e, want)
 		if err != nil {
-			// Data server failure: fall back through the metadata server.
+			// Device error: evict, refetch the layout, retry once.
+			c.devErrors.Inc()
+			if l2 := c.recoverLayout(ctx, f); l2 != nil && e.Dev < len(l2.Devices) {
+				rep, err = c.dsRead(ctx, f, l2, e, want)
+			}
+		}
+		if err != nil {
+			// No reachable data server: fall back through the metadata
+			// server.
+			c.mdsFallbacks.Inc()
 			rep, err = c.call(ctx, c.cfg.MDS, true,
 				&OpPutFH{FH: f.fh},
 				&OpRead{StateID: f.stateID, Off: e.Off, Len: e.Len, WantReal: want},
@@ -733,6 +848,22 @@ func (c *Client) readRange(ctx *rpc.Ctx, f *File, chunk extent) error {
 		}
 	}
 	return nil
+}
+
+// dsRead sends one extent's READ to its data server under layout l.
+func (c *Client) dsRead(ctx *rpc.Ctx, f *File, l *pnfs.FileLayout, e stripe.Extent, want bool) (*CompoundRep, error) {
+	conn := c.device(l.Devices[e.Dev])
+	if conn == nil {
+		return nil, fmt.Errorf("nfs: no conn for device %d", l.Devices[e.Dev])
+	}
+	devOff := e.Off
+	if l.Direct {
+		devOff = e.DevOff
+	}
+	return c.call(ctx, conn, false,
+		&OpPutFH{FH: l.FHs[e.Dev]},
+		&OpRead{StateID: f.stateID, Off: devOff, Len: e.Len, WantReal: want},
+	)
 }
 
 // GetAttr refreshes attributes from the metadata server.

@@ -45,7 +45,13 @@ func (failConn) Call(*rpc.Ctx, uint32, xdr.Marshaler, xdr.Unmarshaler) error {
 	return errDeadDS
 }
 
-func TestPNFSFallsBackThroughMDSOnDataServerFailure(t *testing.T) {
+// TestFailoverPNFSFallsBackThroughMDS is the protocol-level half of the
+// failover story: a permanently dead data server (not a crash/restart —
+// the conn always errors) must push every affected extent through the
+// layout-recovery ladder and land on the MDS-proxied path.  The
+// cluster-level, table-driven suite that runs crash/recover against all
+// five architectures is TestFailoverAllArchitectures in internal/cluster.
+func TestFailoverPNFSFallsBackThroughMDS(t *testing.T) {
 	k := sim.NewKernel(1)
 	f := simnet.NewFabric(k)
 	mdsNode := f.AddNode(simnet.NodeConfig{Name: "mds"})

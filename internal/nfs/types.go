@@ -549,7 +549,9 @@ func (r *ResReadDir) UnmarshalXDR(d *xdr.Decoder) error {
 	if err != nil {
 		return err
 	}
-	if n > 1<<20 {
+	// Each name needs at least its 4-byte length word; reject corrupt
+	// counts before allocating.
+	if n > 1<<20 || int64(n) > int64(d.Remaining()/4) {
 		return xdr.ErrTooLong
 	}
 	r.Names = make([]string, n)

@@ -24,6 +24,11 @@ type ClientConfig struct {
 	// MaxTransfer caps a single I/O request's payload; larger extents are
 	// split ("large transfer buffers").
 	MaxTransfer int64
+	// Retry bounds the per-daemon retry loop that rides out injected
+	// storage-node crashes (internal/faults): striped I/O to a crashed
+	// daemon backs off and retries until the node restarts or the budget
+	// runs out.  Zero-valued fields take rpc.DefaultRetryPolicy.
+	Retry rpc.RetryPolicy
 	// Metrics is the shared observability registry (docs/METRICS.md); nil
 	// discards.
 	Metrics *metrics.Registry
@@ -36,7 +41,9 @@ type Client struct {
 	stats *clientStats
 }
 
-// NewClient returns a client with defaults applied.
+// NewClient returns a client with defaults applied.  Storage-daemon conns
+// are wrapped in the retry policy, so every striped read and write survives
+// a daemon outage shorter than the retry budget.
 func NewClient(cfg ClientConfig) *Client {
 	if cfg.MaxFlight <= 0 {
 		cfg.MaxFlight = 8
@@ -44,7 +51,13 @@ func NewClient(cfg ClientConfig) *Client {
 	if cfg.MaxTransfer <= 0 {
 		cfg.MaxTransfer = 256 << 10 // PVFS2 flow buffer size
 	}
-	return &Client{cfg: cfg, stats: newClientStats(cfg.Metrics)}
+	stats := newClientStats(cfg.Metrics)
+	io := make([]rpc.Conn, len(cfg.IO))
+	for i, conn := range cfg.IO {
+		io[i] = rpc.WithRetry(conn, cfg.Retry, stats.ioRetries.Inc)
+	}
+	cfg.IO = io
+	return &Client{cfg: cfg, stats: stats}
 }
 
 // File is an open PVFS2 file reference.

@@ -1,0 +1,87 @@
+package pvfs
+
+import (
+	"bytes"
+	"testing"
+
+	"dpnfs/internal/payload"
+	"dpnfs/internal/xdr"
+)
+
+// fuzzTargets instantiates every PVFS2 wire type (types.go), in a fixed
+// order so a fuzz input's selector byte is stable across runs.
+func fuzzTargets() []func() xdr.Unmarshaler {
+	return []func() xdr.Unmarshaler{
+		func() xdr.Unmarshaler { return &LookupArgs{} },
+		func() xdr.Unmarshaler { return &LookupRep{} },
+		func() xdr.Unmarshaler { return &CreateArgs{} },
+		func() xdr.Unmarshaler { return &CreateRep{} },
+		func() xdr.Unmarshaler { return &RemoveArgs{} },
+		func() xdr.Unmarshaler { return &RemoveRep{} },
+		func() xdr.Unmarshaler { return &MkdirArgs{} },
+		func() xdr.Unmarshaler { return &MkdirRep{} },
+		func() xdr.Unmarshaler { return &ReadDirArgs{} },
+		func() xdr.Unmarshaler { return &ReadDirRep{} },
+		func() xdr.Unmarshaler { return &GetAttrArgs{} },
+		func() xdr.Unmarshaler { return &GetAttrRep{} },
+		func() xdr.Unmarshaler { return &TruncateArgs{} },
+		func() xdr.Unmarshaler { return &TruncateRep{} },
+		func() xdr.Unmarshaler { return &IOReadArgs{} },
+		func() xdr.Unmarshaler { return &IOReadRep{} },
+		func() xdr.Unmarshaler { return &IOWriteArgs{} },
+		func() xdr.Unmarshaler { return &IOWriteRep{} },
+		func() xdr.Unmarshaler { return &IOCreateArgs{} },
+		func() xdr.Unmarshaler { return &IOCreateRep{} },
+		func() xdr.Unmarshaler { return &IORemoveArgs{} },
+		func() xdr.Unmarshaler { return &IORemoveRep{} },
+		func() xdr.Unmarshaler { return &IOGetSizeArgs{} },
+		func() xdr.Unmarshaler { return &IOGetSizeRep{} },
+		func() xdr.Unmarshaler { return &IOFlushArgs{} },
+		func() xdr.Unmarshaler { return &IOFlushRep{} },
+		func() xdr.Unmarshaler { return &IOTruncateArgs{} },
+		func() xdr.Unmarshaler { return &IOTruncateRep{} },
+		func() xdr.Unmarshaler { return &DirOpArgs{} },
+		func() xdr.Unmarshaler { return &RenameHArgs{} },
+		func() xdr.Unmarshaler { return &ReadDirHArgs{} },
+	}
+}
+
+// FuzzDecodeWireTypes decodes arbitrary frames into every PVFS2 wire type
+// (selected by the first input byte).  Truncated or oversized frames must
+// return errors — never panic or balloon allocations — and any frame that
+// does decode must re-encode canonically (encode → decode → encode is a
+// fixed point).  Seeds come from the xdr_test.go round-trip corpus.
+func FuzzDecodeWireTypes(f *testing.F) {
+	seed := func(sel byte, m xdr.Marshaler) { f.Add(sel, xdr.Marshal(m)) }
+	seed(1, &LookupRep{Errno: 2, Handle: 7, IsDir: true, Size: -1,
+		Dist: DistParams{StripeSize: 1 << 20, NumServers: 6}})
+	seed(3, &CreateRep{Handle: 9, Dist: DistParams{StripeSize: 2 << 20, NumServers: 3}})
+	seed(9, &ReadDirRep{Names: []string{"a", "bb", "ccc"}})
+	seed(11, &GetAttrRep{Size: 1 << 40, Change: 99})
+	seed(15, &IOReadRep{Data: payload.Real([]byte("xyz")), Eof: true})
+	seed(16, &IOWriteArgs{Handle: 5, Off: 64, Data: payload.Real([]byte("data")), Sync: true})
+	seed(29, &RenameHArgs{Dir: 4, Src: "a", Dst: "b"})
+	f.Add(byte(9), []byte{0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff}) // hostile name count
+	f.Add(byte(15), []byte{0, 0, 0, 0, 0x7f, 0xff, 0xff, 0xff})
+
+	targets := fuzzTargets()
+	f.Fuzz(func(t *testing.T, sel byte, data []byte) {
+		ctor := targets[int(sel)%len(targets)]
+		msg := ctor()
+		if err := xdr.Unmarshal(data, msg); err != nil {
+			return // malformed frames must error out cleanly
+		}
+		m, ok := msg.(xdr.Marshaler)
+		if !ok {
+			return
+		}
+		re := xdr.Marshal(m)
+		msg2 := ctor()
+		if err := xdr.Unmarshal(re, msg2); err != nil {
+			t.Fatalf("%T: re-encoded frame failed to decode: %v", msg, err)
+		}
+		if !bytes.Equal(re, xdr.Marshal(msg2.(xdr.Marshaler))) {
+			t.Fatalf("%T: encode/decode/encode is not a fixed point", msg)
+		}
+	})
+}

@@ -82,13 +82,16 @@ func newStorageStats(reg *metrics.Registry) *storageStats {
 
 // metaStats bundles the metadata server's instruments.
 type metaStats struct {
-	requests *metrics.CounterVec
+	requests  *metrics.CounterVec
+	ioRetries *metrics.Counter
 }
 
 func newMetaStats(reg *metrics.Registry) *metaStats {
 	return &metaStats{
 		requests: reg.CounterVec("pvfs_meta_requests_total",
 			"Metadata-server requests, by procedure.", "proc"),
+		ioRetries: reg.Counter("pvfs_meta_io_retries_total",
+			"MDS fan-out calls to storage daemons retried after a retryable transport failure."),
 	}
 }
 
@@ -97,6 +100,7 @@ func newMetaStats(reg *metrics.Registry) *metaStats {
 // cacheless clients pass every application request straight through).
 type clientStats struct {
 	ioRequests *metrics.Counter
+	ioRetries  *metrics.Counter
 	bytesRead  *metrics.Counter
 	bytesWrite *metrics.Counter
 }
@@ -105,6 +109,8 @@ func newClientStats(reg *metrics.Registry) *clientStats {
 	return &clientStats{
 		ioRequests: reg.Counter("pvfs_client_io_requests_total",
 			"Storage-daemon I/O requests issued (after MaxTransfer splitting)."),
+		ioRetries: reg.Counter("pvfs_client_io_retries_total",
+			"Storage-daemon calls retried after a retryable transport failure (crashed node)."),
 		bytesRead: reg.Counter("pvfs_client_bytes_read_total",
 			"Logical bytes read by the client library."),
 		bytesWrite: reg.Counter("pvfs_client_bytes_written_total",

@@ -357,6 +357,10 @@ type MetaConfig struct {
 	Dist    DistParams
 	IOConns []rpc.Conn // one per storage daemon, in device order
 	Threads int
+	// Retry bounds the retry loop on IOConns fan-out calls so metadata
+	// operations (create, getattr, truncate) survive a storage-daemon
+	// outage shorter than the budget.  Zero takes rpc.DefaultRetryPolicy.
+	Retry rpc.RetryPolicy
 	// Transport, when set, registers ServiceMeta through the transport
 	// abstraction instead of the legacy Fabric path.
 	Transport rpc.Transport
@@ -385,7 +389,13 @@ func NewMetaServer(cfg MetaConfig) *MetaServer {
 	if cfg.Threads <= 0 {
 		cfg.Threads = 16
 	}
-	m := &MetaServer{cfg: cfg, store: vfs.New(), stats: newMetaStats(cfg.Metrics)}
+	stats := newMetaStats(cfg.Metrics)
+	conns := make([]rpc.Conn, len(cfg.IOConns))
+	for i, conn := range cfg.IOConns {
+		conns[i] = rpc.WithRetry(conn, cfg.Retry, stats.ioRetries.Inc)
+	}
+	cfg.IOConns = conns
+	m := &MetaServer{cfg: cfg, store: vfs.New(), stats: stats}
 	switch {
 	case cfg.Transport != nil && cfg.Node != nil:
 		if _, err := cfg.Transport.Serve(cfg.Node.Name, ServiceMeta, MetaRegistry(), m.Handle, cfg.Threads); err != nil {

@@ -341,7 +341,11 @@ func (r *ReadDirRep) UnmarshalXDR(d *xdr.Decoder) error {
 	if err != nil {
 		return err
 	}
-	if n > 1<<20 {
+	// Every encoded name needs at least its 4-byte length word, so a count
+	// beyond Remaining()/4 is a corrupt (or hostile) frame — reject it
+	// before allocating, instead of letting an 8-byte frame demand a
+	// million-entry slice.
+	if n > 1<<20 || int64(n) > int64(d.Remaining()/4) {
 		return xdr.ErrTooLong
 	}
 	r.Names = make([]string, n)

@@ -1,0 +1,159 @@
+package rpc
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dpnfs/internal/sim"
+	"dpnfs/internal/simnet"
+	"dpnfs/internal/xdr"
+)
+
+func TestRetryableClassifiesErrors(t *testing.T) {
+	if !Retryable(&DownError{Node: "io1"}) {
+		t.Fatal("DownError must be retryable")
+	}
+	if !Retryable(errWrap{&DownError{Node: "io1"}}) {
+		t.Fatal("wrapped DownError must be retryable")
+	}
+	if Retryable(errors.New("disk on fire")) {
+		t.Fatal("arbitrary errors must not be retryable")
+	}
+	if Retryable(StatusSystemErr) {
+		t.Fatal("RPC status errors must not be retryable")
+	}
+	if Retryable(nil) {
+		t.Fatal("nil must not be retryable")
+	}
+}
+
+type errWrap struct{ inner error }
+
+func (e errWrap) Error() string { return "wrap: " + e.inner.Error() }
+func (e errWrap) Unwrap() error { return e.inner }
+
+// flakyConn fails with a retryable DownError for the first failN calls.
+type flakyConn struct {
+	failN int
+	calls int
+}
+
+func (c *flakyConn) Call(ctx *Ctx, proc uint32, args xdr.Marshaler, rep xdr.Unmarshaler) error {
+	c.calls++
+	if c.calls <= c.failN {
+		return &DownError{Node: "io1"}
+	}
+	return nil
+}
+
+func TestWithRetryRidesOutOutage(t *testing.T) {
+	inner := &flakyConn{failN: 3}
+	var retries int
+	conn := WithRetry(inner, RetryPolicy{Max: 10, Base: time.Microsecond, Cap: time.Microsecond}, func() { retries++ })
+	if err := conn.Call(&Ctx{}, 1, nil, nil); err != nil {
+		t.Fatalf("call through transient outage: %v", err)
+	}
+	if inner.calls != 4 {
+		t.Fatalf("inner called %d times, want 4", inner.calls)
+	}
+	if retries != 3 {
+		t.Fatalf("onRetry fired %d times, want 3", retries)
+	}
+}
+
+func TestWithRetryGivesUpAfterBudget(t *testing.T) {
+	inner := &flakyConn{failN: 100}
+	conn := WithRetry(inner, RetryPolicy{Max: 5, Base: time.Microsecond, Cap: time.Microsecond}, nil)
+	err := conn.Call(&Ctx{}, 1, nil, nil)
+	var de *DownError
+	if !errors.As(err, &de) {
+		t.Fatalf("exhausted retry budget returned %v, want DownError", err)
+	}
+	if inner.calls != 5 {
+		t.Fatalf("inner called %d times, want Max=5", inner.calls)
+	}
+}
+
+func TestWithRetryDoesNotRetryProtocolErrors(t *testing.T) {
+	calls := 0
+	failing := connFunc(func(*Ctx, uint32, xdr.Marshaler, xdr.Unmarshaler) error {
+		calls++
+		return StatusSystemErr
+	})
+	conn := WithRetry(failing, RetryPolicy{Max: 5, Base: time.Microsecond}, nil)
+	if err := conn.Call(&Ctx{}, 1, nil, nil); !errors.Is(err, StatusSystemErr) {
+		t.Fatalf("got %v, want StatusSystemErr through unchanged", err)
+	}
+	if calls != 1 {
+		t.Fatalf("non-retryable error retried %d times", calls)
+	}
+}
+
+type connFunc func(*Ctx, uint32, xdr.Marshaler, xdr.Unmarshaler) error
+
+func (f connFunc) Call(ctx *Ctx, proc uint32, args xdr.Marshaler, rep xdr.Unmarshaler) error {
+	return f(ctx, proc, args, rep)
+}
+
+// TestSimTransportDownNode pins the simulated crash semantics: calls to a
+// down node burn DownCallTimeout of virtual time and fail with a retryable
+// DownError; after SetDown(false) the same conn works again.
+func TestSimTransportDownNode(t *testing.T) {
+	k := sim.NewKernel(1)
+	f := simnet.NewFabric(k)
+	cl := f.AddNode(simnet.NodeConfig{Name: "client"})
+	srv := f.AddNode(simnet.NodeConfig{Name: "server"})
+	ServeSim(ServerConfig{Fabric: f, Node: srv, Service: "echo", Threads: 4, Handler: echoHandler})
+	conn := &SimTransport{Fabric: f, Src: cl, Dst: srv, Service: "echo"}
+
+	k.Go("caller", func(p *sim.Proc) {
+		ctx := &Ctx{P: p}
+		srv.SetDown(true)
+		before := p.Now()
+		err := conn.Call(ctx, procEcho, &echoArgs{N: 1}, nil)
+		var de *DownError
+		if !errors.As(err, &de) || de.Node != "server" {
+			t.Errorf("call to down node: %v, want DownError{server}", err)
+		}
+		if waited := time.Duration(p.Now() - before); waited != DownCallTimeout {
+			t.Errorf("down call burned %v, want %v", waited, DownCallTimeout)
+		}
+		srv.SetDown(false)
+		var got echoArgs
+		if err := conn.Call(ctx, procEcho, &echoArgs{N: 41}, &got); err != nil || got.N != 42 {
+			t.Errorf("call after restart: %+v, %v", got, err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTCPTransportDownNode pins the TCP equivalent: SetNodeDown gates every
+// conn dialed to the node with fast-fail retryable errors, and clears.
+func TestTCPTransportDownNode(t *testing.T) {
+	tr := NewTCPTransport(1)
+	defer tr.Close()
+	if _, err := tr.Serve("io0", "echo", echoRegistry(), echoHandler, 2); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := tr.Dial("c0", "io0", "echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got echoArgs
+	if err := conn.Call(&Ctx{}, procEcho, &echoArgs{N: 1}, &got); err != nil {
+		t.Fatal(err)
+	}
+	tr.SetNodeDown("io0", true)
+	err = conn.Call(&Ctx{}, procEcho, &echoArgs{N: 1}, &got)
+	var de *DownError
+	if !errors.As(err, &de) || de.Node != "io0" {
+		t.Fatalf("call to down node: %v, want DownError{io0}", err)
+	}
+	tr.SetNodeDown("io0", false)
+	if err := conn.Call(&Ctx{}, procEcho, &echoArgs{N: 5}, &got); err != nil || got.N != 6 {
+		t.Fatalf("call after restart: %+v, %v", got, err)
+	}
+}

@@ -217,6 +217,15 @@ func (t *SimTransport) Call(ctx *Ctx, proc uint32, args xdr.Marshaler, rep xdr.U
 	}
 	done := t.stats.callStart()
 	start := ctx.Now()
+	if t.Dst.Down() {
+		// Injected crash: the request goes unanswered until the RPC timer
+		// expires, then surfaces as a retryable failure.
+		ctx.P.Sleep(DownCallTimeout)
+		err := &DownError{Node: t.Dst.Name}
+		t.stats.fault()
+		done(time.Duration(ctx.Now()-start), err)
+		return err
+	}
 	rc := sim.NewChan("reply")
 	msg := call{proc: proc, req: args, replyTo: rc, from: t.Src}
 	size := WireSizeOf(args) + HeaderBytes

@@ -23,6 +23,8 @@ type connStats struct {
 
 	connects *metrics.Counter // TCP: sockets dialed (first dial + reconnects)
 	retries  *metrics.Counter // TCP: calls retried on a fresh connection
+
+	faults *metrics.Counter // calls rejected by injected node-down faults
 }
 
 // newConnStats resolves the client-side instrument bundle.  reg may be nil.
@@ -54,6 +56,9 @@ func newConnStats(reg *metrics.Registry, transport, service string) *connStats {
 			"transport", "service").With(transport, service),
 		retries: reg.CounterVec("rpc_client_retries_total",
 			"Calls retried on a fresh connection after a pre-wire send failure.",
+			"transport", "service").With(transport, service),
+		faults: reg.CounterVec("rpc_client_fault_errors_total",
+			"Calls that failed because fault injection marked the target node down.",
 			"transport", "service").With(transport, service),
 	}
 }
@@ -95,6 +100,12 @@ func (s *connStats) connect() {
 func (s *connStats) retry() {
 	if s != nil {
 		s.retries.Inc()
+	}
+}
+
+func (s *connStats) fault() {
+	if s != nil {
+		s.faults.Inc()
 	}
 }
 

@@ -84,7 +84,47 @@ type TCPTransport struct {
 	servers map[string]*TCPServer // key: node + "/" + service
 	addrs   map[string]string     // logical key -> host:port
 	pools   map[string]*TCPPool   // one shared pool per server endpoint
+	downed  map[string]bool       // fault injection: logical nodes marked down
 	closed  bool
+}
+
+// SetNodeDown marks (or clears) every service on the logical node as
+// unreachable: calls through conns dialed to it fail fast with a retryable
+// *DownError, the TCP equivalent of the simulated fabric's crashed node
+// (internal/faults).
+func (t *TCPTransport) SetNodeDown(node string, down bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.downed == nil {
+		t.downed = make(map[string]bool)
+	}
+	if down {
+		t.downed[node] = true
+	} else {
+		delete(t.downed, node)
+	}
+}
+
+func (t *TCPTransport) nodeDown(node string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.downed[node]
+}
+
+// downGate wraps a pool conn with the transport's node-down check.
+type downGate struct {
+	tr   *TCPTransport
+	node string
+	pool *TCPPool
+}
+
+// Call implements Conn, rejecting calls while the node is marked down.
+func (g *downGate) Call(ctx *Ctx, proc uint32, args xdr.Marshaler, rep xdr.Unmarshaler) error {
+	if g.tr.nodeDown(g.node) {
+		g.pool.stats.fault()
+		return &DownError{Node: g.node}
+	}
+	return g.pool.Call(ctx, proc, args, rep)
 }
 
 // NewTCPTransport returns an empty loopback transport.
@@ -149,7 +189,7 @@ func (t *TCPTransport) Dial(from, node, service string) (Conn, error) {
 		return nil, errConnClosed
 	}
 	if p, ok := t.pools[poolKey]; ok {
-		return p, nil
+		return &downGate{tr: t, node: node, pool: p}, nil
 	}
 	addr, ok := t.addrs[serverKey]
 	if !ok {
@@ -158,7 +198,7 @@ func (t *TCPTransport) Dial(from, node, service string) (Conn, error) {
 	p := NewTCPPool(addr, t.PoolConns)
 	p.stats = newConnStats(t.Metrics, "tcp", service)
 	t.pools[poolKey] = p
-	return p, nil
+	return &downGate{tr: t, node: node, pool: p}, nil
 }
 
 // Addr reports the bound address for (node, service), or "" if absent.

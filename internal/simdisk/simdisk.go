@@ -67,8 +67,31 @@ type Disk struct {
 	end   map[uint64]int64 // fileID -> offset just past the last access
 	cache *lru
 
+	// slow scales head service time (fault injection: a degraded disk,
+	// internal/faults.SlowDisk).  1 means healthy.
+	slow float64
+
 	reads, writes, hits, misses uint64
 	bytesRead, bytesWritten     int64
+}
+
+// SetSlowFactor scales the disk's service time by factor (>= 1); factor 1
+// (or less) restores full speed.  Only the platter path slows down — cache
+// hits and write-buffer inserts still run at memory speed, as on a real
+// machine with a failing spindle.
+func (d *Disk) SetSlowFactor(factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	d.slow = factor
+}
+
+// SlowFactor reports the current service-time scale.
+func (d *Disk) SlowFactor() float64 {
+	if d.slow < 1 {
+		return 1
+	}
+	return d.slow
 }
 
 // New creates a disk from cfg, applying DefaultConfig values for zero fields.
@@ -115,6 +138,9 @@ func (d *Disk) service(fileID uint64, off, n int64, bps float64, pos time.Durati
 		svc += pos
 	}
 	d.end[fileID] = off + n
+	if d.slow > 1 {
+		svc = time.Duration(float64(svc) * d.slow)
+	}
 	return svc
 }
 
@@ -141,7 +167,11 @@ func (d *Disk) Write(p *sim.Proc, fileID uint64, off, n int64) {
 // pays the write-barrier cost on the head (queued FIFO with other work).
 func (d *Disk) Sync(p *sim.Proc) {
 	p.SleepUntilTime(d.head.FreeAt())
-	d.head.Use(p, d.cfg.SyncCost)
+	cost := d.cfg.SyncCost
+	if d.slow > 1 {
+		cost = time.Duration(float64(cost) * d.slow)
+	}
+	d.head.Use(p, cost)
 }
 
 // Read completes a read of n bytes at off in fileID, consulting the page

@@ -211,3 +211,54 @@ func TestDefaultsApplied(t *testing.T) {
 		t.Fatalf("defaults not applied: %+v", d.cfg)
 	}
 }
+
+func TestSlowFactorScalesService(t *testing.T) {
+	run := func(factor float64) time.Duration {
+		k := sim.NewKernel(1)
+		d := testDisk()
+		d.SetSlowFactor(factor)
+		var done sim.Time
+		k.Go("r", func(p *sim.Proc) {
+			d.Read(p, 1, 0, 1<<20) // cold read: disk service
+			done = p.Now()
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return time.Duration(done)
+	}
+	healthy := run(1)
+	slow := run(4)
+	if slow <= 3*healthy || slow >= 5*healthy {
+		t.Fatalf("4x slow disk served in %v vs healthy %v; want ~4x", slow, healthy)
+	}
+	if got := run(0.5); got != healthy {
+		t.Fatalf("factor < 1 must clamp to healthy speed: %v vs %v", got, healthy)
+	}
+}
+
+func TestSlowFactorRestores(t *testing.T) {
+	k := sim.NewKernel(1)
+	d := testDisk()
+	d.SetSlowFactor(8)
+	if d.SlowFactor() != 8 {
+		t.Fatalf("SlowFactor = %v, want 8", d.SlowFactor())
+	}
+	d.SetSlowFactor(1)
+	if d.SlowFactor() != 1 {
+		t.Fatalf("SlowFactor after restore = %v, want 1", d.SlowFactor())
+	}
+	var done sim.Time
+	k.Go("r", func(p *sim.Proc) {
+		d.Read(p, 1, 0, 1<<20)
+		done = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 1 MB at 50 MB/s + 5 ms positioning ~= 26 ms; an unrestored 8x factor
+	// would take ~200 ms.
+	if time.Duration(done) > 50*time.Millisecond {
+		t.Fatalf("restored disk still slow: %v", time.Duration(done))
+	}
+}

@@ -30,6 +30,12 @@ const (
 	DefaultCore = 2
 )
 
+// RetransmitTimeout is the delay a message pays when a lossy link drops it:
+// the discrete-event treatment of packet loss is the sender's retransmission
+// timer, which turns loss probability into tail latency (Linux's 200 ms
+// TCP RTO floor).  Fault plans set per-node loss via Node.SetLink.
+const RetransmitTimeout = 200 * time.Millisecond
+
 // NIC is one full-duplex network interface.
 type NIC struct {
 	BytesPerSec float64
@@ -55,6 +61,31 @@ type Node struct {
 	CPU      *sim.KServer
 	fabric   *Fabric
 	services map[string]*sim.Chan
+
+	// Fault-injection state (internal/faults).  Mutated only from
+	// simulation processes, so no locking is needed: the kernel runs one
+	// process at a time.
+	down     bool
+	loss     float64       // per-message drop probability on this NIC
+	extraLat time.Duration // added one-way delay (half the SetLink RTT)
+}
+
+// SetDown marks the node crashed (unreachable) or restarted.  The rpc layer
+// surfaces calls to a down node as retryable errors; in-flight work
+// completes (the model is a node that stops accepting new requests, then
+// reboots with its storage intact).
+func (n *Node) SetDown(down bool) { n.down = down }
+
+// Down reports whether the node is currently crashed.
+func (n *Node) Down() bool { return n.down }
+
+// SetLink degrades (or, with zero values, restores) the node's link: loss
+// is the probability a message pays RetransmitTimeout, extra is added
+// round-trip delay — each one-way transfer through this node pays half, so
+// a request/reply pair through a degraded node pays the full value once.
+func (n *Node) SetLink(loss float64, extra time.Duration) {
+	n.loss = loss
+	n.extraLat = extra / 2
 }
 
 // Service returns (creating on demand) the inbox channel for a named
@@ -146,7 +177,15 @@ func (f *Fabric) Transfer(p *sim.Proc, src, dst *Node, size int64) sim.Time {
 	svcTx := src.NIC.xmitTime(size)
 	txDone := src.NIC.tx.Reserve(p.Now(), svcTx)
 	txStart := txDone - sim.Time(svcTx)
-	firstByte := txStart + sim.Time(src.NIC.Latency)
+	latency := src.NIC.Latency + src.extraLat + dst.extraLat
+	// Injected loss on either endpoint: the dropped message is retransmitted
+	// after the sender's RTO, so loss shows up as tail latency, not as a
+	// hung reply channel.
+	if pLoss := src.loss + dst.loss - src.loss*dst.loss; pLoss > 0 &&
+		f.K.Rand().Float64() < pLoss {
+		latency += RetransmitTimeout
+	}
+	firstByte := txStart + sim.Time(latency)
 	svcRx := dst.NIC.xmitTime(size)
 	rxDone := dst.NIC.rx.Reserve(firstByte, svcRx)
 	p.SleepUntilTime(rxDone)

@@ -144,3 +144,69 @@ func TestUnknownNodePanics(t *testing.T) {
 	f := NewFabric(sim.NewKernel(1))
 	f.Node("ghost")
 }
+
+func TestLinkDegradeAddsDelay(t *testing.T) {
+	k, f, a, b := twoNodes(Gigabit)
+	b.SetLink(0, 5*time.Millisecond) // pure extra RTT, no loss
+	var done sim.Time
+	k.Go("xfer", func(p *sim.Proc) {
+		done = f.Transfer(p, a, b, 1_250_000)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// ExtraRTT is round-trip inflation: each one-way transfer pays half.
+	want := sim.Time(10*time.Millisecond + 100*time.Microsecond + 2500*time.Microsecond)
+	if done != want {
+		t.Fatalf("degraded transfer done at %v, want %v", time.Duration(done), time.Duration(want))
+	}
+	// Restoring the link removes the penalty.
+	b.SetLink(0, 0)
+	var again sim.Time
+	k.Go("xfer2", func(p *sim.Proc) {
+		start := p.Now()
+		end := f.Transfer(p, a, b, 1_250_000)
+		again = end - start
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if again != sim.Time(10*time.Millisecond+100*time.Microsecond) {
+		t.Fatalf("restored transfer took %v", time.Duration(again))
+	}
+}
+
+func TestLinkLossPaysRetransmitTimeout(t *testing.T) {
+	// Full loss: every message pays exactly one RTO — and the penalty is
+	// deterministic for a given kernel seed.
+	k, f, a, b := twoNodes(Gigabit)
+	b.SetLink(1.0, 0)
+	var done sim.Time
+	k.Go("xfer", func(p *sim.Proc) {
+		done = f.Transfer(p, a, b, 1_250_000)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := sim.Time(10*time.Millisecond + 100*time.Microsecond + RetransmitTimeout)
+	if done != want {
+		t.Fatalf("lossy transfer done at %v, want %v", time.Duration(done), time.Duration(want))
+	}
+}
+
+func TestNodeDownFlag(t *testing.T) {
+	k := sim.NewKernel(1)
+	f := NewFabric(k)
+	n := f.AddNode(NodeConfig{Name: "x"})
+	if n.Down() {
+		t.Fatal("fresh node reports down")
+	}
+	n.SetDown(true)
+	if !n.Down() {
+		t.Fatal("SetDown(true) not visible")
+	}
+	n.SetDown(false)
+	if n.Down() {
+		t.Fatal("SetDown(false) not visible")
+	}
+}
