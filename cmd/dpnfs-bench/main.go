@@ -7,6 +7,7 @@
 //	dpnfs-bench -fig all -scale 0.1     # everything, 10% data sizes
 //	dpnfs-bench -fig 8d -clients 1,4,8
 //	dpnfs-bench -fig degraded           # throughput across a storage-node crash
+//	dpnfs-bench -fig window             # I/O-engine sliding window vs waves
 //	dpnfs-bench -fig 6a -scale 0.01 -transport tcp   # real loopback sockets
 //	dpnfs-bench -fig 6a -scale 0.1 -report BENCH_6a.json
 //
@@ -36,7 +37,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure id (6a..6e, 7a..7d, 8a..8d, ssh, degraded) or 'all'")
+	fig := flag.String("fig", "all", "figure id (6a..6e, 7a..7d, 8a..8d, ssh, degraded, window) or 'all'")
 	scale := flag.Float64("scale", 1.0, "data-size scale factor (1.0 = paper sizes)")
 	clients := flag.String("clients", "", "comma-separated client counts (default: per figure)")
 	transport := flag.String("transport", "sim", "cluster wiring: sim (virtual time) or tcp (real loopback sockets)")

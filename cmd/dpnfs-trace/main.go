@@ -10,20 +10,34 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"dpnfs/directpnfs"
 )
 
-func main() {
-	arch := flag.String("arch", "direct-pnfs", "architecture: direct-pnfs, pvfs2, pnfs-2tier, pnfs-3tier, nfsv4")
-	clients := flag.Int("clients", 4, "number of clients")
-	mb := flag.Int64("mb", 100, "per-client data volume in MB")
-	block := flag.Int64("block", 2<<20, "application request size in bytes")
-	read := flag.Bool("read", false, "measure reads (warm server cache) instead of writes")
-	flag.Parse()
+// errUsage marks a flag-parse failure whose message the FlagSet has already
+// printed; main exits 2 without repeating it (flag.ExitOnError behaviour).
+var errUsage = errors.New("usage")
+
+// run executes one trace with the given command-line arguments, writing the
+// utilization table to out.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dpnfs-trace", flag.ContinueOnError)
+	arch := fs.String("arch", "direct-pnfs", "architecture: direct-pnfs, pvfs2, pnfs-2tier, pnfs-3tier, nfsv4")
+	clients := fs.Int("clients", 4, "number of clients")
+	mb := fs.Int64("mb", 100, "per-client data volume in MB")
+	block := fs.Int64("block", 2<<20, "application request size in bytes")
+	read := fs.Bool("read", false, "measure reads (warm server cache) instead of writes")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errUsage
+	}
 
 	cl := directpnfs.New(directpnfs.Config{Arch: directpnfs.Arch(*arch), Clients: *clients})
 	res, err := directpnfs.IOR(cl, directpnfs.IORConfig{
@@ -33,20 +47,30 @@ func main() {
 		Read:     *read,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	mode := "write"
 	if *read {
 		mode = "read"
 	}
-	fmt.Printf("%s %s: %d clients × %d MB @ %d B blocks → %.1f MB/s aggregate (%v virtual)\n\n",
+	fmt.Fprintf(out, "%s %s: %d clients × %d MB @ %d B blocks → %.1f MB/s aggregate (%v virtual)\n\n",
 		*arch, mode, *clients, *mb, *block, res.ThroughputMBs(), res.Elapsed.Round(1e6))
-	fmt.Printf("%-6s %12s %12s %12s %12s %8s %8s %8s\n",
+	fmt.Fprintf(out, "%-6s %12s %12s %12s %12s %8s %8s %8s\n",
 		"node", "nic-tx", "nic-rx", "cpu", "disk", "reads", "writes", "misses")
 	for _, s := range cl.Stats() {
-		fmt.Printf("%-6s %12v %12v %12v %12v %8d %8d %8d\n",
+		fmt.Fprintf(out, "%-6s %12v %12v %12v %12v %8d %8d %8d\n",
 			s.Name, s.NICTx.Round(1e6), s.NICRx.Round(1e6), s.CPUBusy.Round(1e6),
 			s.DiskBusy.Round(1e6), s.DiskReads, s.DiskWrites, s.DiskCacheMisses)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

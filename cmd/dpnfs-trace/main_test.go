@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTraceSmokeAllArchitectures runs one small simulated trace per
+// architecture and asserts the utilization table comes back non-empty: an
+// aggregate-throughput header plus at least one back-end node row with
+// busy-time columns.
+func TestTraceSmokeAllArchitectures(t *testing.T) {
+	archs := []string{"direct-pnfs", "pvfs2", "pnfs-2tier", "pnfs-3tier", "nfsv4"}
+	for _, arch := range archs {
+		arch := arch
+		t.Run(arch, func(t *testing.T) {
+			var out strings.Builder
+			err := run([]string{"-arch", arch, "-clients", "1", "-mb", "4"}, &out)
+			if err != nil {
+				t.Fatalf("trace %s: %v", arch, err)
+			}
+			got := out.String()
+			if !strings.Contains(got, "MB/s aggregate") {
+				t.Errorf("%s: no throughput header in output:\n%s", arch, got)
+			}
+			if !strings.Contains(got, "io0") {
+				t.Errorf("%s: no back-end node rows in output:\n%s", arch, got)
+			}
+			if !strings.Contains(got, "nic-tx") || !strings.Contains(got, "disk") {
+				t.Errorf("%s: utilization columns missing:\n%s", arch, got)
+			}
+			if strings.Contains(got, "→ 0.0 MB/s") {
+				t.Errorf("%s: zero aggregate throughput — trace is vacuous:\n%s", arch, got)
+			}
+		})
+	}
+}

@@ -91,9 +91,10 @@ func TestAllWorkloadsThroughPublicAPI(t *testing.T) {
 }
 
 func TestFigureRegistryThroughPublicAPI(t *testing.T) {
-	// 14 paper figures plus the repository's degraded-mode figure.
-	if len(directpnfs.FigureIDs) != 15 {
-		t.Fatalf("expected 15 figures, got %d", len(directpnfs.FigureIDs))
+	// 14 paper figures plus the repository's degraded-mode and
+	// window-sweep figures.
+	if len(directpnfs.FigureIDs) != 16 {
+		t.Fatalf("expected 16 figures, got %d", len(directpnfs.FigureIDs))
 	}
 	fig, err := directpnfs.Figures["6a"](directpnfs.FigureOptions{
 		Scale:   0.002,

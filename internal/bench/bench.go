@@ -403,6 +403,59 @@ func Degraded(opt Options) (Figure, error) {
 	return fig, nil
 }
 
+// Window-sweep parameters: mixed request sizes (12 MB spanning every
+// device down to single-stripe-unit slivers) make the per-wave transfer
+// times heterogeneous, which is exactly where lock-step dispatch stalls on
+// its slowest member and the sliding window does not.
+var windowSweepBlocks = []int64{12 << 20, 64 << 10, 2 << 20, 8 << 10, 4 << 20, 256 << 10}
+
+// windowSweepSizes are the MaxFlight values swept.
+var windowSweepSizes = []int{1, 2, 4, 8, 16}
+
+// WindowSweep is the repository's I/O-engine figure (not from the paper):
+// aggregate mixed-size IOR write throughput as a function of the engine's
+// window size (cluster.Config.MaxFlight), comparing the sliding in-flight
+// window against the pre-engine lock-step wave dispatch
+// (cluster.Config.IOWave) on the cacheless PVFS2 client, whose every
+// application request fans straight out through the engine.  X is the
+// window size; see docs/ARCHITECTURE.md ("The striped-I/O engine").
+func WindowSweep(opt Options) (Figure, error) {
+	opt = opt.withDefaults([]int{3}, []cluster.Arch{cluster.ArchPVFS2})
+	fig := Figure{
+		ID:     "window",
+		Title:  "sliding window vs lock-step waves, mixed-size IOR",
+		XLabel: "window",
+		YLabel: "aggregate MB/s",
+	}
+	n := opt.Clients[0]
+	for _, arch := range opt.Archs {
+		for _, mode := range []struct {
+			label string
+			wave  bool
+		}{{"window", false}, {"wave", true}} {
+			s := Series{Label: archLabel(arch) + " " + mode.label}
+			for _, w := range windowSweepSizes {
+				cl := newCluster(opt, cluster.Config{
+					Arch: arch, Clients: n,
+					MaxFlight: w, IOWave: mode.wave,
+				})
+				res, err := workload.IOR(cl, workload.IORConfig{
+					FileSize:    scaleBytes(120<<20, opt.Scale),
+					MixedBlocks: windowSweepBlocks,
+					Separate:    true,
+				})
+				cl.Close()
+				if err != nil {
+					return fig, fmt.Errorf("window/%s/%s/%d: %w", arch, mode.label, w, err)
+				}
+				s.Points = append(s.Points, Point{X: w, Y: res.ThroughputMBs()})
+			}
+			fig.Series = append(fig.Series, s)
+		}
+	}
+	return fig, nil
+}
+
 // SSHBuild regenerates the §6.4.3 phase comparison.
 func SSHBuild(opt Options) (Figure, error) {
 	opt = opt.withDefaults([]int{1}, fig8Archs)
@@ -431,11 +484,11 @@ var All = map[string]func(Options) (Figure, error){
 	"6a": Fig6a, "6b": Fig6b, "6c": Fig6c, "6d": Fig6d, "6e": Fig6e,
 	"7a": Fig7a, "7b": Fig7b, "7c": Fig7c, "7d": Fig7d,
 	"8a": Fig8a, "8b": Fig8b, "8c": Fig8c, "8d": Fig8d,
-	"ssh": SSHBuild, "degraded": Degraded,
+	"ssh": SSHBuild, "degraded": Degraded, "window": WindowSweep,
 }
 
 // IDs lists figure IDs in presentation order.
-var IDs = []string{"6a", "6b", "6c", "6d", "6e", "7a", "7b", "7c", "7d", "8a", "8b", "8c", "8d", "ssh", "degraded"}
+var IDs = []string{"6a", "6b", "6c", "6d", "6e", "7a", "7b", "7c", "7d", "8a", "8b", "8c", "8d", "ssh", "degraded", "window"}
 
 // Elapsed wraps a duration for table rendering.
 func Elapsed(d time.Duration) float64 { return d.Seconds() }

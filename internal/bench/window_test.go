@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestWindowSweepSlidingWindowBeatsWaves pins the I/O engine's headline
+// property (ISSUE 4 acceptance): on mixed-size IOR, the sliding in-flight
+// window yields throughput at least equal to lock-step wave dispatch at
+// every swept window size, strictly better somewhere in the middle of the
+// sweep, and identical at window 1 (where both degenerate to serial
+// issue).  The figure must also be deterministic, like every other figure
+// in the package.
+func TestWindowSweepSlidingWindowBeatsWaves(t *testing.T) {
+	opt := Options{Scale: 0.05, Clients: []int{2}}
+	fig, err := WindowSweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	window, wave := "PVFS2 window", "PVFS2 wave"
+	anyWin := false
+	for _, w := range windowSweepSizes {
+		wv, bv := fig.Value(window, w), fig.Value(wave, w)
+		if wv < 0 || bv < 0 {
+			t.Fatalf("missing point at window %d: window=%.1f wave=%.1f", w, wv, bv)
+		}
+		// The window schedule issues everything the wave schedule does, no
+		// later; a tiny tolerance absorbs float rounding in MB/s.
+		if wv < bv*0.999 {
+			t.Errorf("window %d: sliding window (%.2f MB/s) below waves (%.2f MB/s)", w, wv, bv)
+		}
+		if wv > bv*1.01 {
+			anyWin = true
+		}
+	}
+	if !anyWin {
+		t.Error("sliding window never measurably beat waves — the sweep is vacuous")
+	}
+	if w1, b1 := fig.Value(window, 1), fig.Value(wave, 1); w1 != b1 {
+		t.Errorf("window 1 should degenerate to the wave schedule: %.2f vs %.2f", w1, b1)
+	}
+
+	again, err := WindowSweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fig, again) {
+		t.Errorf("window sweep not deterministic:\n%v\nvs\n%v", fig, again)
+	}
+}

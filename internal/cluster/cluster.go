@@ -77,6 +77,16 @@ type Config struct {
 	NetBPS       float64 // NIC bandwidth (paper: gigabit; Fig 6c: 100 Mbps)
 	Threads      int     // NFS server threads (paper: 8)
 
+	// Unified striped-I/O engine knobs (internal/ioengine), applied to both
+	// the NFS and PVFS2 clients.  Zero values keep each client's defaults
+	// (PVFS2: window 8, 256 KB transfers; NFS: window 32, no extra split).
+	MaxFlight   int   // sliding-window size: concurrent outstanding requests
+	MaxTransfer int64 // per-request payload cap; larger extents are split
+	// IOWave dispatches striped I/O in lock-step batches instead of the
+	// sliding window — the pre-engine behaviour, kept for the bench
+	// window-sweep comparison (dpnfs-bench -fig window).
+	IOWave bool
+
 	NFSCosts  nfs.Costs
 	PVFSCosts pvfs.Costs
 	Disk      simdisk.Config // template; Name is overridden per node
@@ -292,11 +302,14 @@ func (cl *Cluster) pvfsClientAt(n *simnet.Node) *pvfs.Client {
 		io = append(io, cl.dial(n.Name, s.Name, pvfs.ServiceIO))
 	}
 	return pvfs.NewClient(pvfs.ClientConfig{
-		Node:    n,
-		Costs:   cl.Cfg.PVFSCosts,
-		Meta:    cl.dial(n.Name, cl.mdsNode.Name, pvfs.ServiceMeta),
-		IO:      io,
-		Metrics: cl.Cfg.Metrics,
+		Node:        n,
+		Costs:       cl.Cfg.PVFSCosts,
+		Meta:        cl.dial(n.Name, cl.mdsNode.Name, pvfs.ServiceMeta),
+		IO:          io,
+		MaxFlight:   cl.Cfg.MaxFlight,
+		MaxTransfer: cl.Cfg.MaxTransfer,
+		Wave:        cl.Cfg.IOWave,
+		Metrics:     cl.Cfg.Metrics,
 	})
 }
 
@@ -319,6 +332,9 @@ func (cl *Cluster) nfsMountAt(n *simnet.Node, mdsNode *simnet.Node) *nfs.Client 
 		},
 		WSize: cl.Cfg.WSize, RSize: cl.Cfg.RSize,
 		MaxReadAhead: 8 * cl.Cfg.RSize,
+		MaxFlight:    cl.Cfg.MaxFlight,
+		MaxTransfer:  cl.Cfg.MaxTransfer,
+		Wave:         cl.Cfg.IOWave,
 		Real:         cl.Cfg.Real,
 		Metrics:      cl.Cfg.Metrics,
 	})

@@ -1,0 +1,380 @@
+// Package ioengine is the unified striped-I/O scheduler shared by the
+// NFSv4.1 and PVFS2 client data paths.  Both clients fan one application
+// request out across storage nodes (the paper's central mechanism, §4);
+// before this package each implemented that fan-out separately — the PVFS2
+// client in lock-step waves that stalled on the slowest transfer of each
+// batch, the NFS client unbounded with inline retry/recovery logic.  The
+// engine gives them one implementation of the whole pipeline:
+//
+//   - Prepare turns mapper extents into the request stream: adjacent
+//     same-device extents are coalesced (fewer, larger RPCs — in the spirit
+//     of communication-optimal blocking) and the result is split against
+//     MaxTransfer (PVFS2 "large transfer buffers", §5).
+//   - Run issues the requests through a true sliding in-flight window of
+//     MaxFlight slots: the moment a transfer completes, its slot re-issues
+//     the next request.  Under the simulation kernel requests run as
+//     simulated processes in virtual time; in real-time (TCP) mode they run
+//     as plain goroutines — the rpc.Ctx passed in selects the mode, exactly
+//     as elsewhere in the repository.  Config.Wave restores the historical
+//     lock-step batching for comparison (the bench window-sweep figure).
+//   - Policies wrap the per-request operation with failure handling: bounded
+//     retry/backoff (PVFS2 riding out a crashed daemon), or fallback ladders
+//     (the NFS client's layout-recovery retry and MDS-proxied last resort).
+//
+// Errors propagate deterministically: whatever the completion interleaving,
+// Run returns the error of the lowest-indexed failed request, and no new
+// requests are issued once a failure is recorded.
+//
+// The engine records its behaviour in the shared metrics registry
+// (docs/METRICS.md): window occupancy, slot waits, and how many requests
+// coalescing and splitting added or removed.
+package ioengine
+
+import (
+	"sync"
+	"time"
+
+	"dpnfs/internal/metrics"
+	"dpnfs/internal/rpc"
+	"dpnfs/internal/sim"
+	"dpnfs/internal/stripe"
+)
+
+// DoFunc executes one storage request.  The extent's Dev/Off/DevOff/Len
+// carry the device routing; issuers close over whatever else they need
+// (payload slices, file handles, layouts).
+type DoFunc func(ctx *rpc.Ctx, r stripe.Extent) error
+
+// Policy decorates a DoFunc with per-request failure handling.  Policies
+// passed to Run compose outermost-first: Run(ctx, reqs, fn, p1, p2) executes
+// p1(p2(fn)).
+type Policy func(next DoFunc) DoFunc
+
+// WithRetry retries rpc.Retryable failures under pol (zero-valued fields
+// take rpc defaults), sleeping virtual time under the simulation kernel and
+// wall clock otherwise.  onRetry, when non-nil, runs before each retry —
+// issuers hook their retry counters here.  The loop itself is
+// rpc.RetryPolicy.Do, shared with retry-wrapped conns.
+func WithRetry(pol rpc.RetryPolicy, onRetry func()) Policy {
+	return func(next DoFunc) DoFunc {
+		return func(ctx *rpc.Ctx, r stripe.Extent) error {
+			return pol.Do(ctx, onRetry, func() error { return next(ctx, r) })
+		}
+	}
+}
+
+// WithFallback runs fb when the wrapped operation fails, passing the
+// original error.  fb returns nil if it recovered the request, the original
+// error if it declined, or its own failure.  The NFS client stacks two of
+// these: layout recovery (evict + LAYOUTGET + retry) inside, MDS-proxied
+// I/O outside — the paper's guaranteed-correct fallback path (§4).
+func WithFallback(fb func(ctx *rpc.Ctx, r stripe.Extent, err error) error) Policy {
+	return func(next DoFunc) DoFunc {
+		return func(ctx *rpc.Ctx, r stripe.Extent) error {
+			err := next(ctx, r)
+			if err == nil {
+				return nil
+			}
+			return fb(ctx, r, err)
+		}
+	}
+}
+
+// DefaultMaxFlight is the window size when Config leaves it zero — the
+// PVFS2 client's "limited request parallelization" depth (paper §5).
+const DefaultMaxFlight = 8
+
+// Config describes one engine instance (one per protocol client).
+type Config struct {
+	// Name prefixes simulated process and semaphore names.
+	Name string
+	// Issuer labels the engine's metrics ("nfs", "pvfs").
+	Issuer string
+	// MaxFlight bounds concurrently outstanding requests across every Run
+	// on this engine (0 = DefaultMaxFlight).
+	MaxFlight int
+	// MaxTransfer caps a single request's length; Prepare splits larger
+	// extents (0 = no splitting).
+	MaxTransfer int64
+	// Wave issues requests in lock-step batches of MaxFlight instead of the
+	// sliding window: each batch waits for its slowest transfer before the
+	// next batch starts.  This reproduces the pre-engine PVFS2 dispatch for
+	// the bench window-sweep comparison; leave false in production paths.
+	Wave bool
+	// Metrics is the shared observability registry; nil discards.
+	Metrics *metrics.Registry
+}
+
+// Engine schedules striped-I/O requests.  One engine per protocol client:
+// the window is a client-wide bound, shared by every concurrent Run (sync
+// reads, readahead fills, and write-back flushes all draw from the same
+// slots, like one host's RPC slot table).
+type Engine struct {
+	cfg Config
+
+	sem *sim.Semaphore // window slots under the simulation kernel
+	rt  chan struct{}  // window slots in real-time (TCP) mode
+
+	requests  *metrics.Counter
+	coalesced *metrics.Counter
+	splits    *metrics.Counter
+	inflight  *metrics.Gauge
+	occupancy *metrics.Histogram
+	slotWait  *metrics.Histogram
+}
+
+// occupancyBuckets cover window depths up to well past any configured
+// MaxFlight.
+var occupancyBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
+
+// New returns an engine with defaults applied and instruments resolved.
+func New(cfg Config) *Engine {
+	if cfg.MaxFlight <= 0 {
+		cfg.MaxFlight = DefaultMaxFlight
+	}
+	if cfg.Name == "" {
+		cfg.Name = "ioengine"
+	}
+	if cfg.Issuer == "" {
+		cfg.Issuer = cfg.Name
+	}
+	reg := cfg.Metrics
+	e := &Engine{
+		cfg: cfg,
+		sem: sim.NewSemaphore(cfg.Name+"/window", cfg.MaxFlight),
+		rt:  make(chan struct{}, cfg.MaxFlight),
+		requests: reg.CounterVec("ioengine_requests_total",
+			"Requests issued by the striped-I/O engine (after coalescing and splitting).",
+			"issuer").With(cfg.Issuer),
+		coalesced: reg.CounterVec("ioengine_coalesced_total",
+			"Adjacent same-device requests merged away by the engine.",
+			"issuer").With(cfg.Issuer),
+		splits: reg.CounterVec("ioengine_split_total",
+			"Extra requests created by MaxTransfer splitting.",
+			"issuer").With(cfg.Issuer),
+		inflight: reg.GaugeVec("ioengine_inflight",
+			"Requests currently occupying window slots.",
+			"issuer").With(cfg.Issuer),
+		occupancy: reg.HistogramVec("ioengine_window_occupancy",
+			"In-flight depth observed as each request is issued.",
+			occupancyBuckets, "issuer").With(cfg.Issuer),
+		slotWait: reg.HistogramVec("ioengine_slot_wait_seconds",
+			"Time a ready request waited for a free window slot.",
+			metrics.DurationBuckets, "issuer").With(cfg.Issuer),
+	}
+	return e
+}
+
+// MaxFlight reports the engine's window size after defaults.
+func (e *Engine) MaxFlight() int { return e.cfg.MaxFlight }
+
+// Prepare turns mapper extents into the engine's request stream: adjacent
+// extents on the same device that are contiguous in both logical and device
+// space are merged into one request, then every request is split against
+// MaxTransfer.  Order is preserved, so a given extent list always produces
+// the same requests in the same sequence.
+func (e *Engine) Prepare(extents []stripe.Extent) []stripe.Extent {
+	merged := e.coalesceExtents(extents)
+	if e.cfg.MaxTransfer <= 0 {
+		return merged
+	}
+	out := make([]stripe.Extent, 0, len(merged))
+	for _, x := range merged {
+		for off := int64(0); off < x.Len; off += e.cfg.MaxTransfer {
+			n := e.cfg.MaxTransfer
+			if off+n > x.Len {
+				n = x.Len - off
+			}
+			out = append(out, stripe.Extent{Dev: x.Dev, Off: x.Off + off, DevOff: x.DevOff + off, Len: n})
+		}
+	}
+	if extra := len(out) - len(merged); extra > 0 {
+		e.splits.Add(uint64(extra))
+	}
+	return out
+}
+
+// coalesceExtents merges runs that are contiguous on one device.  Merging
+// requires logical contiguity too: a request's payload is addressed by its
+// logical offset, so device-contiguous but logically scattered ranges stay
+// separate.
+func (e *Engine) coalesceExtents(in []stripe.Extent) []stripe.Extent {
+	if len(in) < 2 {
+		return in
+	}
+	out := make([]stripe.Extent, 0, len(in))
+	out = append(out, in[0])
+	for _, x := range in[1:] {
+		last := &out[len(out)-1]
+		if x.Dev == last.Dev && x.Off == last.Off+last.Len && x.DevOff == last.DevOff+last.Len {
+			last.Len += x.Len
+			e.coalesced.Inc()
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+// firstError records the lowest-indexed failure across concurrent requests.
+type firstError struct {
+	mu  sync.Mutex
+	idx int
+	err error
+}
+
+func (f *firstError) record(i int, err error) {
+	f.mu.Lock()
+	if f.err == nil || i < f.idx {
+		f.idx, f.err = i, err
+	}
+	f.mu.Unlock()
+}
+
+func (f *firstError) get() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+// Run executes every request with at most MaxFlight in flight, applying the
+// policies (outermost first) around fn.  It blocks the caller until all
+// issued requests complete and returns the lowest-indexed request's error,
+// or nil.  Once any request fails, no further requests are issued.
+func (e *Engine) Run(ctx *rpc.Ctx, reqs []stripe.Extent, fn DoFunc, policies ...Policy) error {
+	if len(reqs) == 0 {
+		return nil
+	}
+	for i := len(policies) - 1; i >= 0; i-- {
+		fn = policies[i](fn)
+	}
+	e.requests.Add(uint64(len(reqs)))
+	if e.cfg.Wave {
+		return e.runWaves(ctx, reqs, fn)
+	}
+	return e.runWindow(ctx, reqs, fn)
+}
+
+// acquire takes one window slot, recording slot-wait and occupancy.
+func (e *Engine) acquire(ctx *rpc.Ctx) {
+	if ctx.P != nil {
+		start := ctx.Now()
+		e.sem.Acquire(ctx.P, 1)
+		e.slotWait.ObserveDuration(time.Duration(ctx.Now() - start))
+	} else {
+		start := time.Now()
+		e.rt <- struct{}{}
+		e.slotWait.ObserveDuration(time.Since(start))
+	}
+	e.inflight.Inc()
+	e.occupancy.Observe(float64(e.inflight.Value()))
+}
+
+// release returns one window slot.
+func (e *Engine) release(ctx *rpc.Ctx) {
+	e.inflight.Dec()
+	if ctx.P != nil {
+		e.sem.Release(1)
+	} else {
+		<-e.rt
+	}
+}
+
+// group runs request workers on whichever runtime the Ctx selects:
+// simulated processes under the kernel, goroutines on the wall clock.
+type group struct {
+	ctx *rpc.Ctx
+	wg  sync.WaitGroup
+	swg sim.WaitGroup
+}
+
+func (g *group) spawn(name string, work func(c *rpc.Ctx)) {
+	if g.ctx.P == nil {
+		g.wg.Add(1)
+		go func() {
+			defer g.wg.Done()
+			work(&rpc.Ctx{})
+		}()
+		return
+	}
+	g.swg.Add(1)
+	g.ctx.P.Kernel().Go(name, func(p *sim.Proc) {
+		defer g.swg.Done()
+		work(&rpc.Ctx{P: p})
+	})
+}
+
+func (g *group) wait() {
+	if g.ctx.P == nil {
+		g.wg.Wait()
+		return
+	}
+	g.swg.Wait(g.ctx.P)
+}
+
+// issue blocks on a free window slot, then hands request i to its own
+// worker, which releases the slot and records any failure on completion.
+func (e *Engine) issue(g *group, i int, r stripe.Extent, fn DoFunc, ferr *firstError) {
+	e.acquire(g.ctx)
+	g.spawn(e.cfg.Name+"/io", func(c *rpc.Ctx) {
+		defer e.release(c)
+		if err := fn(c, r); err != nil {
+			ferr.record(i, err)
+		}
+	})
+}
+
+// runWindow is the sliding window: the issue loop blocks on a free slot,
+// then hands the request to its own process/goroutine, so a completing
+// transfer immediately admits the next one.
+func (e *Engine) runWindow(ctx *rpc.Ctx, reqs []stripe.Extent, fn DoFunc) error {
+	if len(reqs) == 1 {
+		// Degenerate fan-out (one extent per gathered chunk is the common
+		// NFS case): run on the caller, still under the window bound.
+		e.acquire(ctx)
+		defer e.release(ctx)
+		return fn(ctx, reqs[0])
+	}
+	var ferr firstError
+	g := &group{ctx: ctx}
+	for i, r := range reqs {
+		if ferr.get() != nil {
+			break
+		}
+		e.issue(g, i, r, fn, &ferr)
+	}
+	g.wait()
+	return ferr.get()
+}
+
+// runWaves is the historical lock-step dispatch: batches of MaxFlight, each
+// waiting for its slowest member.  Kept for the bench comparison and for
+// reproducing pre-engine schedules.
+func (e *Engine) runWaves(ctx *rpc.Ctx, reqs []stripe.Extent, fn DoFunc) error {
+	var ferr firstError
+	for start := 0; start < len(reqs); start += e.cfg.MaxFlight {
+		end := start + e.cfg.MaxFlight
+		if end > len(reqs) {
+			end = len(reqs)
+		}
+		batch := reqs[start:end]
+		if len(batch) == 1 {
+			e.acquire(ctx)
+			err := fn(ctx, batch[0])
+			e.release(ctx)
+			if err != nil {
+				ferr.record(start, err)
+			}
+		} else {
+			g := &group{ctx: ctx}
+			for j, r := range batch {
+				e.issue(g, start+j, r, fn, &ferr)
+			}
+			g.wait()
+		}
+		if ferr.get() != nil {
+			break
+		}
+	}
+	return ferr.get()
+}

@@ -2,11 +2,13 @@ package nfs
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"dpnfs/internal/ioengine"
 	"dpnfs/internal/metrics"
 	"dpnfs/internal/payload"
 	"dpnfs/internal/pnfs"
@@ -33,6 +35,17 @@ type ClientConfig struct {
 	MaxReadAhead int64
 	// FlushParallel bounds concurrent asynchronous write-back flushes.
 	FlushParallel int
+	// MaxFlight bounds the striped-I/O engine's sliding window: requests in
+	// flight to data servers across all of the mount's concurrent I/O
+	// (default 32 — wide enough that the session slot table and
+	// FlushParallel bind first, as the pre-engine client behaved).
+	MaxFlight int
+	// MaxTransfer caps a single data-server request; 0 disables extra
+	// splitting (chunks are already gathered to WSize/RSize).
+	MaxTransfer int64
+	// Wave dispatches striped I/O in lock-step batches instead of the
+	// sliding window (bench comparison only).
+	Wave bool
 	// Real makes reads and writes carry actual bytes end to end.
 	Real bool
 	// Metrics is the shared observability registry (docs/METRICS.md).  Nil
@@ -59,6 +72,14 @@ type Client struct {
 
 	root   uint64
 	pnfsOK bool
+
+	// engine is the striped-I/O scheduler every data-path fan-out rides
+	// (internal/ioengine): extent coalescing, the sliding in-flight window,
+	// and the per-request policy ladder (layout recovery, MDS fallback).
+	engine *ioengine.Engine
+	// rtFlush bounds concurrent write-back flushes in real-time (TCP) mode,
+	// the wall-clock twin of flushSem.
+	rtFlush chan struct{}
 
 	// stateMu guards devices, layouts, and inodeCache: recovery paths
 	// mutate them from parallel extent flows (simulated processes under the
@@ -118,6 +139,9 @@ func NewClient(cfg ClientConfig) *Client {
 	if cfg.FlushParallel <= 0 {
 		cfg.FlushParallel = 16
 	}
+	if cfg.MaxFlight <= 0 {
+		cfg.MaxFlight = 32
+	}
 	if cfg.Name == "" {
 		cfg.Name = "client"
 	}
@@ -152,6 +176,15 @@ func NewClient(cfg ClientConfig) *Client {
 	c.slotSem = sim.NewSemaphore(cfg.Name+"/slots", int(cfg.Slots))
 	c.rtSlots = make(chan struct{}, cfg.Slots)
 	c.flushSem = sim.NewSemaphore(cfg.Name+"/flush", cfg.FlushParallel)
+	c.rtFlush = make(chan struct{}, cfg.FlushParallel)
+	c.engine = ioengine.New(ioengine.Config{
+		Name:        cfg.Name + "/engine",
+		Issuer:      "nfs",
+		MaxFlight:   cfg.MaxFlight,
+		MaxTransfer: cfg.MaxTransfer,
+		Wave:        cfg.Wave,
+		Metrics:     reg,
+	})
 	for i := int(cfg.Slots) - 1; i >= 0; i-- {
 		c.freeSlots = append(c.freeSlots, uint32(i))
 	}
@@ -322,9 +355,12 @@ type File struct {
 
 	cache *pageCache
 
-	// Async write-back state.
+	// Async write-back state.  pendMu guards asyncErr and touched: both are
+	// written from spawned flush (and readahead) flows — simulated processes
+	// under the kernel, real goroutines in TCP mode.
 	pendMu    sync.Mutex
-	pending   sim.WaitGroup
+	pending   sim.WaitGroup  // simulated flush processes in flight
+	rtPending sync.WaitGroup // real-time flush goroutines in flight
 	asyncErr  error
 	touched   map[int]bool // device indices with unstable writes (-1 = MDS)
 	committed int64        // size last published via LAYOUTCOMMIT
@@ -344,6 +380,32 @@ type raFlight struct {
 
 // Size returns the client's view of the file size.
 func (f *File) Size() int64 { return f.size }
+
+// setAsyncErr records a background-flush failure for the next Fsync.
+func (f *File) setAsyncErr(err error) {
+	f.pendMu.Lock()
+	if f.asyncErr == nil {
+		f.asyncErr = err
+	}
+	f.pendMu.Unlock()
+}
+
+// takeAsyncErr returns and clears the recorded background failure.
+func (f *File) takeAsyncErr() error {
+	f.pendMu.Lock()
+	defer f.pendMu.Unlock()
+	err := f.asyncErr
+	f.asyncErr = nil
+	return err
+}
+
+// markTouched records that dev (or the MDS, for dev < 0) holds unstable
+// writes that the next Fsync must COMMIT.
+func (f *File) markTouched(dev int) {
+	f.pendMu.Lock()
+	f.touched[dev] = true
+	f.pendMu.Unlock()
+}
 
 // walkOps builds the lookup chain for a path's directory components.
 func walkOps(path string) ([]Op, string) {
@@ -501,14 +563,22 @@ func (c *Client) Write(ctx *rpc.Ctx, f *File, off int64, data payload.Payload) e
 	return nil
 }
 
-// flushAsync writes back one chunk without blocking the caller (simulation);
-// in real-time mode it flushes synchronously.
+// flushAsync writes back one chunk without blocking the caller: a simulated
+// process under the kernel, a real goroutine in TCP mode.  Both are bounded
+// by FlushParallel and report failures through setAsyncErr for the next
+// Fsync.
 func (c *Client) flushAsync(ctx *rpc.Ctx, f *File, chunk extent) {
 	data := f.cache.slice(chunk.Off, chunk.len())
 	if ctx.P == nil {
-		if err := c.writeRange(ctx, f, chunk.Off, data); err != nil {
-			f.asyncErr = err
-		}
+		f.rtPending.Add(1)
+		go func() {
+			defer f.rtPending.Done()
+			c.rtFlush <- struct{}{}
+			defer func() { <-c.rtFlush }()
+			if err := c.writeRange(&rpc.Ctx{}, f, chunk.Off, data); err != nil {
+				f.setAsyncErr(err)
+			}
+		}()
 		return
 	}
 	f.pending.Add(1)
@@ -518,13 +588,19 @@ func (c *Client) flushAsync(ctx *rpc.Ctx, f *File, chunk extent) {
 		c.flushSem.Acquire(p, 1)
 		defer c.flushSem.Release(1)
 		if err := c.writeRange(&rpc.Ctx{P: p}, f, chunk.Off, data); err != nil {
-			f.asyncErr = err
+			f.setAsyncErr(err)
 		}
 	})
 }
 
 // writeRange sends one gathered chunk to storage: striped across data
-// servers under a pNFS layout, or to the MDS otherwise.
+// servers under a pNFS layout, or to the MDS otherwise.  Striped extents
+// ride the I/O engine under a two-rung policy ladder: a device error evicts
+// the cached layout, re-drives GETDEVICELIST + LAYOUTGET, and retries once
+// against the fresh layout (the recalled-layout path, paper §4); extents
+// that still cannot reach a data server are proxied through the metadata
+// server, which writes into the parallel file system on the client's
+// behalf.
 func (c *Client) writeRange(ctx *rpc.Ctx, f *File, off int64, data payload.Payload) error {
 	if f.mapper == nil {
 		_, err := c.call(ctx, c.cfg.MDS, true,
@@ -532,55 +608,44 @@ func (c *Client) writeRange(ctx *rpc.Ctx, f *File, off int64, data payload.Paylo
 			&OpWrite{StateID: f.stateID, Off: off, Data: data},
 		)
 		if err == nil {
-			f.pendMu.Lock()
-			f.touched[-1] = true
-			f.pendMu.Unlock()
+			f.markTouched(-1)
 		}
 		return err
 	}
 	layout := f.layout
-	extents := f.mapper.Map(off, data.Len())
-	errs := make([]error, len(extents))
-	rpc.Parallel(ctx, len(extents), func(ctx *rpc.Ctx, i int) {
-		e := extents[i]
-		chunk := data.Slice(e.Off-off, e.Len)
-		_, err := c.dsWrite(ctx, f, layout, e, chunk)
-		if err != nil {
-			// Device error: evict the cached layout, re-drive
-			// GETDEVICELIST + LAYOUTGET, and retry once against the fresh
-			// layout (the recalled-layout path, paper §4).
-			c.devErrors.Inc()
-			if l2 := c.recoverLayout(ctx, f); l2 != nil && e.Dev < len(l2.Devices) {
-				_, err = c.dsWrite(ctx, f, l2, e, chunk)
-			}
+	chunk := func(e stripe.Extent) payload.Payload { return data.Slice(e.Off-off, e.Len) }
+	primary := func(ctx *rpc.Ctx, e stripe.Extent) error {
+		_, err := c.dsWrite(ctx, f, layout, e, chunk(e))
+		if err == nil {
+			f.markTouched(e.Dev)
 		}
-		if err != nil {
-			// No reachable data server for this extent: fall back through
-			// the metadata server, which proxies I/O into the parallel
-			// file system.
-			c.mdsFallbacks.Inc()
-			_, err = c.call(ctx, c.cfg.MDS, true,
-				&OpPutFH{FH: f.fh},
-				&OpWrite{StateID: f.stateID, Off: e.Off, Data: chunk},
-			)
-			if err == nil {
-				f.pendMu.Lock()
-				f.touched[-1] = true
-				f.pendMu.Unlock()
-			}
-			errs[i] = err
-			return
-		}
-		f.pendMu.Lock()
-		f.touched[e.Dev] = true
-		f.pendMu.Unlock()
-	})
-	for _, err := range errs {
-		if err != nil {
+		return err
+	}
+	recovery := ioengine.WithFallback(func(ctx *rpc.Ctx, e stripe.Extent, err error) error {
+		c.devErrors.Inc()
+		l2 := c.recoverLayout(ctx, f)
+		if l2 == nil || e.Dev >= len(l2.Devices) {
 			return err
 		}
-	}
-	return nil
+		if _, err2 := c.dsWrite(ctx, f, l2, e, chunk(e)); err2 != nil {
+			return err2
+		}
+		f.markTouched(e.Dev)
+		return nil
+	})
+	mdsProxy := ioengine.WithFallback(func(ctx *rpc.Ctx, e stripe.Extent, _ error) error {
+		c.mdsFallbacks.Inc()
+		_, err := c.call(ctx, c.cfg.MDS, true,
+			&OpPutFH{FH: f.fh},
+			&OpWrite{StateID: f.stateID, Off: e.Off, Data: chunk(e)},
+		)
+		if err == nil {
+			f.markTouched(-1)
+		}
+		return err
+	})
+	return c.engine.Run(ctx, c.engine.Prepare(f.mapper.Map(off, data.Len())),
+		primary, mdsProxy, recovery)
 }
 
 // dsWrite sends one extent's WRITE to its data server under layout l.
@@ -619,13 +684,14 @@ func (c *Client) Fsync(ctx *rpc.Ctx, f *File) error {
 	}
 	if ctx.P != nil {
 		f.pending.Wait(ctx.P)
+	} else {
+		f.rtPending.Wait()
 	}
-	if f.asyncErr != nil {
-		err := f.asyncErr
-		f.asyncErr = nil
+	if err := f.takeAsyncErr(); err != nil {
 		return err
 	}
-	// COMMIT on every server that took unstable writes.
+	// COMMIT on every server that took unstable writes.  The commit fan-out
+	// rides the engine too (sorted for a deterministic issue order).
 	f.pendMu.Lock()
 	devs := make([]int, 0, len(f.touched))
 	for dev := range f.touched {
@@ -633,15 +699,18 @@ func (c *Client) Fsync(ctx *rpc.Ctx, f *File) error {
 	}
 	f.touched = make(map[int]bool)
 	f.pendMu.Unlock()
-	errs := make([]error, len(devs))
-	rpc.Parallel(ctx, len(devs), func(ctx *rpc.Ctx, i int) {
-		dev := devs[i]
-		if dev < 0 {
-			_, errs[i] = c.call(ctx, c.cfg.MDS, true, &OpPutFH{FH: f.fh}, &OpCommit{})
-			return
+	sort.Ints(devs)
+	commits := make([]stripe.Extent, len(devs))
+	for i, dev := range devs {
+		commits[i] = stripe.Extent{Dev: dev}
+	}
+	err := c.engine.Run(ctx, commits, func(ctx *rpc.Ctx, r stripe.Extent) error {
+		if r.Dev < 0 {
+			_, err := c.call(ctx, c.cfg.MDS, true, &OpPutFH{FH: f.fh}, &OpCommit{})
+			return err
 		}
-		conn := c.device(f.layout.Devices[dev])
-		_, err := c.call(ctx, conn, false, &OpPutFH{FH: f.layout.FHs[dev]}, &OpCommit{})
+		conn := c.device(f.layout.Devices[r.Dev])
+		_, err := c.call(ctx, conn, false, &OpPutFH{FH: f.layout.FHs[r.Dev]}, &OpCommit{})
 		if err != nil {
 			// Crashed data server: commit through the MDS instead, which
 			// flushes the parallel FS daemons on the client's behalf.
@@ -649,12 +718,10 @@ func (c *Client) Fsync(ctx *rpc.Ctx, f *File) error {
 			c.mdsFallbacks.Inc()
 			_, err = c.call(ctx, c.cfg.MDS, true, &OpPutFH{FH: f.fh}, &OpCommit{})
 		}
-		errs[i] = err
+		return err
 	})
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	if err != nil {
+		return err
 	}
 	// Publish the (possibly extended) size to the metadata server.
 	if f.layout != nil && len(devs) > 0 && f.size > f.committed {
@@ -721,14 +788,11 @@ func (c *Client) Read(ctx *rpc.Ctx, f *File, off, n int64) (payload.Payload, int
 	} else {
 		c.pcMisses.Inc()
 	}
-	errs := make([]error, len(chunks))
-	rpc.Parallel(ctx, len(chunks), func(ctx *rpc.Ctx, i int) {
-		errs[i] = c.readRange(ctx, f, chunks[i])
-	})
-	for _, err := range errs {
-		if err != nil {
-			return payload.Payload{}, 0, err
-		}
+	// One engine run covers every missing chunk, so extents from adjacent
+	// chunks that land contiguously on one device coalesce into fewer,
+	// larger READs.
+	if err := c.readChunks(ctx, f, chunks); err != nil {
+		return payload.Payload{}, 0, err
 	}
 	// Sequential readahead: extend the window while the pattern holds.
 	if c.cfg.MaxReadAhead > 0 && ctx.P != nil {
@@ -783,7 +847,7 @@ func (c *Client) prefetch(ctx *rpc.Ctx, f *File, start, window int64) {
 					fl.wg.Done()
 				}()
 				if err := c.readRange(&rpc.Ctx{P: p}, f, fl.ext); err != nil {
-					f.asyncErr = err
+					f.setAsyncErr(err)
 				}
 			})
 		}
@@ -799,55 +863,70 @@ func (c *Client) prefetch(ctx *rpc.Ctx, f *File, start, window int64) {
 	f.inflight = live
 }
 
-// readRange fetches one chunk into the cache: striped across data servers
-// under a layout, or from the MDS otherwise.
+// readRange fetches one chunk into the cache (the readahead entry point).
 func (c *Client) readRange(ctx *rpc.Ctx, f *File, chunk extent) error {
+	return c.readChunks(ctx, f, []extent{chunk})
+}
+
+// readChunks fetches a set of RSize chunks into the cache in one engine
+// run: striped across data servers under a layout, or from the MDS
+// otherwise.  Striped extents carry the same recovery ladder as writes: a
+// device error evicts and refetches the layout for one retry, and extents
+// that still cannot reach a data server are read through the MDS.
+func (c *Client) readChunks(ctx *rpc.Ctx, f *File, chunks []extent) error {
+	if len(chunks) == 0 {
+		return nil
+	}
 	want := c.cfg.Real
-	if f.mapper == nil {
+	mdsRead := func(ctx *rpc.Ctx, e stripe.Extent) error {
 		rep, err := c.call(ctx, c.cfg.MDS, true,
 			&OpPutFH{FH: f.fh},
-			&OpRead{StateID: f.stateID, Off: chunk.Off, Len: chunk.len(), WantReal: want},
+			&OpRead{StateID: f.stateID, Off: e.Off, Len: e.Len, WantReal: want},
 		)
 		if err != nil {
 			return err
 		}
-		f.cache.fill(chunk.Off, rep.Results[1].(*ResRead).Data)
+		f.cache.fill(e.Off, rep.Results[1].(*ResRead).Data)
 		return nil
 	}
+	if f.mapper == nil {
+		reqs := make([]stripe.Extent, len(chunks))
+		for i, ch := range chunks {
+			reqs[i] = stripe.Extent{Off: ch.Off, Len: ch.len()}
+		}
+		return c.engine.Run(ctx, reqs, mdsRead)
+	}
 	layout := f.layout
-	extents := f.mapper.ReadMap(chunk.Off, chunk.len(), chunk.Off/c.cfg.RSize)
-	errs := make([]error, len(extents))
-	rpc.Parallel(ctx, len(extents), func(ctx *rpc.Ctx, i int) {
-		e := extents[i]
+	var extents []stripe.Extent
+	for _, ch := range chunks {
+		extents = append(extents, f.mapper.ReadMap(ch.Off, ch.len(), ch.Off/c.cfg.RSize)...)
+	}
+	primary := func(ctx *rpc.Ctx, e stripe.Extent) error {
 		rep, err := c.dsRead(ctx, f, layout, e, want)
-		if err != nil {
-			// Device error: evict, refetch the layout, retry once.
-			c.devErrors.Inc()
-			if l2 := c.recoverLayout(ctx, f); l2 != nil && e.Dev < len(l2.Devices) {
-				rep, err = c.dsRead(ctx, f, l2, e, want)
-			}
-		}
-		if err != nil {
-			// No reachable data server: fall back through the metadata
-			// server.
-			c.mdsFallbacks.Inc()
-			rep, err = c.call(ctx, c.cfg.MDS, true,
-				&OpPutFH{FH: f.fh},
-				&OpRead{StateID: f.stateID, Off: e.Off, Len: e.Len, WantReal: want},
-			)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-		}
-		f.cache.fill(e.Off, rep.Results[1].(*ResRead).Data)
-	})
-	for _, err := range errs {
 		if err != nil {
 			return err
 		}
+		f.cache.fill(e.Off, rep.Results[1].(*ResRead).Data)
+		return nil
 	}
-	return nil
+	recovery := ioengine.WithFallback(func(ctx *rpc.Ctx, e stripe.Extent, err error) error {
+		c.devErrors.Inc()
+		l2 := c.recoverLayout(ctx, f)
+		if l2 == nil || e.Dev >= len(l2.Devices) {
+			return err
+		}
+		rep, err2 := c.dsRead(ctx, f, l2, e, want)
+		if err2 != nil {
+			return err2
+		}
+		f.cache.fill(e.Off, rep.Results[1].(*ResRead).Data)
+		return nil
+	})
+	mdsProxy := ioengine.WithFallback(func(ctx *rpc.Ctx, e stripe.Extent, _ error) error {
+		c.mdsFallbacks.Inc()
+		return mdsRead(ctx, e)
+	})
+	return c.engine.Run(ctx, c.engine.Prepare(extents), primary, mdsProxy, recovery)
 }
 
 // dsRead sends one extent's READ to its data server under layout l.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"dpnfs/internal/ioengine"
 	"dpnfs/internal/metrics"
 	"dpnfs/internal/payload"
 	"dpnfs/internal/rpc"
@@ -19,11 +20,16 @@ type ClientConfig struct {
 	IO    []rpc.Conn // one per storage daemon, in device order
 	Costs Costs
 	// MaxFlight bounds concurrent outstanding I/O requests ("limited
-	// request parallelization", paper §5).
+	// request parallelization", paper §5) — the I/O engine's sliding-window
+	// size.
 	MaxFlight int
 	// MaxTransfer caps a single I/O request's payload; larger extents are
 	// split ("large transfer buffers").
 	MaxTransfer int64
+	// Wave dispatches striped I/O in lock-step batches instead of the
+	// sliding window — the pre-engine behaviour, kept for the bench
+	// window-sweep comparison.
+	Wave bool
 	// Retry bounds the per-daemon retry loop that rides out injected
 	// storage-node crashes (internal/faults): striped I/O to a crashed
 	// daemon backs off and retries until the node restarts or the budget
@@ -35,15 +41,22 @@ type ClientConfig struct {
 }
 
 // Client is the PVFS2 client library: stateless, no data cache, no
-// write-back — every Read/Write goes to the daemons synchronously.
+// write-back — every Read/Write goes to the daemons synchronously, fanned
+// out through the shared striped-I/O engine (internal/ioengine).
 type Client struct {
-	cfg   ClientConfig
-	stats *clientStats
+	cfg    ClientConfig
+	stats  *clientStats
+	engine *ioengine.Engine
+	retry  ioengine.Policy
+	// ioSync wraps the daemon conns in the retry policy for the serial
+	// fsync path, which does not ride the engine.
+	ioSync []rpc.Conn
 }
 
-// NewClient returns a client with defaults applied.  Storage-daemon conns
-// are wrapped in the retry policy, so every striped read and write survives
-// a daemon outage shorter than the retry budget.
+// NewClient returns a client with defaults applied.  Striped reads and
+// writes flow through the I/O engine under a retry policy, so they survive
+// a daemon outage shorter than the retry budget; the serial flush path gets
+// the same protection from retry-wrapped conns.
 func NewClient(cfg ClientConfig) *Client {
 	if cfg.MaxFlight <= 0 {
 		cfg.MaxFlight = 8
@@ -52,12 +65,25 @@ func NewClient(cfg ClientConfig) *Client {
 		cfg.MaxTransfer = 256 << 10 // PVFS2 flow buffer size
 	}
 	stats := newClientStats(cfg.Metrics)
-	io := make([]rpc.Conn, len(cfg.IO))
-	for i, conn := range cfg.IO {
-		io[i] = rpc.WithRetry(conn, cfg.Retry, stats.ioRetries.Inc)
+	name := "pvfs-client"
+	if cfg.Node != nil {
+		name = cfg.Node.Name + "/pvfs"
 	}
-	cfg.IO = io
-	return &Client{cfg: cfg, stats: stats}
+	c := &Client{cfg: cfg, stats: stats}
+	c.engine = ioengine.New(ioengine.Config{
+		Name:        name,
+		Issuer:      "pvfs",
+		MaxFlight:   cfg.MaxFlight,
+		MaxTransfer: cfg.MaxTransfer,
+		Wave:        cfg.Wave,
+		Metrics:     cfg.Metrics,
+	})
+	c.retry = ioengine.WithRetry(cfg.Retry, stats.ioRetries.Inc)
+	c.ioSync = make([]rpc.Conn, len(cfg.IO))
+	for i, conn := range cfg.IO {
+		c.ioSync[i] = rpc.WithRetry(conn, cfg.Retry, stats.ioRetries.Inc)
+	}
+	return c
 }
 
 // File is an open PVFS2 file reference.
@@ -112,87 +138,39 @@ func (c *Client) Open(ctx *rpc.Ctx, path string) (*File, error) {
 	return c.newFile(rep.Handle, rep.Dist), nil
 }
 
-// ioRequest is one storage-daemon request derived from an extent.
-type ioRequest struct {
-	dev    int
-	off    int64 // logical
-	devOff int64
-	n      int64
-}
-
-// split breaks extents into MaxTransfer-sized requests.
-func (c *Client) split(extents []stripe.Extent) []ioRequest {
-	var reqs []ioRequest
-	for _, e := range extents {
-		for off := int64(0); off < e.Len; off += c.cfg.MaxTransfer {
-			n := c.cfg.MaxTransfer
-			if off+n > e.Len {
-				n = e.Len - off
-			}
-			reqs = append(reqs, ioRequest{dev: e.Dev, off: e.Off + off, devOff: e.DevOff + off, n: n})
-		}
-	}
-	return reqs
-}
-
-// runBounded executes requests with at most MaxFlight in flight, in waves.
-func (c *Client) runBounded(ctx *rpc.Ctx, reqs []ioRequest, fn func(ctx *rpc.Ctx, r ioRequest) error) error {
-	var firstErr error
-	for start := 0; start < len(reqs); start += c.cfg.MaxFlight {
-		end := start + c.cfg.MaxFlight
-		if end > len(reqs) {
-			end = len(reqs)
-		}
-		batch := reqs[start:end]
-		errs := make([]error, len(batch))
-		rpc.Parallel(ctx, len(batch), func(ctx *rpc.Ctx, i int) {
-			errs[i] = fn(ctx, batch[i])
-		})
-		for _, err := range errs {
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
-		}
-		if firstErr != nil {
-			return firstErr
-		}
-	}
-	return nil
-}
-
 // Write stores data at off.  Sync forces the touched daemons to flush to
 // stable storage before returning.  It returns the file's new logical size
 // as reconstructed from the daemons' object sizes.
 func (c *Client) Write(ctx *rpc.Ctx, f *File, off int64, data payload.Payload, syncData bool) (int64, error) {
 	c.chargeOp(ctx, data.Len())
-	reqs := c.split(f.mapper.Map(off, data.Len()))
+	reqs := c.engine.Prepare(f.mapper.Map(off, data.Len()))
 	c.stats.ioRequests.Add(uint64(len(reqs)))
 	if n := data.Len(); n > 0 {
 		c.stats.bytesWrite.Add(uint64(n))
 	}
 	var mu sync.Mutex // requests run on concurrent processes/goroutines
 	var logical int64
-	err := c.runBounded(ctx, reqs, func(ctx *rpc.Ctx, r ioRequest) error {
+	err := c.engine.Run(ctx, reqs, func(ctx *rpc.Ctx, r stripe.Extent) error {
 		var rep IOWriteRep
 		args := &IOWriteArgs{
 			Handle: f.Handle,
-			Off:    r.devOff,
-			Data:   data.Slice(r.off-off, r.n),
+			Off:    r.DevOff,
+			Data:   data.Slice(r.Off-off, r.Len),
 			Sync:   syncData,
 		}
-		if err := c.cfg.IO[r.dev].Call(ctx, ProcIOWrite, args, &rep); err != nil {
+		if err := c.cfg.IO[r.Dev].Call(ctx, ProcIOWrite, args, &rep); err != nil {
 			return err
 		}
 		if rep.Errno != 0 {
 			return rep.Errno.Err()
 		}
 		mu.Lock()
-		if end := f.mapper.LogicalEnd(r.dev, rep.ObjSize); end > logical {
+		if end := f.mapper.LogicalEnd(r.Dev, rep.ObjSize); end > logical {
 			logical = end
 		}
 		mu.Unlock()
 		return nil
-	})
+	}, c.retry)
 	return logical, err
 }
 
@@ -201,7 +179,7 @@ func (c *Client) Write(ctx *rpc.Ctx, f *File, off int64, data payload.Payload, s
 func (c *Client) Read(ctx *rpc.Ctx, f *File, off, n int64, wantReal bool) (payload.Payload, int64, error) {
 	c.chargeOp(ctx, n)
 	seed := off / f.Dist.StripeSize
-	reqs := c.split(f.mapper.ReadMap(off, n, seed))
+	reqs := c.engine.Prepare(f.mapper.ReadMap(off, n, seed))
 	c.stats.ioRequests.Add(uint64(len(reqs)))
 	var buf []byte
 	if wantReal {
@@ -211,10 +189,10 @@ func (c *Client) Read(ctx *rpc.Ctx, f *File, off, n int64, wantReal bool) (paylo
 	// below it that a daemon skipped are holes (zeros).
 	var mu sync.Mutex
 	var maxEnd int64
-	err := c.runBounded(ctx, reqs, func(ctx *rpc.Ctx, r ioRequest) error {
+	err := c.engine.Run(ctx, reqs, func(ctx *rpc.Ctx, r stripe.Extent) error {
 		var rep IOReadRep
-		args := &IOReadArgs{Handle: f.Handle, Off: r.devOff, Len: r.n, WantReal: wantReal}
-		if err := c.cfg.IO[r.dev].Call(ctx, ProcIORead, args, &rep); err != nil {
+		args := &IOReadArgs{Handle: f.Handle, Off: r.DevOff, Len: r.Len, WantReal: wantReal}
+		if err := c.cfg.IO[r.Dev].Call(ctx, ProcIORead, args, &rep); err != nil {
 			return err
 		}
 		if rep.Errno != 0 {
@@ -223,16 +201,16 @@ func (c *Client) Read(ctx *rpc.Ctx, f *File, off, n int64, wantReal bool) (paylo
 		got := rep.Data.Len()
 		if got > 0 {
 			mu.Lock()
-			if end := r.off + got; end > maxEnd {
+			if end := r.Off + got; end > maxEnd {
 				maxEnd = end
 			}
 			mu.Unlock()
 			if wantReal && rep.Data.Bytes != nil {
-				copy(buf[r.off-off:], rep.Data.Bytes)
+				copy(buf[r.Off-off:], rep.Data.Bytes)
 			}
 		}
 		return nil
-	})
+	}, c.retry)
 	if err != nil {
 		return payload.Payload{}, 0, err
 	}
@@ -255,9 +233,9 @@ func (c *Client) Read(ctx *rpc.Ctx, f *File, off, n int64, wantReal bool) (paylo
 // small-I/O performance (§6.4.1).
 func (c *Client) Sync(ctx *rpc.Ctx, f *File) error {
 	c.chargeOp(ctx, 0)
-	for i := range c.cfg.IO {
+	for i := range c.ioSync {
 		var rep IOFlushRep
-		if err := c.cfg.IO[i].Call(ctx, ProcIOFlush, &IOFlushArgs{Handle: f.Handle}, &rep); err != nil {
+		if err := c.ioSync[i].Call(ctx, ProcIOFlush, &IOFlushArgs{Handle: f.Handle}, &rep); err != nil {
 			return err
 		}
 		if rep.Errno != 0 {

@@ -52,7 +52,8 @@ func DefaultRetryPolicy() RetryPolicy {
 	return RetryPolicy{Max: 20, Base: 100 * time.Millisecond, Cap: 2 * time.Second}
 }
 
-func (p RetryPolicy) withDefaults() RetryPolicy {
+// WithDefaults fills zero-valued fields from DefaultRetryPolicy.
+func (p RetryPolicy) WithDefaults() RetryPolicy {
 	def := DefaultRetryPolicy()
 	if p.Max <= 0 {
 		p.Max = def.Max
@@ -66,11 +67,40 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	return p
 }
 
+// Do runs op under the policy, retrying Retryable failures with bounded
+// exponential backoff (zero-valued fields take defaults).  Backoff sleeps
+// are virtual time under the simulation kernel and wall clock otherwise.
+// onRetry, when non-nil, is invoked before each retry — callers hook their
+// retry counters here.  This is the single retry loop behind both WithRetry
+// conns and the I/O engine's retry policy.
+func (p RetryPolicy) Do(ctx *Ctx, onRetry func(), op func() error) error {
+	p = p.WithDefaults()
+	backoff := p.Base
+	var err error
+	for attempt := 0; attempt < p.Max; attempt++ {
+		if attempt > 0 {
+			if onRetry != nil {
+				onRetry()
+			}
+			sleepCtx(ctx, backoff)
+			backoff *= 2
+			if backoff > p.Cap {
+				backoff = p.Cap
+			}
+		}
+		err = op()
+		if err == nil || !Retryable(err) {
+			return err
+		}
+	}
+	return err
+}
+
 // WithRetry wraps conn so Retryable failures are retried under pol
 // (zero-valued fields take defaults).  onRetry, when non-nil, is invoked
 // before each retry — protocol layers hook their retry counters here.
 func WithRetry(conn Conn, pol RetryPolicy, onRetry func()) Conn {
-	return &retryConn{inner: conn, pol: pol.withDefaults(), onRetry: onRetry}
+	return &retryConn{inner: conn, pol: pol.WithDefaults(), onRetry: onRetry}
 }
 
 type retryConn struct {
@@ -81,25 +111,9 @@ type retryConn struct {
 
 // Call implements Conn with bounded exponential-backoff retries.
 func (r *retryConn) Call(ctx *Ctx, proc uint32, args xdr.Marshaler, rep xdr.Unmarshaler) error {
-	backoff := r.pol.Base
-	var err error
-	for attempt := 0; attempt < r.pol.Max; attempt++ {
-		if attempt > 0 {
-			if r.onRetry != nil {
-				r.onRetry()
-			}
-			sleepCtx(ctx, backoff)
-			backoff *= 2
-			if backoff > r.pol.Cap {
-				backoff = r.pol.Cap
-			}
-		}
-		err = r.inner.Call(ctx, proc, args, rep)
-		if err == nil || !Retryable(err) {
-			return err
-		}
-	}
-	return err
+	return r.pol.Do(ctx, r.onRetry, func() error {
+		return r.inner.Call(ctx, proc, args, rep)
+	})
 }
 
 // sleepCtx pauses in virtual time under the kernel, wall clock otherwise.

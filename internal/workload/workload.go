@@ -47,8 +47,20 @@ func (r Result) TPS() float64 {
 type IORConfig struct {
 	FileSize int64 // per client (paper: 500 MB)
 	Block    int64 // application request size (paper: 2-4 MB or 8 KB)
-	Separate bool  // separate files vs disjoint regions of one file
-	Read     bool  // read phase (against a warm server cache) vs write
+	// MixedBlocks, when non-empty, cycles the request size through the list
+	// instead of using Block — the heterogeneous-request pattern the
+	// window-sweep figure uses to expose wave-dispatch stalls.
+	MixedBlocks []int64
+	Separate    bool // separate files vs disjoint regions of one file
+	Read        bool // read phase (against a warm server cache) vs write
+}
+
+// blockAt returns the k-th request's size.
+func (c IORConfig) blockAt(k int) int64 {
+	if len(c.MixedBlocks) > 0 {
+		return c.MixedBlocks[k%len(c.MixedBlocks)]
+	}
+	return c.Block
 }
 
 // IOR runs the micro-benchmark and returns the measured phase.
@@ -102,14 +114,15 @@ func IOR(cl *cluster.Cluster, cfg IORConfig) (Result, error) {
 			return err
 		}
 		base := region(i)
-		for off := int64(0); off < cfg.FileSize; off += cfg.Block {
-			n := cfg.Block
+		for off, k := int64(0), 0; off < cfg.FileSize; k++ {
+			n := cfg.blockAt(k)
 			if off+n > cfg.FileSize {
 				n = cfg.FileSize - off
 			}
 			if err := m.Write(ctx, f, base+off, payload.Synthetic(n)); err != nil {
 				return err
 			}
+			off += n
 		}
 		// IOR -e semantics: fsync before close, so the measurement reflects
 		// data on stable storage for every architecture.
@@ -150,8 +163,8 @@ func IOR(cl *cluster.Cluster, cfg IORConfig) (Result, error) {
 			return err
 		}
 		base := region(i)
-		for off := int64(0); off < cfg.FileSize; off += cfg.Block {
-			n := cfg.Block
+		for off, k := int64(0), 0; off < cfg.FileSize; k++ {
+			n := cfg.blockAt(k)
 			if off+n > cfg.FileSize {
 				n = cfg.FileSize - off
 			}
@@ -160,6 +173,7 @@ func IOR(cl *cluster.Cluster, cfg IORConfig) (Result, error) {
 			} else if got != n {
 				return fmt.Errorf("short read at %d: %d of %d", base+off, got, n)
 			}
+			off += n
 		}
 		return nil
 	})
