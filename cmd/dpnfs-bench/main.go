@@ -7,14 +7,17 @@
 //	dpnfs-bench -fig all -scale 0.1     # everything, 10% data sizes
 //	dpnfs-bench -fig 8d -clients 1,4,8
 //	dpnfs-bench -fig degraded           # throughput across a storage-node crash
+//	dpnfs-bench -fig recovery           # same crash on the WAL backend, with replay
 //	dpnfs-bench -fig window             # I/O-engine sliding window vs waves
 //	dpnfs-bench -fig 6a -scale 0.01 -transport tcp   # real loopback sockets
 //	dpnfs-bench -fig 6a -scale 0.1 -report BENCH_6a.json
 //
 // The degraded figure (docs/FAULTS.md) replays a deterministic fault plan —
 // crash a storage node mid-run, restart it later — and reports aggregate
-// MB/s before, during, and after the outage per architecture.  It runs on
-// the sim transport only.
+// MB/s before, during, and after the outage per architecture.  The recovery
+// figure re-runs that schedule on the write-ahead-logged backend
+// (docs/BACKENDS.md): the crash discards the victim's volatile state and
+// the restart replays its journal.  Both run on the sim transport only.
 //
 // With -transport=tcp the same workloads run end-to-end over real TCP
 // connections on this host: wall-clock numbers that measure the protocol
@@ -37,7 +40,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure id (6a..6e, 7a..7d, 8a..8d, ssh, degraded, window) or 'all'")
+	fig := flag.String("fig", "all", "figure id (6a..6e, 7a..7d, 8a..8d, ssh, degraded, recovery, window) or 'all'")
 	scale := flag.Float64("scale", 1.0, "data-size scale factor (1.0 = paper sizes)")
 	clients := flag.String("clients", "", "comma-separated client counts (default: per figure)")
 	transport := flag.String("transport", "sim", "cluster wiring: sim (virtual time) or tcp (real loopback sockets)")
@@ -69,12 +72,13 @@ func main() {
 	if *fig == "all" {
 		ids = directpnfs.FigureIDs
 		if opt.Transport == cluster.TransportTCP {
-			// The degraded figure's throughput windows are virtual-time
-			// intervals; skip it rather than failing the whole sweep.
+			// The degraded and recovery figures' throughput windows are
+			// virtual-time intervals; skip them rather than failing the
+			// whole sweep.
 			kept := ids[:0:0]
 			for _, id := range ids {
-				if id == "degraded" {
-					fmt.Fprintln(os.Stderr, "skipping degraded: sim transport only")
+				if id == "degraded" || id == "recovery" {
+					fmt.Fprintf(os.Stderr, "skipping %s: sim transport only\n", id)
 					continue
 				}
 				kept = append(kept, id)

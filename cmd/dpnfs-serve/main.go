@@ -8,6 +8,7 @@
 //
 //	dpnfs-serve                          # Direct-pNFS, serve until SIGINT
 //	dpnfs-serve -arch nfsv4 -backends 4
+//	dpnfs-serve -backend wal             # write-ahead-logged stores (docs/BACKENDS.md)
 //	dpnfs-serve -selftest                # serve, run a workload, exit
 //	dpnfs-serve -metrics 127.0.0.1:9090  # pin the /metrics listen address
 //
@@ -41,6 +42,8 @@ func main() {
 	arch := flag.String("arch", string(cluster.ArchDirectPNFS),
 		"architecture: direct-pnfs, pvfs2, pnfs-2tier, pnfs-3tier, nfsv4")
 	backends := flag.Int("backends", 3, "back-end storage nodes (incl. metadata manager)")
+	backend := flag.String("backend", cluster.BackendMem,
+		"store backend: mem (volatile), wal (write-ahead logged), cached (WAL behind a memory front)")
 	clients := flag.Int("clients", 2, "selftest client mounts")
 	selftest := flag.Bool("selftest", false, "run a built-in workload against the export, then exit")
 	metricsAddr := flag.String("metrics", "127.0.0.1:0", `Prometheus /metrics listen address ("" disables)`)
@@ -57,6 +60,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown architecture %q; known: %v\n", *arch, cluster.Archs)
 		os.Exit(2)
 	}
+	if _, err := cluster.BackendFactory(*backend); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	cl := cluster.New(cluster.Config{
 		Arch:      cluster.Arch(*arch),
@@ -64,6 +71,7 @@ func main() {
 		Backends:  *backends,
 		Real:      true,
 		Transport: cluster.TransportTCP,
+		Backend:   *backend,
 	})
 	defer cl.Close()
 

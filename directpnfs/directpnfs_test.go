@@ -91,10 +91,10 @@ func TestAllWorkloadsThroughPublicAPI(t *testing.T) {
 }
 
 func TestFigureRegistryThroughPublicAPI(t *testing.T) {
-	// 14 paper figures plus the repository's degraded-mode and
-	// window-sweep figures.
-	if len(directpnfs.FigureIDs) != 16 {
-		t.Fatalf("expected 16 figures, got %d", len(directpnfs.FigureIDs))
+	// 14 paper figures plus the repository's degraded-mode,
+	// crash-recovery, and window-sweep figures.
+	if len(directpnfs.FigureIDs) != 17 {
+		t.Fatalf("expected 17 figures, got %d", len(directpnfs.FigureIDs))
 	}
 	fig, err := directpnfs.Figures["6a"](directpnfs.FigureOptions{
 		Scale:   0.002,

@@ -79,7 +79,7 @@ func TestMarkdownLinksResolve(t *testing.T) {
 // TestRequiredDocsLinked pins the documentation contract: the architecture
 // and metrics references exist and README.md links both.
 func TestRequiredDocsLinked(t *testing.T) {
-	for _, p := range []string{"docs/ARCHITECTURE.md", "docs/METRICS.md", "docs/FAULTS.md"} {
+	for _, p := range []string{"docs/ARCHITECTURE.md", "docs/METRICS.md", "docs/FAULTS.md", "docs/BACKENDS.md"} {
 		if _, err := os.Stat(p); err != nil {
 			t.Errorf("missing %s: %v", p, err)
 		}
@@ -88,7 +88,7 @@ func TestRequiredDocsLinked(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"docs/ARCHITECTURE.md", "docs/METRICS.md", "docs/FAULTS.md"} {
+	for _, want := range []string{"docs/ARCHITECTURE.md", "docs/METRICS.md", "docs/FAULTS.md", "docs/BACKENDS.md"} {
 		if !strings.Contains(string(readme), want) {
 			t.Errorf("README.md does not link %s", want)
 		}

@@ -403,6 +403,76 @@ func Degraded(opt Options) (Figure, error) {
 	return fig, nil
 }
 
+// Recovery is the repository's crash-recovery figure (not from the paper):
+// the degraded-mode schedule re-run on the write-ahead-logged backend
+// (cluster.Config.Backend "wal", docs/BACKENDS.md).  Unlike the degraded
+// figure, the crash also discards the victim's volatile store image, so the
+// restart must replay the node's journal before it rejoins — throughput
+// across the three phases shows what durability costs and that recovery
+// actually restores service.  X is the phase (1=before, 2=during,
+// 3=after).  The figure errors if no journal records were replayed, so it
+// cannot silently degenerate into the volatile degraded figure.
+func Recovery(opt Options) (Figure, error) {
+	opt = opt.withDefaults([]int{2}, cluster.Archs)
+	fig := Figure{
+		ID:     "recovery",
+		Title:  "write across a crash with WAL replay (phases: 1=before 2=during 3=after)",
+		XLabel: "phase",
+		YLabel: "aggregate MB/s",
+	}
+	if opt.Transport == cluster.TransportTCP {
+		return fig, fmt.Errorf("recovery: this figure requires the sim transport (virtual-time windows)")
+	}
+	plan := faults.NewPlan(1,
+		faults.StorageNodeCrash{At: degradedCrashAt, Node: degradedVictim},
+		faults.StorageNodeRestart{At: degradedRestartAt, Node: degradedVictim},
+	)
+	n := opt.Clients[0]
+	var replayed float64
+	for _, arch := range opt.Archs {
+		cl := newCluster(opt, cluster.Config{
+			Arch: arch, Clients: n, Faults: plan,
+			Backend: cluster.BackendWAL,
+		})
+		res, err := workload.Degraded(cl, workload.DegradedConfig{
+			CrashAt:   degradedCrashAt,
+			RestartAt: degradedRestartAt,
+			Tail:      degradedTail,
+		})
+		replayed += counterSum(cl.Metrics(), "store_wal_replays_total")
+		cl.Close()
+		if err != nil {
+			return fig, fmt.Errorf("recovery/%s: %w", arch, err)
+		}
+		fig.Series = append(fig.Series, Series{
+			Label: archLabel(arch),
+			Points: []Point{
+				{X: 1, Y: res.Before},
+				{X: 2, Y: res.During},
+				{X: 3, Y: res.After},
+			},
+		})
+	}
+	if replayed == 0 {
+		return fig, fmt.Errorf("recovery: no WAL records replayed — the crash never exercised recovery")
+	}
+	return fig, nil
+}
+
+// counterSum totals one counter family's series values in a registry.
+func counterSum(reg *metrics.Registry, name string) float64 {
+	var total float64
+	for _, fam := range reg.Snapshot().Metrics {
+		if fam.Name != name {
+			continue
+		}
+		for _, s := range fam.Series {
+			total += s.Value
+		}
+	}
+	return total
+}
+
 // Window-sweep parameters: mixed request sizes (12 MB spanning every
 // device down to single-stripe-unit slivers) make the per-wave transfer
 // times heterogeneous, which is exactly where lock-step dispatch stalls on
@@ -484,11 +554,11 @@ var All = map[string]func(Options) (Figure, error){
 	"6a": Fig6a, "6b": Fig6b, "6c": Fig6c, "6d": Fig6d, "6e": Fig6e,
 	"7a": Fig7a, "7b": Fig7b, "7c": Fig7c, "7d": Fig7d,
 	"8a": Fig8a, "8b": Fig8b, "8c": Fig8c, "8d": Fig8d,
-	"ssh": SSHBuild, "degraded": Degraded, "window": WindowSweep,
+	"ssh": SSHBuild, "degraded": Degraded, "recovery": Recovery, "window": WindowSweep,
 }
 
 // IDs lists figure IDs in presentation order.
-var IDs = []string{"6a", "6b", "6c", "6d", "6e", "7a", "7b", "7c", "7d", "8a", "8b", "8c", "8d", "ssh", "degraded", "window"}
+var IDs = []string{"6a", "6b", "6c", "6d", "6e", "7a", "7b", "7c", "7d", "8a", "8b", "8c", "8d", "ssh", "degraded", "recovery", "window"}
 
 // Elapsed wraps a duration for table rendering.
 func Elapsed(d time.Duration) float64 { return d.Seconds() }

@@ -53,4 +53,28 @@ func TestFigureDeterminism(t *testing.T) {
 			t.Errorf("%s: throughput did not recover after restart (before %.1f, after %.1f)", s.Label, before, after)
 		}
 	}
+
+	// The recovery figure — the same schedule on the WAL backend, where the
+	// crash also wipes the victim's store image — obeys the same rules.
+	// Recovery itself errors out if no journal records were replayed.
+	r1, err := Recovery(Options{Archs: archs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Recovery(Options{Archs: archs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("Recovery figure not deterministic:\n%v\nvs\n%v", r1, r2)
+	}
+	for _, s := range r1.Series {
+		before, after := s.Points[0].Y, s.Points[2].Y
+		if before <= 0 {
+			t.Errorf("%s: no baseline throughput on the WAL backend", s.Label)
+		}
+		if after < before/2 {
+			t.Errorf("%s: throughput did not recover after WAL replay (before %.1f, after %.1f)", s.Label, before, after)
+		}
+	}
 }

@@ -10,7 +10,7 @@ import (
 	"dpnfs/internal/pvfs"
 	"dpnfs/internal/rpc"
 	"dpnfs/internal/simnet"
-	"dpnfs/internal/vfs"
+	"dpnfs/internal/store"
 )
 
 // directDSBackend is the Direct-pNFS data server: the NFS server accesses
@@ -70,23 +70,23 @@ func (b *directDSBackend) Commit(ctx *rpc.Ctx, fh uint64) error {
 // Data servers perform no namespace or layout duties.
 func (b *directDSBackend) Root() uint64 { return 1 }
 func (b *directDSBackend) Lookup(*rpc.Ctx, uint64, string) (uint64, nfs.Attr, error) {
-	return 0, nfs.Attr{}, vfs.ErrInval
+	return 0, nfs.Attr{}, store.ErrInval
 }
 func (b *directDSBackend) Create(*rpc.Ctx, uint64, string) (uint64, nfs.Attr, error) {
-	return 0, nfs.Attr{}, vfs.ErrInval
+	return 0, nfs.Attr{}, store.ErrInval
 }
 func (b *directDSBackend) Mkdir(*rpc.Ctx, uint64, string) (uint64, nfs.Attr, error) {
-	return 0, nfs.Attr{}, vfs.ErrInval
+	return 0, nfs.Attr{}, store.ErrInval
 }
-func (b *directDSBackend) Remove(*rpc.Ctx, uint64, string) error         { return vfs.ErrInval }
-func (b *directDSBackend) Rename(*rpc.Ctx, uint64, string, string) error { return vfs.ErrInval }
-func (b *directDSBackend) ReadDir(*rpc.Ctx, uint64) ([]string, error)    { return nil, vfs.ErrInval }
+func (b *directDSBackend) Remove(*rpc.Ctx, uint64, string) error         { return store.ErrInval }
+func (b *directDSBackend) Rename(*rpc.Ctx, uint64, string, string) error { return store.ErrInval }
+func (b *directDSBackend) ReadDir(*rpc.Ctx, uint64) ([]string, error)    { return nil, store.ErrInval }
 func (b *directDSBackend) GetAttr(ctx *rpc.Ctx, fh uint64) (nfs.Attr, error) {
 	// A data server can report its local object size; clients do not use
 	// this (sizes come from the MDS), but it keeps GETATTR well-defined.
 	return nfs.Attr{Size: b.storage.ObjectSize(pvfs.Handle(fh))}, nil
 }
-func (b *directDSBackend) SetSize(*rpc.Ctx, uint64, int64) error { return vfs.ErrInval }
+func (b *directDSBackend) SetSize(*rpc.Ctx, uint64, int64) error { return store.ErrInval }
 func (b *directDSBackend) DevList(*rpc.Ctx) ([]pnfs.DeviceInfo, error) {
 	return nil, nfs.ErrNoPNFS
 }
@@ -128,7 +128,7 @@ func (b *directMDSBackend) Lookup(ctx *rpc.Ctx, dir uint64, name string) (uint64
 	if rep.Errno != 0 {
 		return 0, nfs.Attr{}, rep.Errno.Err()
 	}
-	at, _ := b.meta.Namespace().GetAttr(vfs.FileID(rep.Handle))
+	at, _ := b.meta.Namespace().GetAttr(store.FileID(rep.Handle))
 	return uint64(rep.Handle), nfs.Attr{IsDir: rep.IsDir, Size: at.Size, Change: at.Change}, nil
 }
 
@@ -187,7 +187,7 @@ func (b *directMDSBackend) ReadDir(ctx *rpc.Ctx, dir uint64) ([]string, error) {
 // GetAttr serves from the MDS-local namespace: sizes arrive via
 // LAYOUTCOMMIT, so no parallel-FS metadata ripple occurs (paper §4.1).
 func (b *directMDSBackend) GetAttr(ctx *rpc.Ctx, fh uint64) (nfs.Attr, error) {
-	at, err := b.meta.Namespace().GetAttr(vfs.FileID(fh))
+	at, err := b.meta.Namespace().GetAttr(store.FileID(fh))
 	if err != nil {
 		return nfs.Attr{}, err
 	}
@@ -202,7 +202,7 @@ func (b *directMDSBackend) SetSize(ctx *rpc.Ctx, fh uint64, size int64) error {
 	if e := resp.(*pvfs.TruncateRep).Errno; e != 0 {
 		return e.Err()
 	}
-	return b.meta.Namespace().Truncate(vfs.FileID(fh), size)
+	return b.meta.Namespace().Truncate(store.FileID(fh), size)
 }
 
 // Read and Write proxy through the co-located PVFS2 client; they are a
@@ -218,7 +218,7 @@ func (b *directMDSBackend) Write(ctx *rpc.Ctx, fh uint64, off int64, data payloa
 	f := b.proxy.OpenHandle(pvfs.Handle(fh), b.meta.Dist())
 	size, err := b.proxy.Write(ctx, f, off, data, stable)
 	if err == nil {
-		b.meta.Namespace().SetSize(vfs.FileID(fh), size)
+		b.meta.Namespace().SetSize(store.FileID(fh), size)
 	}
 	return size, err
 }
@@ -264,7 +264,7 @@ func (b *directMDSBackend) LayoutGet(ctx *rpc.Ctx, fh uint64) (*pnfs.FileLayout,
 // LayoutCommit records the client-reported size in the MDS namespace
 // ("informs the NFSv4.1 server of changes to file metadata", paper §5).
 func (b *directMDSBackend) LayoutCommit(ctx *rpc.Ctx, fh uint64, newSize int64) error {
-	return b.meta.Namespace().SetSize(vfs.FileID(fh), newSize)
+	return b.meta.Namespace().SetSize(store.FileID(fh), newSize)
 }
 
 // blindLayouts generates the two/three-tier file-based layouts: logical

@@ -91,6 +91,19 @@ type Config struct {
 	PVFSCosts pvfs.Costs
 	Disk      simdisk.Config // template; Name is overridden per node
 
+	// Backend selects the store implementation behind every server
+	// (docs/BACKENDS.md): "mem" (default; volatile, the behaviour all
+	// figures are calibrated against), "wal" (write-ahead logged — crash
+	// events lose nothing synced), or "cached" (memory front, WAL behind,
+	// durable at sync/COMMIT points).
+	Backend string
+	// MetadataBackend and ContentBackend override the store factory per
+	// role: MetadataBackend builds the PVFS2 metadata manager's namespace
+	// store, ContentBackend builds each storage daemon's object store.
+	// Nil derives both from Backend.
+	MetadataBackend StoreFactory
+	ContentBackend  StoreFactory
+
 	Seed int64
 	Real bool // carry real bytes end to end (tests/demos)
 
@@ -157,6 +170,21 @@ func (c Config) withDefaults() Config {
 	if c.Metrics == nil {
 		c.Metrics = metrics.NewRegistry()
 	}
+	if c.Backend == "" {
+		c.Backend = BackendMem
+	}
+	if c.MetadataBackend == nil || c.ContentBackend == nil {
+		f, err := BackendFactory(c.Backend)
+		if err != nil {
+			panic(err) // construction-time configuration bug, like unknown Arch
+		}
+		if c.MetadataBackend == nil {
+			c.MetadataBackend = f
+		}
+		if c.ContentBackend == nil {
+			c.ContentBackend = f
+		}
+	}
 	return c
 }
 
@@ -181,10 +209,11 @@ type Cluster struct {
 	mdsNode      *simnet.Node
 
 	// Fault-injection state (Config.Faults, docs/FAULTS.md).
-	injector   *faults.Injector
-	faultMu    sync.Mutex
-	disarmed   bool
-	diskByNode map[string]*simdisk.Disk
+	injector      *faults.Injector
+	faultMu       sync.Mutex
+	disarmed      bool
+	diskByNode    map[string]*simdisk.Disk
+	storageByNode map[string]*pvfs.StorageServer
 }
 
 // New builds a cluster for the configuration.
@@ -196,7 +225,11 @@ func New(cfg Config) *Cluster {
 	cfg.Metrics = cfg.Metrics.WithLabel("arch", string(cfg.Arch))
 	k := sim.NewKernel(cfg.Seed)
 	f := simnet.NewFabric(k)
-	cl := &Cluster{Cfg: cfg, K: k, Fabric: f, diskByNode: make(map[string]*simdisk.Disk)}
+	cl := &Cluster{
+		Cfg: cfg, K: k, Fabric: f,
+		diskByNode:    make(map[string]*simdisk.Disk),
+		storageByNode: make(map[string]*pvfs.StorageServer),
+	}
 	switch cfg.Transport {
 	case TransportTCP:
 		tr := rpc.NewTCPTransport(0)
@@ -278,10 +311,13 @@ func (cl *Cluster) buildBackend(nodes int, diskScale float64) {
 		disk := simdisk.New(dcfg)
 		cl.Disks = append(cl.Disks, disk)
 		cl.diskByNode[n.Name] = disk
-		cl.Storage = append(cl.Storage, pvfs.NewStorageServer(pvfs.StorageConfig{
+		ss := pvfs.NewStorageServer(pvfs.StorageConfig{
 			Transport: cl.tr, Node: n, Disk: disk, Costs: cfg.PVFSCosts,
 			Metrics: cfg.Metrics,
-		}))
+			Store:   cfg.ContentBackend(n.Name, disk, cfg.Metrics),
+		})
+		cl.Storage = append(cl.Storage, ss)
+		cl.storageByNode[n.Name] = ss
 	}
 	cl.mdsNode = cl.storageNodes[0]
 	for _, n := range cl.storageNodes {
@@ -292,6 +328,7 @@ func (cl *Cluster) buildBackend(nodes int, diskScale float64) {
 		Dist:    pvfs.DistParams{StripeSize: cfg.StripeSize, NumServers: uint32(len(cl.storageNodes))},
 		IOConns: ioConnsFromMDS,
 		Metrics: cfg.Metrics,
+		Store:   cfg.MetadataBackend("mds", cl.diskByNode[cl.mdsNode.Name], cfg.Metrics),
 	})
 }
 

@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"fmt"
+
+	"dpnfs/internal/metrics"
+	"dpnfs/internal/simdisk"
+	"dpnfs/internal/store"
+	"dpnfs/internal/store/cached"
+	"dpnfs/internal/store/mem"
+	"dpnfs/internal/store/wal"
+)
+
+// Backend kinds accepted by Config.Backend and dpnfs-serve -backend.
+// docs/BACKENDS.md describes the trade-offs.
+const (
+	// BackendMem is the default: purely volatile in-memory stores, the
+	// pre-durability behaviour every figure is calibrated against.
+	BackendMem = "mem"
+	// BackendWAL journals every mutation to the node's simulated disk
+	// before acknowledging; crash events lose nothing that was synced.
+	BackendWAL = "wal"
+	// BackendCached stages data writes in memory and journals them at
+	// sync/COMMIT points — the NFS unstable-write model as a backend.
+	BackendCached = "cached"
+)
+
+// StoreFactory builds one server's store.  node names the server for
+// metrics ("io0", "mds", ...), disk is the node's simulated disk (nil on
+// diskless nodes and in TCP mode charging terms), and reg is the cluster
+// registry.
+type StoreFactory func(node string, disk *simdisk.Disk, reg *metrics.Registry) store.Store
+
+// BackendFactory maps a backend kind to its store factory.
+func BackendFactory(kind string) (StoreFactory, error) {
+	switch kind {
+	case "", BackendMem:
+		return func(node string, disk *simdisk.Disk, reg *metrics.Registry) store.Store {
+			return mem.New()
+		}, nil
+	case BackendWAL:
+		return func(node string, disk *simdisk.Disk, reg *metrics.Registry) store.Store {
+			return wal.New(wal.Config{Name: node, Disk: disk, Metrics: reg})
+		}, nil
+	case BackendCached:
+		return func(node string, disk *simdisk.Disk, reg *metrics.Registry) store.Store {
+			return cached.New(wal.Config{Name: node, Disk: disk, Metrics: reg})
+		}, nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown backend %q (want %s, %s, or %s)",
+			kind, BackendMem, BackendWAL, BackendCached)
+	}
+}
+
+// CrashVolatile implements faults.VolatileTarget: the crashing node's
+// storage daemon loses its volatile state (store image, handle table).
+// Under the default mem backend the store is not store.Recoverable and the
+// daemon keeps its image — the original reboot-with-state-intact model;
+// under wal/cached everything unsynced is gone until RestartVolatile.
+func (cl *Cluster) CrashVolatile(node string) {
+	if ss, ok := cl.storageByNode[node]; ok {
+		ss.CrashVolatile()
+	}
+}
+
+// RestartVolatile implements faults.VolatileTarget: replays the node's
+// durable log into a fresh image before the node rejoins.  Replay time is
+// deliberately not charged to the simulation — recovery happens inside the
+// outage window the fault plan already models.  A replay failure is a
+// corrupt log, which is a bug, so it fails loudly.
+func (cl *Cluster) RestartVolatile(node string) {
+	if ss, ok := cl.storageByNode[node]; ok {
+		if _, err := ss.RecoverVolatile(); err != nil {
+			panic(fmt.Sprintf("cluster: recover %s: %v", node, err))
+		}
+	}
+}

@@ -46,6 +46,22 @@ type Target interface {
 	SetDiskSlow(node string, factor float64)
 }
 
+// VolatileTarget is the optional extension a Target implements when node
+// crashes should also discard volatile state — in-memory store images and
+// handle tables — and replay durable state on restart.  This is the surface
+// the durable backends (internal/store/wal, docs/BACKENDS.md) exercise:
+// with it, a crash event models a real reboot in which everything not yet
+// synced to the write-ahead log is lost.  Targets whose stores are purely
+// volatile simply do not implement it and keep the original reboot-with-
+// image-intact semantics.
+type VolatileTarget interface {
+	// CrashVolatile discards the node's volatile state at crash time.
+	CrashVolatile(node string)
+	// RestartVolatile replays the node's durable state before the node
+	// rejoins the cluster.
+	RestartVolatile(node string)
+}
+
 // Event is one scheduled injection.  Concrete events are the exported
 // structs below; At is relative to the start of the run the plan is armed
 // for.
@@ -69,11 +85,18 @@ type StorageNodeCrash struct {
 func (e StorageNodeCrash) When() time.Duration { return e.At }
 func (e StorageNodeCrash) Kind() string        { return "crash" }
 func (e StorageNodeCrash) Target() string      { return e.Node }
-func (e StorageNodeCrash) Apply(tg Target)     { tg.SetNodeDown(e.Node, true) }
+func (e StorageNodeCrash) Apply(tg Target) {
+	tg.SetNodeDown(e.Node, true)
+	if vt, ok := tg.(VolatileTarget); ok {
+		vt.CrashVolatile(e.Node)
+	}
+}
 
-// StorageNodeRestart brings a crashed node back at At.  The simulated
-// store survives the crash (the model is a node reboot, not media loss), so
-// restarting restores access to the node's stripe data.
+// StorageNodeRestart brings a crashed node back at At.  Disk media survives
+// the crash (the model is a node reboot, not media loss); whether the
+// node's *store* survives depends on the backend: a VolatileTarget replays
+// its durable log here, while purely volatile targets come back with the
+// image intact.
 type StorageNodeRestart struct {
 	At   time.Duration
 	Node string
@@ -82,7 +105,12 @@ type StorageNodeRestart struct {
 func (e StorageNodeRestart) When() time.Duration { return e.At }
 func (e StorageNodeRestart) Kind() string        { return "restart" }
 func (e StorageNodeRestart) Target() string      { return e.Node }
-func (e StorageNodeRestart) Apply(tg Target)     { tg.SetNodeDown(e.Node, false) }
+func (e StorageNodeRestart) Apply(tg Target) {
+	if vt, ok := tg.(VolatileTarget); ok {
+		vt.RestartVolatile(e.Node)
+	}
+	tg.SetNodeDown(e.Node, false)
+}
 
 // LinkDegrade makes the node's link lossy/slow at At: each message pays a
 // retransmission timeout with probability Loss, and every round trip

@@ -1,4 +1,4 @@
-// Package fserr maps between Go file-system errors (package vfs) and the
+// Package fserr maps between Go file-system errors (package store) and the
 // numeric error codes carried in protocol replies, shared by the PVFS2 and
 // NFSv4.1 wire formats.
 //
@@ -11,7 +11,7 @@ package fserr
 import (
 	"fmt"
 
-	"dpnfs/internal/vfs"
+	"dpnfs/internal/store"
 )
 
 // Errno is a wire-level error code.  OK is zero.
@@ -30,22 +30,22 @@ const (
 	IO
 )
 
-// ToErrno converts a vfs (or nil) error into a wire code.
+// ToErrno converts a store (or nil) error into a wire code.
 func ToErrno(err error) Errno {
 	switch err {
 	case nil:
 		return OK
-	case vfs.ErrNotExist:
+	case store.ErrNotExist:
 		return NoEnt
-	case vfs.ErrExist:
+	case store.ErrExist:
 		return Exist
-	case vfs.ErrIsDir:
+	case store.ErrIsDir:
 		return IsDir
-	case vfs.ErrNotDir:
+	case store.ErrNotDir:
 		return NotDir
-	case vfs.ErrNotEmpty:
+	case store.ErrNotEmpty:
 		return NotEmpty
-	case vfs.ErrInval:
+	case store.ErrInval:
 		return Inval
 	default:
 		return IO
@@ -58,17 +58,17 @@ func (e Errno) Err() error {
 	case OK:
 		return nil
 	case NoEnt:
-		return vfs.ErrNotExist
+		return store.ErrNotExist
 	case Exist:
-		return vfs.ErrExist
+		return store.ErrExist
 	case IsDir:
-		return vfs.ErrIsDir
+		return store.ErrIsDir
 	case NotDir:
-		return vfs.ErrNotDir
+		return store.ErrNotDir
 	case NotEmpty:
-		return vfs.ErrNotEmpty
+		return store.ErrNotEmpty
 	case Inval:
-		return vfs.ErrInval
+		return store.ErrInval
 	case Stale:
 		return ErrStale
 	default:
@@ -76,7 +76,7 @@ func (e Errno) Err() error {
 	}
 }
 
-// ErrStale and ErrIO are protocol-level errors with no vfs counterpart.
+// ErrStale and ErrIO are protocol-level errors with no store counterpart.
 var (
 	ErrStale = fmt.Errorf("fserr: stale file handle")
 	ErrIO    = fmt.Errorf("fserr: I/O error")

@@ -4,7 +4,8 @@ import (
 	"sync"
 
 	"dpnfs/internal/payload"
-	"dpnfs/internal/vfs"
+	"dpnfs/internal/store"
+	"dpnfs/internal/store/mem"
 )
 
 // pageCache is the client-side cache for one open file: byte-granular
@@ -21,14 +22,14 @@ type pageCache struct {
 	mu       sync.Mutex
 	resident extList
 	dirty    extList
-	store    *vfs.Store // nil in synthetic mode
-	file     vfs.FileID
+	store    *mem.Store // nil in synthetic mode
+	file     store.FileID
 }
 
 func newPageCache(real bool) *pageCache {
 	pc := &pageCache{}
 	if real {
-		pc.store = vfs.New()
+		pc.store = mem.New()
 		at, err := pc.store.Create(pc.store.Root(), "cache")
 		if err != nil {
 			panic("nfs: page cache init: " + err.Error())

@@ -13,7 +13,8 @@ import (
 	"dpnfs/internal/sim"
 	"dpnfs/internal/simdisk"
 	"dpnfs/internal/simnet"
-	"dpnfs/internal/vfs"
+	"dpnfs/internal/store"
+	"dpnfs/internal/store/mem"
 	"dpnfs/internal/xdr"
 )
 
@@ -24,7 +25,8 @@ var ErrNoPNFS = errors.New("nfs: backend does not support pNFS layouts")
 // Backend is the storage engine behind an NFSv4.1 server.  Different
 // architectures plug different engines in:
 //
-//   - a local in-memory store (VFSBackend, plain NFS servers and tests);
+//   - a local store behind the repository interfaces (StoreBackend, plain
+//     NFS servers and tests — any store.Store: mem, wal, cached);
 //   - a PVFS2 client (the single-server NFSv4 export and the two/three-tier
 //     pNFS data servers);
 //   - the Direct-pNFS metadata server (PVFS2 MDS co-located, with the
@@ -284,7 +286,7 @@ func (s *Server) run(ctx *rpc.Ctx, cpu *sim.KServer, args *CompoundArgs) *Compou
 
 		case *OpOpen:
 			fh, at, err := b.Lookup(ctx, cur, o.Name)
-			if err == vfs.ErrNotExist && o.Create {
+			if err == store.ErrNotExist && o.Create {
 				fh, at, err = b.Create(ctx, cur, o.Name)
 			}
 			if err != nil {
@@ -405,25 +407,37 @@ func perMB(d time.Duration, n int64) time.Duration {
 	return time.Duration(float64(d) * float64(n) / (1 << 20))
 }
 
-// VFSBackend serves a local in-memory store, optionally charging a
-// simulated disk.  It is the backend for plain NFS servers in unit tests
-// and the TCP demo; it does not serve pNFS layouts.
-type VFSBackend struct {
-	Store *vfs.Store
+// StoreBackend serves a local store.Store, optionally charging a simulated
+// disk.  It is the backend for plain NFS servers in unit tests and the TCP
+// demo; it does not serve pNFS layouts.  Write with stable=true and Commit
+// drive the store's Sync, so a durable store (store/wal, store/cached)
+// journals exactly at the NFS commit points.
+type StoreBackend struct {
+	Store store.Store
 	Disk  *simdisk.Disk
 }
 
-// NewVFSBackend wraps a fresh store.
-func NewVFSBackend(disk *simdisk.Disk) *VFSBackend {
-	return &VFSBackend{Store: vfs.New(), Disk: disk}
+// VFSBackend is the historical name of StoreBackend.
+//
+// Deprecated: use StoreBackend.
+type VFSBackend = StoreBackend
+
+// NewStoreBackend wraps an existing store.
+func NewStoreBackend(st store.Store, disk *simdisk.Disk) *StoreBackend {
+	return &StoreBackend{Store: st, Disk: disk}
+}
+
+// NewVFSBackend wraps a fresh in-memory store.
+func NewVFSBackend(disk *simdisk.Disk) *StoreBackend {
+	return NewStoreBackend(mem.New(), disk)
 }
 
 // Root implements Backend.
-func (b *VFSBackend) Root() uint64 { return uint64(b.Store.Root()) }
+func (b *StoreBackend) Root() uint64 { return uint64(b.Store.Root()) }
 
 // Lookup implements Backend.
-func (b *VFSBackend) Lookup(_ *rpc.Ctx, dir uint64, name string) (uint64, Attr, error) {
-	at, err := b.Store.Lookup(vfs.FileID(dir), name)
+func (b *StoreBackend) Lookup(_ *rpc.Ctx, dir uint64, name string) (uint64, Attr, error) {
+	at, err := b.Store.Lookup(store.FileID(dir), name)
 	if err != nil {
 		return 0, Attr{}, err
 	}
@@ -431,8 +445,8 @@ func (b *VFSBackend) Lookup(_ *rpc.Ctx, dir uint64, name string) (uint64, Attr, 
 }
 
 // Create implements Backend.
-func (b *VFSBackend) Create(_ *rpc.Ctx, dir uint64, name string) (uint64, Attr, error) {
-	at, err := b.Store.Create(vfs.FileID(dir), name)
+func (b *StoreBackend) Create(_ *rpc.Ctx, dir uint64, name string) (uint64, Attr, error) {
+	at, err := b.Store.Create(store.FileID(dir), name)
 	if err != nil {
 		return 0, Attr{}, err
 	}
@@ -440,8 +454,8 @@ func (b *VFSBackend) Create(_ *rpc.Ctx, dir uint64, name string) (uint64, Attr, 
 }
 
 // Mkdir implements Backend.
-func (b *VFSBackend) Mkdir(_ *rpc.Ctx, dir uint64, name string) (uint64, Attr, error) {
-	at, err := b.Store.Mkdir(vfs.FileID(dir), name)
+func (b *StoreBackend) Mkdir(_ *rpc.Ctx, dir uint64, name string) (uint64, Attr, error) {
+	at, err := b.Store.Mkdir(store.FileID(dir), name)
 	if err != nil {
 		return 0, Attr{}, err
 	}
@@ -449,23 +463,23 @@ func (b *VFSBackend) Mkdir(_ *rpc.Ctx, dir uint64, name string) (uint64, Attr, e
 }
 
 // Remove implements Backend.
-func (b *VFSBackend) Remove(_ *rpc.Ctx, dir uint64, name string) error {
-	return b.Store.Remove(vfs.FileID(dir), name)
+func (b *StoreBackend) Remove(_ *rpc.Ctx, dir uint64, name string) error {
+	return b.Store.Remove(store.FileID(dir), name)
 }
 
 // Rename implements Backend.
-func (b *VFSBackend) Rename(_ *rpc.Ctx, dir uint64, src, dst string) error {
-	return b.Store.Rename(vfs.FileID(dir), src, vfs.FileID(dir), dst)
+func (b *StoreBackend) Rename(_ *rpc.Ctx, dir uint64, src, dst string) error {
+	return b.Store.Rename(store.FileID(dir), src, store.FileID(dir), dst)
 }
 
 // ReadDir implements Backend.
-func (b *VFSBackend) ReadDir(_ *rpc.Ctx, dir uint64) ([]string, error) {
-	return b.Store.ReadDir(vfs.FileID(dir))
+func (b *StoreBackend) ReadDir(_ *rpc.Ctx, dir uint64) ([]string, error) {
+	return b.Store.ReadDir(store.FileID(dir))
 }
 
 // GetAttr implements Backend.
-func (b *VFSBackend) GetAttr(_ *rpc.Ctx, fh uint64) (Attr, error) {
-	at, err := b.Store.GetAttr(vfs.FileID(fh))
+func (b *StoreBackend) GetAttr(_ *rpc.Ctx, fh uint64) (Attr, error) {
+	at, err := b.Store.GetAttr(store.FileID(fh))
 	if err != nil {
 		return Attr{}, err
 	}
@@ -473,13 +487,13 @@ func (b *VFSBackend) GetAttr(_ *rpc.Ctx, fh uint64) (Attr, error) {
 }
 
 // SetSize implements Backend.
-func (b *VFSBackend) SetSize(_ *rpc.Ctx, fh uint64, size int64) error {
-	return b.Store.Truncate(vfs.FileID(fh), size)
+func (b *StoreBackend) SetSize(_ *rpc.Ctx, fh uint64, size int64) error {
+	return b.Store.Truncate(store.FileID(fh), size)
 }
 
 // Read implements Backend.
-func (b *VFSBackend) Read(ctx *rpc.Ctx, fh uint64, off, n int64, wantReal bool) (payload.Payload, bool, error) {
-	at, err := b.Store.GetAttr(vfs.FileID(fh))
+func (b *StoreBackend) Read(ctx *rpc.Ctx, fh uint64, off, n int64, wantReal bool) (payload.Payload, bool, error) {
+	at, err := b.Store.GetAttr(store.FileID(fh))
 	if err != nil {
 		return payload.Payload{}, false, err
 	}
@@ -505,27 +519,32 @@ func (b *VFSBackend) Read(ctx *rpc.Ctx, fh uint64, off, n int64, wantReal bool) 
 	} else {
 		buf = make([]byte, n)
 	}
-	if _, err := b.Store.ReadAt(vfs.FileID(fh), off, buf); err != nil {
+	if _, err := b.Store.ReadAt(store.FileID(fh), off, buf); err != nil {
 		return payload.Payload{}, false, err
 	}
 	return payload.Real(buf), eof, nil
 }
 
 // Write implements Backend.
-func (b *VFSBackend) Write(ctx *rpc.Ctx, fh uint64, off int64, data payload.Payload, stable bool) (int64, error) {
+func (b *StoreBackend) Write(ctx *rpc.Ctx, fh uint64, off int64, data payload.Payload, stable bool) (int64, error) {
 	var newSize int64
 	var err error
 	if data.IsSynthetic() {
-		newSize, err = b.Store.WriteSyntheticAt(vfs.FileID(fh), off, data.Len())
+		newSize, err = b.Store.WriteSyntheticAt(store.FileID(fh), off, data.Len())
 	} else {
-		newSize, err = b.Store.WriteAt(vfs.FileID(fh), off, data.Bytes)
+		newSize, err = b.Store.WriteAt(store.FileID(fh), off, data.Bytes)
 	}
 	if err != nil {
 		return 0, err
 	}
 	if ctx.P != nil && b.Disk != nil {
 		b.Disk.Write(ctx.P, fh, off, data.Len())
-		if stable {
+	}
+	if stable {
+		if err := b.Store.Sync(ctx.P); err != nil {
+			return 0, err
+		}
+		if ctx.P != nil && b.Disk != nil {
 			b.Disk.Sync(ctx.P)
 		}
 	}
@@ -533,7 +552,10 @@ func (b *VFSBackend) Write(ctx *rpc.Ctx, fh uint64, off int64, data payload.Payl
 }
 
 // Commit implements Backend.
-func (b *VFSBackend) Commit(ctx *rpc.Ctx, fh uint64) error {
+func (b *StoreBackend) Commit(ctx *rpc.Ctx, fh uint64) error {
+	if err := b.Store.Sync(ctx.P); err != nil {
+		return err
+	}
 	if ctx.P != nil && b.Disk != nil {
 		b.Disk.Sync(ctx.P)
 	}
@@ -541,14 +563,14 @@ func (b *VFSBackend) Commit(ctx *rpc.Ctx, fh uint64) error {
 }
 
 // DevList implements Backend: no pNFS.
-func (b *VFSBackend) DevList(*rpc.Ctx) ([]pnfs.DeviceInfo, error) { return nil, ErrNoPNFS }
+func (b *StoreBackend) DevList(*rpc.Ctx) ([]pnfs.DeviceInfo, error) { return nil, ErrNoPNFS }
 
 // LayoutGet implements Backend: no pNFS.
-func (b *VFSBackend) LayoutGet(*rpc.Ctx, uint64) (*pnfs.FileLayout, error) { return nil, ErrNoPNFS }
+func (b *StoreBackend) LayoutGet(*rpc.Ctx, uint64) (*pnfs.FileLayout, error) { return nil, ErrNoPNFS }
 
 // LayoutCommit implements Backend: no pNFS.
-func (b *VFSBackend) LayoutCommit(*rpc.Ctx, uint64, int64) error { return ErrNoPNFS }
+func (b *StoreBackend) LayoutCommit(*rpc.Ctx, uint64, int64) error { return ErrNoPNFS }
 
-func attrOf(at vfs.Attr) Attr {
+func attrOf(at store.Attr) Attr {
 	return Attr{IsDir: at.IsDir, Size: at.Size, Change: at.Change}
 }

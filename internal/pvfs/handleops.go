@@ -3,8 +3,8 @@ package pvfs
 import (
 	"dpnfs/internal/fserr"
 	"dpnfs/internal/rpc"
+	"dpnfs/internal/store"
 	"dpnfs/internal/stripe"
-	"dpnfs/internal/vfs"
 	"dpnfs/internal/xdr"
 )
 
@@ -83,7 +83,7 @@ func (m *MetaServer) handleMeta(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshal
 	switch proc {
 	case ProcLookupH:
 		a := req.(*DirOpArgs)
-		at, err := m.store.Lookup(vfs.FileID(a.Dir), a.Name)
+		at, err := m.store.Lookup(store.FileID(a.Dir), a.Name)
 		if err != nil {
 			return &LookupRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
 		}
@@ -91,7 +91,7 @@ func (m *MetaServer) handleMeta(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshal
 
 	case ProcCreateH:
 		a := req.(*DirOpArgs)
-		at, err := m.store.Create(vfs.FileID(a.Dir), a.Name)
+		at, err := m.store.Create(store.FileID(a.Dir), a.Name)
 		if err != nil {
 			return &CreateRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
 		}
@@ -106,19 +106,21 @@ func (m *MetaServer) handleMeta(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshal
 		if ferr != nil {
 			return &CreateRep{Errno: fserr.IO}, rpc.StatusOK
 		}
+		m.syncMeta(ctx)
 		return &CreateRep{Handle: h, Dist: m.cfg.Dist}, rpc.StatusOK
 
 	case ProcMkdirH:
 		a := req.(*DirOpArgs)
-		at, err := m.store.Mkdir(vfs.FileID(a.Dir), a.Name)
+		at, err := m.store.Mkdir(store.FileID(a.Dir), a.Name)
 		if err != nil {
 			return &MkdirRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
 		}
+		m.syncMeta(ctx)
 		return &MkdirRep{Handle: Handle(at.ID)}, rpc.StatusOK
 
 	case ProcRemoveH:
 		a := req.(*DirOpArgs)
-		at, err := m.store.Lookup(vfs.FileID(a.Dir), a.Name)
+		at, err := m.store.Lookup(store.FileID(a.Dir), a.Name)
 		if err != nil {
 			return &RemoveRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
 		}
@@ -129,16 +131,23 @@ func (m *MetaServer) handleMeta(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshal
 				return m.cfg.IOConns[dev].Call(ctx, ProcIORemove, &IORemoveArgs{Handle: h}, &rep)
 			})
 		}
-		return &RemoveRep{Errno: fserr.ToErrno(m.store.Remove(vfs.FileID(a.Dir), a.Name))}, rpc.StatusOK
+		if err := m.store.Remove(store.FileID(a.Dir), a.Name); err != nil {
+			return &RemoveRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
+		}
+		m.syncMeta(ctx)
+		return &RemoveRep{}, rpc.StatusOK
 
 	case ProcRenameH:
 		a := req.(*RenameHArgs)
-		err := m.store.Rename(vfs.FileID(a.Dir), a.Src, vfs.FileID(a.Dir), a.Dst)
-		return &RemoveRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
+		if err := m.store.Rename(store.FileID(a.Dir), a.Src, store.FileID(a.Dir), a.Dst); err != nil {
+			return &RemoveRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
+		}
+		m.syncMeta(ctx)
+		return &RemoveRep{}, rpc.StatusOK
 
 	case ProcReadDirH:
 		a := req.(*ReadDirHArgs)
-		names, err := m.store.ReadDir(vfs.FileID(a.Dir))
+		names, err := m.store.ReadDir(store.FileID(a.Dir))
 		if err != nil {
 			return &ReadDirRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
 		}

@@ -12,8 +12,9 @@ import (
 	"dpnfs/internal/sim"
 	"dpnfs/internal/simdisk"
 	"dpnfs/internal/simnet"
+	"dpnfs/internal/store"
+	"dpnfs/internal/store/mem"
 	"dpnfs/internal/stripe"
-	"dpnfs/internal/vfs"
 	"dpnfs/internal/xdr"
 )
 
@@ -47,10 +48,14 @@ func perMB(d time.Duration, n int64) time.Duration {
 
 // StorageConfig describes one storage daemon.
 type StorageConfig struct {
-	Fabric  *simnet.Fabric
-	Node    *simnet.Node
-	Disk    *simdisk.Disk
-	Costs   Costs
+	Fabric *simnet.Fabric
+	Node   *simnet.Node
+	Disk   *simdisk.Disk
+	Costs  Costs
+	// Store is the content repository backing this daemon's datafile
+	// objects (nil: a fresh in-memory store).  Durable stores (store/wal,
+	// store/cached) journal on sync requests and survive CrashVolatile.
+	Store   store.Store
 	Buffers int   // fixed transfer-buffer pool between kernel and daemon
 	BufSize int64 // bytes per transfer buffer
 	Threads int   // daemon request concurrency
@@ -67,12 +72,12 @@ type StorageConfig struct {
 // the datafile objects on its node.  Handle is safe for concurrent calls.
 type StorageServer struct {
 	cfg     StorageConfig
-	store   *vfs.Store
+	store   store.Store
 	bufPool *sim.Semaphore
 	stats   *storageStats
 
 	mu      sync.Mutex // guards objects
-	objects map[Handle]vfs.FileID
+	objects map[Handle]store.FileID
 }
 
 // NewStorageServer creates the daemon state and registers its RPC service
@@ -87,10 +92,13 @@ func NewStorageServer(cfg StorageConfig) *StorageServer {
 	if cfg.Threads <= 0 {
 		cfg.Threads = 16
 	}
+	if cfg.Store == nil {
+		cfg.Store = mem.New()
+	}
 	s := &StorageServer{
 		cfg:     cfg,
-		store:   vfs.New(),
-		objects: make(map[Handle]vfs.FileID),
+		store:   cfg.Store,
+		objects: make(map[Handle]store.FileID),
 		stats:   newStorageStats(cfg.Metrics),
 	}
 	name := "pvfs-storage"
@@ -115,8 +123,8 @@ func NewStorageServer(cfg StorageConfig) *StorageServer {
 	return s
 }
 
-// object returns the vfs file backing handle, or 0 if absent.
-func (s *StorageServer) object(h Handle) (vfs.FileID, bool) {
+// object returns the store file backing handle, or 0 if absent.
+func (s *StorageServer) object(h Handle) (store.FileID, bool) {
 	s.mu.Lock()
 	id, ok := s.objects[h]
 	s.mu.Unlock()
@@ -135,6 +143,56 @@ func (s *StorageServer) ObjectSize(h Handle) int64 {
 		return 0
 	}
 	return at.Size
+}
+
+// CrashVolatile models the node's power loss for the daemon's store: a
+// durable backend drops to its log and the in-memory handle table is
+// cleared.  It is a no-op for non-recoverable (mem) stores — there a plain
+// node-down models an unreachable-but-alive node, which is what the PR 3
+// failover tests exercise.
+func (s *StorageServer) CrashVolatile() {
+	rec, ok := s.store.(store.Recoverable)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	s.objects = make(map[Handle]store.FileID)
+	s.mu.Unlock()
+	rec.Crash()
+}
+
+// RecoverVolatile replays the durable log after a restart and rebuilds the
+// handle table from the recovered object names ("h%x" in the store root).
+// It reports the number of log records replayed (0 for mem stores).
+func (s *StorageServer) RecoverVolatile() (int, error) {
+	rec, ok := s.store.(store.Recoverable)
+	if !ok {
+		return 0, nil
+	}
+	n, err := rec.Recover()
+	if err != nil {
+		return n, err
+	}
+	names, err := s.store.ReadDir(s.store.Root())
+	if err != nil {
+		return n, err
+	}
+	objects := make(map[Handle]store.FileID, len(names))
+	for _, name := range names {
+		var h uint64
+		if _, err := fmt.Sscanf(name, "h%x", &h); err != nil {
+			continue
+		}
+		at, err := s.store.Lookup(s.store.Root(), name)
+		if err != nil {
+			continue
+		}
+		objects[Handle(h)] = at.ID
+	}
+	s.mu.Lock()
+	s.objects = objects
+	s.mu.Unlock()
+	return n, nil
 }
 
 // Node returns the simnet node this daemon runs on (nil in real-time mode).
@@ -256,7 +314,14 @@ func (s *StorageServer) Handle(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshale
 		}
 		if ctx.P != nil && s.cfg.Disk != nil {
 			s.cfg.Disk.Write(ctx.P, uint64(a.Handle), a.Off, n)
-			if a.Sync {
+		}
+		if a.Sync {
+			// Durability point: a durable store journals here, then the
+			// data disk takes its barrier.
+			if err := s.store.Sync(ctx.P); err != nil {
+				return &IOWriteRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
+			}
+			if ctx.P != nil && s.cfg.Disk != nil {
 				s.cfg.Disk.Sync(ctx.P)
 			}
 		}
@@ -329,6 +394,9 @@ func (s *StorageServer) Handle(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshale
 		if _, ok := s.object(a.Handle); !ok {
 			return &IOFlushRep{Errno: fserr.Stale}, rpc.StatusOK
 		}
+		if err := s.store.Sync(ctx.P); err != nil {
+			return &IOFlushRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
+		}
 		if ctx.P != nil && s.cfg.Disk != nil {
 			s.cfg.Disk.Sync(ctx.P)
 		}
@@ -356,6 +424,10 @@ type MetaConfig struct {
 	Costs   Costs
 	Dist    DistParams
 	IOConns []rpc.Conn // one per storage daemon, in device order
+	// Store is the metadata repository backing the namespace (nil: a fresh
+	// in-memory store).  Durable stores are journalled synchronously after
+	// every namespace mutation.
+	Store   store.Store
 	Threads int
 	// Retry bounds the retry loop on IOConns fan-out calls so metadata
 	// operations (create, getattr, truncate) survive a storage-daemon
@@ -373,7 +445,7 @@ type MetaConfig struct {
 // orchestrates datafile objects across storage daemons.
 type MetaServer struct {
 	cfg   MetaConfig
-	store *vfs.Store
+	store store.Store
 	stats *metaStats
 }
 
@@ -395,7 +467,10 @@ func NewMetaServer(cfg MetaConfig) *MetaServer {
 		conns[i] = rpc.WithRetry(conn, cfg.Retry, stats.ioRetries.Inc)
 	}
 	cfg.IOConns = conns
-	m := &MetaServer{cfg: cfg, store: vfs.New(), stats: stats}
+	if cfg.Store == nil {
+		cfg.Store = mem.New()
+	}
+	m := &MetaServer{cfg: cfg, store: cfg.Store, stats: stats}
 	switch {
 	case cfg.Transport != nil && cfg.Node != nil:
 		if _, err := cfg.Transport.Serve(cfg.Node.Name, ServiceMeta, MetaRegistry(), m.Handle, cfg.Threads); err != nil {
@@ -418,8 +493,16 @@ func (m *MetaServer) Mapper() *stripe.RoundRobin {
 	return stripe.NewRoundRobin(m.cfg.Dist.StripeSize, int(m.cfg.Dist.NumServers))
 }
 
-// Namespace exposes the backing store (layout translator and tests).
-func (m *MetaServer) Namespace() *vfs.Store { return m.store }
+// Namespace exposes the backing metadata repository (layout translator and
+// tests).
+func (m *MetaServer) Namespace() store.Metadata { return m.store }
+
+// syncMeta makes a namespace mutation durable: metadata servers journal
+// synchronously, so an acknowledged create/remove/rename survives a crash.
+// mem's Sync is a free no-op, keeping the default timing unchanged.
+func (m *MetaServer) syncMeta(ctx *rpc.Ctx) {
+	_ = m.store.Sync(ctx.P)
+}
 
 // Dist returns the FS-wide distribution parameters.
 func (m *MetaServer) Dist() DistParams { return m.cfg.Dist }
@@ -483,6 +566,7 @@ func (m *MetaServer) Handle(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshaler, 
 		if ferr != nil {
 			return &CreateRep{Errno: fserr.IO}, rpc.StatusOK
 		}
+		m.syncMeta(ctx)
 		return &CreateRep{Handle: h, Dist: m.cfg.Dist}, rpc.StatusOK
 
 	case ProcRemove:
@@ -502,7 +586,11 @@ func (m *MetaServer) Handle(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshaler, 
 				return m.cfg.IOConns[dev].Call(ctx, ProcIORemove, &IORemoveArgs{Handle: h}, &rep)
 			})
 		}
-		return &RemoveRep{Errno: fserr.ToErrno(m.store.Remove(dir, name))}, rpc.StatusOK
+		if err := m.store.Remove(dir, name); err != nil {
+			return &RemoveRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
+		}
+		m.syncMeta(ctx)
+		return &RemoveRep{}, rpc.StatusOK
 
 	case ProcMkdir:
 		a := req.(*MkdirArgs)
@@ -514,6 +602,7 @@ func (m *MetaServer) Handle(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshaler, 
 		if err != nil {
 			return &MkdirRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
 		}
+		m.syncMeta(ctx)
 		return &MkdirRep{Handle: Handle(at.ID)}, rpc.StatusOK
 
 	case ProcReadDir:
@@ -530,7 +619,7 @@ func (m *MetaServer) Handle(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshaler, 
 
 	case ProcGetAttr:
 		a := req.(*GetAttrArgs)
-		at, err := m.store.GetAttr(vfs.FileID(a.Handle))
+		at, err := m.store.GetAttr(store.FileID(a.Handle))
 		if err != nil {
 			return &GetAttrRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
 		}
@@ -573,7 +662,7 @@ func (m *MetaServer) Handle(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshaler, 
 
 	case ProcTruncate:
 		a := req.(*TruncateArgs)
-		if _, err := m.store.GetAttr(vfs.FileID(a.Handle)); err != nil {
+		if _, err := m.store.GetAttr(store.FileID(a.Handle)); err != nil {
 			return &TruncateRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
 		}
 		sizes := objSizes(m.Mapper(), len(m.cfg.IOConns), a.Size)
@@ -591,14 +680,14 @@ func (m *MetaServer) Handle(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshaler, 
 }
 
 // splitPath resolves the parent directory of path and returns (dirID, name).
-func (m *MetaServer) splitPath(p string) (vfs.FileID, string, error) {
+func (m *MetaServer) splitPath(p string) (store.FileID, string, error) {
 	dir, name := splitParent(p)
 	at, err := m.store.LookupPath(dir)
 	if err != nil {
 		return 0, "", err
 	}
 	if !at.IsDir {
-		return 0, "", vfs.ErrNotDir
+		return 0, "", store.ErrNotDir
 	}
 	return at.ID, name, nil
 }

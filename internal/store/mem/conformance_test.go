@@ -1,0 +1,13 @@
+package mem_test
+
+import (
+	"testing"
+
+	"dpnfs/internal/store"
+	"dpnfs/internal/store/mem"
+	"dpnfs/internal/store/storetest"
+)
+
+func TestConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) store.Store { return mem.New() })
+}

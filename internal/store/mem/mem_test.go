@@ -1,9 +1,11 @@
-package vfs
+package mem
 
 import (
 	"bytes"
 	"testing"
 	"testing/quick"
+
+	"dpnfs/internal/store"
 )
 
 func TestCreateLookupAttr(t *testing.T) {
@@ -16,7 +18,7 @@ func TestCreateLookupAttr(t *testing.T) {
 	if err != nil || got.ID != a.ID || got.IsDir {
 		t.Fatalf("lookup: %+v, %v", got, err)
 	}
-	if _, err := s.Create(s.Root(), "f"); err != ErrExist {
+	if _, err := s.Create(s.Root(), "f"); err != store.ErrExist {
 		t.Fatalf("duplicate create: %v", err)
 	}
 }
@@ -24,7 +26,7 @@ func TestCreateLookupAttr(t *testing.T) {
 func TestBadNamesRejected(t *testing.T) {
 	s := New()
 	for _, name := range []string{"", ".", "..", "a/b"} {
-		if _, err := s.Create(s.Root(), name); err != ErrInval {
+		if _, err := s.Create(s.Root(), name); err != store.ErrInval {
 			t.Errorf("create(%q): %v, want ErrInval", name, err)
 		}
 	}
@@ -124,7 +126,7 @@ func TestMkdirTree(t *testing.T) {
 	if err != nil || a.IsDir {
 		t.Fatalf("LookupPath: %+v, %v", a, err)
 	}
-	if _, err := s.LookupPath("/a/missing"); err != ErrNotExist {
+	if _, err := s.LookupPath("/a/missing"); err != store.ErrNotExist {
 		t.Fatalf("missing path: %v", err)
 	}
 }
@@ -133,7 +135,7 @@ func TestRemoveSemantics(t *testing.T) {
 	s := New()
 	d, _ := s.Mkdir(s.Root(), "d")
 	s.Create(d.ID, "f")
-	if err := s.Remove(s.Root(), "d"); err != ErrNotEmpty {
+	if err := s.Remove(s.Root(), "d"); err != store.ErrNotEmpty {
 		t.Fatalf("remove non-empty dir: %v", err)
 	}
 	if err := s.Remove(d.ID, "f"); err != nil {
@@ -142,8 +144,31 @@ func TestRemoveSemantics(t *testing.T) {
 	if err := s.Remove(s.Root(), "d"); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Remove(s.Root(), "d"); err != ErrNotExist {
+	if err := s.Remove(s.Root(), "d"); err != store.ErrNotExist {
 		t.Fatalf("double remove: %v", err)
+	}
+}
+
+// An unlinked file stays addressable by id — clients may hold its handle
+// open — but drops out of the namespace and the live-inode count.
+func TestRemoveKeepsOpenUnlinked(t *testing.T) {
+	s := New()
+	f, _ := s.Create(s.Root(), "f")
+	s.WriteAt(f.ID, 0, []byte("still here"))
+	live := s.Stats()
+	if err := s.Remove(s.Root(), "f"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats(); got != live-1 {
+		t.Fatalf("Stats after remove: %d, want %d", got, live-1)
+	}
+	buf := make([]byte, 10)
+	n, err := s.ReadAt(f.ID, 0, buf)
+	if err != nil || string(buf[:n]) != "still here" {
+		t.Fatalf("unlinked read: %q, %v", buf[:n], err)
+	}
+	if _, err := s.Lookup(s.Root(), "f"); err != store.ErrNotExist {
+		t.Fatalf("unlinked file still visible: %v", err)
 	}
 }
 
@@ -156,7 +181,7 @@ func TestRename(t *testing.T) {
 	if err := s.Rename(d1.ID, "f", d2.ID, "g"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Lookup(d1.ID, "f"); err != ErrNotExist {
+	if _, err := s.Lookup(d1.ID, "f"); err != store.ErrNotExist {
 		t.Fatalf("source still present: %v", err)
 	}
 	a, err := s.LookupPath("/d2/g")
@@ -167,13 +192,45 @@ func TestRename(t *testing.T) {
 
 func TestRenameReplacesFile(t *testing.T) {
 	s := New()
-	s.Create(s.Root(), "a")
+	a, _ := s.Create(s.Root(), "a")
 	b, _ := s.Create(s.Root(), "b")
 	if err := s.Rename(s.Root(), "a", s.Root(), "b"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.GetAttr(b.ID); err != ErrNotExist {
-		t.Fatalf("replaced inode still live: %v", err)
+	got, err := s.Lookup(s.Root(), "b")
+	if err != nil || got.ID != a.ID {
+		t.Fatalf("rename target: %+v, %v", got, err)
+	}
+	// The displaced inode is unlinked but, like Remove, stays addressable.
+	if _, err := s.GetAttr(b.ID); err != nil {
+		t.Fatalf("replaced inode not addressable: %v", err)
+	}
+	if names, _ := s.ReadDir(s.Root()); len(names) != 1 || names[0] != "b" {
+		t.Fatalf("namespace after replace: %v", names)
+	}
+}
+
+func TestRenameOntoItselfIsNoop(t *testing.T) {
+	s := New()
+	f, _ := s.Create(s.Root(), "f")
+	if err := s.Rename(s.Root(), "f", s.Root(), "f"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Lookup(s.Root(), "f")
+	if err != nil || got.ID != f.ID {
+		t.Fatalf("self-rename destroyed file: %+v, %v", got, err)
+	}
+}
+
+func TestRenameIntoOwnSubtreeRefused(t *testing.T) {
+	s := New()
+	a, _ := s.Mkdir(s.Root(), "a")
+	b, _ := s.Mkdir(a.ID, "b")
+	if err := s.Rename(s.Root(), "a", b.ID, "a2"); err != store.ErrInval {
+		t.Fatalf("cycle rename: %v, want ErrInval", err)
+	}
+	if err := s.Rename(s.Root(), "a", a.ID, "a2"); err != store.ErrInval {
+		t.Fatalf("rename into self: %v, want ErrInval", err)
 	}
 }
 
@@ -255,5 +312,84 @@ func TestSparseChunkBoundaries(t *testing.T) {
 	s.ReadAt(a.ID, off, got)
 	if !bytes.Equal(got, data) {
 		t.Fatal("chunk-straddling write corrupted data")
+	}
+}
+
+func TestRestoreFixedID(t *testing.T) {
+	s := New()
+	at, err := s.Restore(s.Root(), "f", 42, false)
+	if err != nil || at.ID != 42 {
+		t.Fatalf("restore: %+v, %v", at, err)
+	}
+	// The allocator must not re-issue 42 or anything below it.
+	n, _ := s.Create(s.Root(), "g")
+	if n.ID <= 42 {
+		t.Fatalf("allocator re-issued low id %d", n.ID)
+	}
+	if _, err := s.Restore(s.Root(), "h", 42, false); err != store.ErrExist {
+		t.Fatalf("duplicate restore id: %v", err)
+	}
+}
+
+func TestReserveID(t *testing.T) {
+	s := New()
+	s.ReserveID(1000)
+	if got := s.LastID(); got != 1000 {
+		t.Fatalf("LastID %d, want 1000", got)
+	}
+	a, _ := s.Create(s.Root(), "f")
+	if a.ID != 1001 {
+		t.Fatalf("post-reserve id %d, want 1001", a.ID)
+	}
+}
+
+func TestExtentsClippedAndMerged(t *testing.T) {
+	s := New()
+	a, _ := s.Create(s.Root(), "f")
+	// Two adjacent chunks then a hole then one more chunk, size clipped
+	// mid-chunk.
+	s.WriteAt(a.ID, 0, make([]byte, 2*chunkSize))
+	s.WriteAt(a.ID, 4*chunkSize, make([]byte, chunkSize))
+	s.Truncate(a.ID, 4*chunkSize+100)
+	exts, err := s.Extents(a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Extent{{0, 2 * chunkSize}, {4 * chunkSize, 100}}
+	if len(exts) != len(want) || exts[0] != want[0] || exts[1] != want[1] {
+		t.Fatalf("extents %v, want %v", exts, want)
+	}
+	// Synthetic writes materialize nothing.
+	b, _ := s.Create(s.Root(), "syn")
+	s.WriteSyntheticAt(b.ID, 0, 1<<20)
+	if exts, _ := s.Extents(b.ID); len(exts) != 0 {
+		t.Fatalf("synthetic extents %v", exts)
+	}
+}
+
+func TestWalkDeterministicOrder(t *testing.T) {
+	s := New()
+	d, _ := s.Mkdir(s.Root(), "d")
+	s.Create(s.Root(), "z")
+	s.Create(d.ID, "inner")
+	f, _ := s.Create(s.Root(), "gone")
+	_ = f
+	s.Remove(s.Root(), "gone")
+	var got []string
+	err := s.Walk(func(dir store.FileID, name string, at store.Attr) error {
+		got = append(got, name)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"d", "inner", "z"}
+	if len(got) != len(want) {
+		t.Fatalf("walk visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("walk order %v, want %v", got, want)
+		}
 	}
 }

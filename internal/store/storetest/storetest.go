@@ -1,0 +1,412 @@
+// Package storetest is the backend conformance suite: every store.Store
+// implementation must pass Run, and every store.Recoverable must also pass
+// RunRecoverable.  The suite pins the semantic corners the protocols rely
+// on — rename-over-existing, sparse reads beyond EOF, truncate-then-read,
+// open-but-unlinked ids, concurrent writers under -race — so that mem, wal
+// and cached agree byte-for-byte and a backend swap never changes observable
+// behaviour.
+package storetest
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"dpnfs/internal/store"
+)
+
+// Factory builds a fresh, empty store for one subtest.
+type Factory func(t *testing.T) store.Store
+
+// Run drives the conformance suite against stores built by mk.
+func Run(t *testing.T, mk Factory) {
+	t.Run("CreateLookup", func(t *testing.T) {
+		s := mk(t)
+		a, err := s.Create(s.Root(), "f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Lookup(s.Root(), "f")
+		if err != nil || got.ID != a.ID || got.IsDir {
+			t.Fatalf("lookup: %+v, %v", got, err)
+		}
+		if _, err := s.Create(s.Root(), "f"); err != store.ErrExist {
+			t.Fatalf("duplicate create: %v, want ErrExist", err)
+		}
+		if _, err := s.Lookup(s.Root(), "missing"); err != store.ErrNotExist {
+			t.Fatalf("missing lookup: %v, want ErrNotExist", err)
+		}
+	})
+
+	t.Run("RenameOverExisting", func(t *testing.T) {
+		s := mk(t)
+		a, _ := s.Create(s.Root(), "a")
+		if _, err := s.WriteAt(a.ID, 0, []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+		b, _ := s.Create(s.Root(), "b")
+		if err := s.Rename(s.Root(), "a", s.Root(), "b"); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Lookup(s.Root(), "b")
+		if err != nil || got.ID != a.ID {
+			t.Fatalf("target after rename: %+v, %v", got, err)
+		}
+		if _, err := s.Lookup(s.Root(), "a"); err != store.ErrNotExist {
+			t.Fatalf("source after rename: %v", err)
+		}
+		// The displaced inode stays addressable (open-but-unlinked).
+		if _, err := s.GetAttr(b.ID); err != nil {
+			t.Fatalf("displaced inode: %v", err)
+		}
+		buf := make([]byte, 7)
+		if n, err := s.ReadAt(a.ID, 0, buf); err != nil || string(buf[:n]) != "payload" {
+			t.Fatalf("payload after rename: %q, %v", buf[:n], err)
+		}
+	})
+
+	t.Run("RenameOverNonEmptyDir", func(t *testing.T) {
+		s := mk(t)
+		s.Mkdir(s.Root(), "src")
+		d, _ := s.Mkdir(s.Root(), "dst")
+		s.Create(d.ID, "occupant")
+		if err := s.Rename(s.Root(), "src", s.Root(), "dst"); err != store.ErrNotEmpty {
+			t.Fatalf("rename over non-empty dir: %v, want ErrNotEmpty", err)
+		}
+		// Kind mismatches are refused either way.
+		s.Create(s.Root(), "file")
+		if err := s.Rename(s.Root(), "file", s.Root(), "dst"); err != store.ErrIsDir {
+			t.Fatalf("file over dir: %v, want ErrIsDir", err)
+		}
+		if err := s.Rename(s.Root(), "src", s.Root(), "file"); err != store.ErrNotDir {
+			t.Fatalf("dir over file: %v, want ErrNotDir", err)
+		}
+	})
+
+	t.Run("RenameSelfAndCycle", func(t *testing.T) {
+		s := mk(t)
+		f, _ := s.Create(s.Root(), "f")
+		if err := s.Rename(s.Root(), "f", s.Root(), "f"); err != nil {
+			t.Fatalf("self rename: %v", err)
+		}
+		if got, err := s.Lookup(s.Root(), "f"); err != nil || got.ID != f.ID {
+			t.Fatalf("file lost by self rename: %+v, %v", got, err)
+		}
+		a, _ := s.Mkdir(s.Root(), "a")
+		b, _ := s.Mkdir(a.ID, "b")
+		if err := s.Rename(s.Root(), "a", b.ID, "a2"); err != store.ErrInval {
+			t.Fatalf("cycle rename: %v, want ErrInval", err)
+		}
+	})
+
+	t.Run("SparseReadBeyondEOF", func(t *testing.T) {
+		s := mk(t)
+		f, _ := s.Create(s.Root(), "f")
+		if _, err := s.WriteAt(f.ID, 1<<20, []byte("tail")); err != nil {
+			t.Fatal(err)
+		}
+		// The hole reads as zeros.
+		buf := make([]byte, 64)
+		if n, err := s.ReadAt(f.ID, 1000, buf); err != nil || n != 64 || !bytes.Equal(buf, make([]byte, 64)) {
+			t.Fatalf("hole read: %d %v %v", n, buf, err)
+		}
+		// Reads at and past EOF are empty, not errors.
+		if n, err := s.ReadAt(f.ID, 1<<20+4, buf); err != nil || n != 0 {
+			t.Fatalf("read at EOF: %d, %v", n, err)
+		}
+		if n, err := s.ReadAt(f.ID, 1<<30, buf); err != nil || n != 0 {
+			t.Fatalf("read past EOF: %d, %v", n, err)
+		}
+		// A read straddling EOF is short.
+		if n, err := s.ReadAt(f.ID, 1<<20+2, buf); err != nil || n != 2 || string(buf[:n]) != "il" {
+			t.Fatalf("straddling read: %d %q %v", n, buf[:n], err)
+		}
+	})
+
+	t.Run("TruncateThenRead", func(t *testing.T) {
+		s := mk(t)
+		f, _ := s.Create(s.Root(), "f")
+		s.WriteAt(f.ID, 0, []byte("abcdef"))
+		if err := s.Truncate(f.ID, 3); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Truncate(f.ID, 6); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 6)
+		n, err := s.ReadAt(f.ID, 0, buf)
+		if err != nil || n != 6 || !bytes.Equal(buf, []byte{'a', 'b', 'c', 0, 0, 0}) {
+			t.Fatalf("truncate leaked data: %q (%d), %v", buf[:n], n, err)
+		}
+		at, _ := s.GetAttr(f.ID)
+		if at.Size != 6 {
+			t.Fatalf("size %d, want 6", at.Size)
+		}
+	})
+
+	t.Run("RemoveOpenUnlinked", func(t *testing.T) {
+		s := mk(t)
+		f, _ := s.Create(s.Root(), "f")
+		s.WriteAt(f.ID, 0, []byte("still here"))
+		if err := s.Remove(s.Root(), "f"); err != nil {
+			t.Fatal(err)
+		}
+		// The id stays addressable for readers and writers holding it open.
+		buf := make([]byte, 10)
+		if n, err := s.ReadAt(f.ID, 0, buf); err != nil || string(buf[:n]) != "still here" {
+			t.Fatalf("unlinked read: %q, %v", buf[:n], err)
+		}
+		if _, err := s.WriteAt(f.ID, 10, []byte("!")); err != nil {
+			t.Fatalf("unlinked write: %v", err)
+		}
+		if _, err := s.Lookup(s.Root(), "f"); err != store.ErrNotExist {
+			t.Fatalf("unlinked still visible: %v", err)
+		}
+	})
+
+	t.Run("RemoveSemantics", func(t *testing.T) {
+		s := mk(t)
+		d, _ := s.Mkdir(s.Root(), "d")
+		s.Create(d.ID, "f")
+		if err := s.Remove(s.Root(), "d"); err != store.ErrNotEmpty {
+			t.Fatalf("remove non-empty dir: %v", err)
+		}
+		s.Remove(d.ID, "f")
+		if err := s.Remove(s.Root(), "d"); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Remove(s.Root(), "d"); err != store.ErrNotExist {
+			t.Fatalf("double remove: %v", err)
+		}
+	})
+
+	t.Run("SyntheticSizes", func(t *testing.T) {
+		s := mk(t)
+		f, _ := s.Create(s.Root(), "f")
+		size, err := s.WriteSyntheticAt(f.ID, 0, 1<<20)
+		if err != nil || size != 1<<20 {
+			t.Fatalf("synthetic write: %d, %v", size, err)
+		}
+		buf := make([]byte, 16)
+		if n, err := s.ReadAt(f.ID, 1000, buf); err != nil || n != 16 || !bytes.Equal(buf, make([]byte, 16)) {
+			t.Fatalf("synthetic bytes: %d %v %v", n, buf, err)
+		}
+		if err := s.SetSize(f.ID, 1<<19); err != nil {
+			t.Fatal(err)
+		}
+		if at, _ := s.GetAttr(f.ID); at.Size != 1<<20 {
+			t.Fatalf("SetSize shrank: %d", at.Size)
+		}
+	})
+
+	t.Run("ReadDirOrder", func(t *testing.T) {
+		s := mk(t)
+		for _, n := range []string{"c", "a", "b"} {
+			s.Create(s.Root(), n)
+		}
+		names, err := s.ReadDir(s.Root())
+		if err != nil || strings.Join(names, ",") != "a,b,c" {
+			t.Fatalf("readdir: %v, %v", names, err)
+		}
+	})
+
+	t.Run("ConcurrentWriters", func(t *testing.T) {
+		s := mk(t)
+		const writers, blocks = 4, 16
+		ids := make([]store.FileID, writers)
+		for i := range ids {
+			a, err := s.Create(s.Root(), fmt.Sprintf("w%d", i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids[i] = a.ID
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < writers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				payload := bytes.Repeat([]byte{byte('A' + i)}, 1024)
+				for j := 0; j < blocks; j++ {
+					if _, err := s.WriteAt(ids[i], int64(j)*1024, payload); err != nil {
+						t.Errorf("writer %d: %v", i, err)
+						return
+					}
+					if err := s.Sync(nil); err != nil {
+						t.Errorf("writer %d sync: %v", i, err)
+						return
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		for i := 0; i < writers; i++ {
+			want := bytes.Repeat([]byte{byte('A' + i)}, blocks*1024)
+			got := make([]byte, len(want))
+			if n, err := s.ReadAt(ids[i], 0, got); err != nil || n != len(want) || !bytes.Equal(got, want) {
+				t.Fatalf("writer %d read back: n=%d, %v", i, n, err)
+			}
+		}
+	})
+}
+
+// RecoverableFactory builds a fresh store that also implements
+// store.Recoverable.
+type RecoverableFactory func(t *testing.T) store.Store
+
+// RunRecoverable drives the crash/recover contract: everything acknowledged
+// before a Sync survives Crash+Recover byte-identically under the same ids,
+// everything after the last Sync is lost, and a crashed store refuses
+// service until recovered.
+func RunRecoverable(t *testing.T, mk RecoverableFactory) {
+	rec := func(t *testing.T, s store.Store) store.Recoverable {
+		r, ok := s.(store.Recoverable)
+		if !ok {
+			t.Fatalf("%T does not implement store.Recoverable", s)
+		}
+		return r
+	}
+
+	t.Run("SyncedStateSurvives", func(t *testing.T) {
+		s := mk(t)
+		r := rec(t, s)
+		d, _ := s.Mkdir(s.Root(), "dir")
+		f, err := s.Create(d.ID, "f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := []byte("durable bytes")
+		s.WriteAt(f.ID, 0, payload)
+		s.WriteSyntheticAt(f.ID, 1<<16, 1<<16)
+		if err := s.Sync(nil); err != nil {
+			t.Fatal(err)
+		}
+		r.Crash()
+		replayed, err := r.Recover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if replayed == 0 {
+			t.Fatal("recovery replayed nothing (vacuous)")
+		}
+		got, err := s.LookupPath("/dir/f")
+		if err != nil || got.ID != f.ID {
+			t.Fatalf("id not stable across recovery: %+v, %v (want %d)", got, err, f.ID)
+		}
+		if got.Size != 1<<16+1<<16 {
+			t.Fatalf("size after recovery: %d", got.Size)
+		}
+		buf := make([]byte, len(payload))
+		if n, _ := s.ReadAt(f.ID, 0, buf); !bytes.Equal(buf[:n], payload) {
+			t.Fatalf("bytes after recovery: %q", buf[:n])
+		}
+	})
+
+	t.Run("UnsyncedTailLost", func(t *testing.T) {
+		s := mk(t)
+		r := rec(t, s)
+		f, _ := s.Create(s.Root(), "f")
+		s.WriteAt(f.ID, 0, []byte("synced"))
+		if err := s.Sync(nil); err != nil {
+			t.Fatal(err)
+		}
+		s.WriteAt(f.ID, 0, []byte("VOLATILE OVERWRITE"))
+		s.Create(s.Root(), "unsynced")
+		r.Crash()
+		if _, err := r.Recover(); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 32)
+		n, _ := s.ReadAt(f.ID, 0, buf)
+		if string(buf[:n]) != "synced" {
+			t.Fatalf("tail not dropped: %q", buf[:n])
+		}
+		if _, err := s.Lookup(s.Root(), "unsynced"); err != store.ErrNotExist {
+			t.Fatalf("unsynced create survived: %v", err)
+		}
+	})
+
+	t.Run("CrashedRefusesService", func(t *testing.T) {
+		s := mk(t)
+		r := rec(t, s)
+		f, _ := s.Create(s.Root(), "f")
+		s.Sync(nil)
+		r.Crash()
+		if _, err := s.Lookup(s.Root(), "f"); err != store.ErrUnavailable {
+			t.Fatalf("lookup while crashed: %v, want ErrUnavailable", err)
+		}
+		if _, err := s.WriteAt(f.ID, 0, []byte("x")); err != store.ErrUnavailable {
+			t.Fatalf("write while crashed: %v, want ErrUnavailable", err)
+		}
+		if err := s.Sync(nil); err != store.ErrUnavailable {
+			t.Fatalf("sync while crashed: %v, want ErrUnavailable", err)
+		}
+		if _, err := r.Recover(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Lookup(s.Root(), "f"); err != nil {
+			t.Fatalf("lookup after recover: %v", err)
+		}
+	})
+
+	t.Run("NamespaceOpsReplay", func(t *testing.T) {
+		s := mk(t)
+		r := rec(t, s)
+		a, _ := s.Mkdir(s.Root(), "a")
+		b, _ := s.Mkdir(s.Root(), "b")
+		f, _ := s.Create(a.ID, "f")
+		s.WriteAt(f.ID, 0, []byte("x"))
+		s.Rename(a.ID, "f", b.ID, "g")
+		s.Create(a.ID, "gone")
+		s.Remove(a.ID, "gone")
+		s.Truncate(f.ID, 0)
+		s.Sync(nil)
+		r.Crash()
+		if _, err := r.Recover(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.LookupPath("/b/g")
+		if err != nil || got.ID != f.ID || got.Size != 0 {
+			t.Fatalf("replayed namespace: %+v, %v", got, err)
+		}
+		if _, err := s.LookupPath("/a/gone"); err != store.ErrNotExist {
+			t.Fatalf("removed file replayed back: %v", err)
+		}
+	})
+}
+
+// Dump renders a store's namespace-reachable state — paths, kinds, sizes
+// and full contents — through the public interface only, so two backends
+// can be compared byte-for-byte.
+func Dump(t *testing.T, s store.Store) string {
+	t.Helper()
+	var sb strings.Builder
+	var walk func(dir store.FileID, prefix string)
+	walk = func(dir store.FileID, prefix string) {
+		names, err := s.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("dump readdir %s: %v", prefix, err)
+		}
+		for _, name := range names {
+			at, err := s.Lookup(dir, name)
+			if err != nil {
+				t.Fatalf("dump lookup %s%s: %v", prefix, name, err)
+			}
+			if at.IsDir {
+				fmt.Fprintf(&sb, "%s%s/\n", prefix, name)
+				walk(at.ID, prefix+name+"/")
+				continue
+			}
+			buf := make([]byte, at.Size)
+			n, err := s.ReadAt(at.ID, 0, buf)
+			if err != nil {
+				t.Fatalf("dump read %s%s: %v", prefix, name, err)
+			}
+			fmt.Fprintf(&sb, "%s%s id=%d size=%d bytes=%x\n", prefix, name, at.ID, at.Size, buf[:n])
+		}
+	}
+	walk(s.Root(), "/")
+	return sb.String()
+}

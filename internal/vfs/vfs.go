@@ -1,470 +1,41 @@
-// Package vfs implements the in-memory backing store used by every server
-// in this repository: the PVFS2 storage daemons and metadata server, and the
-// NFSv4 data and metadata servers.  It provides a minimal POSIX-like
-// namespace (directories, regular files), inode numbers, sparse file
-// contents, and attributes.
+// Package vfs is the historical name of the in-memory backing store.
 //
-// The store holds real bytes — reads return exactly what was written, and
-// integration tests verify end-to-end data integrity through every protocol
-// stack.  Timing is not modelled here; servers charge simdisk/simnet
-// resources separately.
-//
-// Paper mapping: the local file systems under the paper's servers (§6.1 —
-// ext3 under the PVFS2 daemons, the exported namespace on the MDS); this
-// package is deliberately timing-free so all performance behaviour comes
-// from the protocol and resource models around it.
+// Deprecated: the store moved behind the repository interfaces in
+// internal/store (PR 6) — store.Metadata / store.Content for consumers,
+// store/mem for this implementation, store/wal and store/cached for the
+// durable variants.  This package remains as a thin alias layer so old
+// call sites keep compiling; new code should import dpnfs/internal/store
+// and dpnfs/internal/store/mem directly.
 package vfs
 
 import (
-	"errors"
-	"fmt"
-	"path"
-	"sort"
-	"strings"
-	"sync"
+	"dpnfs/internal/store"
+	"dpnfs/internal/store/mem"
 )
 
-// Errors mirror the POSIX causes the protocols care about.
+// Store is an alias for the in-memory implementation.
+//
+// Deprecated: use store.Metadata/store.Content interfaces, or *mem.Store.
+type Store = mem.Store
+
+// FileID is an alias for store.FileID.
+type FileID = store.FileID
+
+// Attr is an alias for store.Attr.
+type Attr = store.Attr
+
+// New returns an empty in-memory store with a root directory (FileID 1).
+//
+// Deprecated: use mem.New.
+func New() *Store { return mem.New() }
+
+// Error aliases preserve identity with the canonical store errors, so code
+// comparing vfs.ErrNotExist against errors from any backend still works.
 var (
-	ErrNotExist = errors.New("vfs: no such file or directory")
-	ErrExist    = errors.New("vfs: file exists")
-	ErrIsDir    = errors.New("vfs: is a directory")
-	ErrNotDir   = errors.New("vfs: not a directory")
-	ErrNotEmpty = errors.New("vfs: directory not empty")
-	ErrInval    = errors.New("vfs: invalid argument")
+	ErrNotExist = store.ErrNotExist
+	ErrExist    = store.ErrExist
+	ErrIsDir    = store.ErrIsDir
+	ErrNotDir   = store.ErrNotDir
+	ErrNotEmpty = store.ErrNotEmpty
+	ErrInval    = store.ErrInval
 )
-
-// FileID identifies an inode within one store.
-type FileID uint64
-
-// Attr is the attribute set exposed through the protocols.
-type Attr struct {
-	ID    FileID
-	IsDir bool
-	Size  int64
-	// Mtime/Ctime counters: bumped on every data/metadata change.  Virtual
-	// wall-clock time lives in the simulation, not here, so these are
-	// change counters rather than timestamps.
-	Change uint64
-}
-
-type node struct {
-	id       FileID
-	isDir    bool
-	size     int64
-	change   uint64
-	children map[string]*node // directories
-	data     *sparse          // regular files
-	parent   *node
-	name     string
-}
-
-// Store is one in-memory file system.  All methods are safe for concurrent
-// use (the TCP demo serves real goroutines); under simulation the kernel's
-// cooperative scheduling makes the locking moot but harmless.
-type Store struct {
-	mu     sync.RWMutex
-	root   *node
-	byID   map[FileID]*node
-	nextID FileID
-}
-
-// New returns an empty store with a root directory (FileID 1).
-func New() *Store {
-	s := &Store{byID: make(map[FileID]*node), nextID: 1}
-	s.root = &node{id: 1, isDir: true, children: make(map[string]*node)}
-	s.byID[1] = s.root
-	return s
-}
-
-// Root returns the root directory's id.
-func (s *Store) Root() FileID { return 1 }
-
-func (s *Store) alloc(isDir bool) *node {
-	s.nextID++
-	n := &node{id: s.nextID, isDir: isDir}
-	if isDir {
-		n.children = make(map[string]*node)
-	} else {
-		n.data = newSparse()
-	}
-	s.byID[n.id] = n
-	return n
-}
-
-func (s *Store) dir(id FileID) (*node, error) {
-	n, ok := s.byID[id]
-	if !ok {
-		return nil, ErrNotExist
-	}
-	if !n.isDir {
-		return nil, ErrNotDir
-	}
-	return n, nil
-}
-
-func (s *Store) file(id FileID) (*node, error) {
-	n, ok := s.byID[id]
-	if !ok {
-		return nil, ErrNotExist
-	}
-	if n.isDir {
-		return nil, ErrIsDir
-	}
-	return n, nil
-}
-
-func checkName(name string) error {
-	if name == "" || name == "." || name == ".." || strings.Contains(name, "/") {
-		return ErrInval
-	}
-	return nil
-}
-
-// Lookup resolves name within directory dir.
-func (s *Store) Lookup(dir FileID, name string) (Attr, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	d, err := s.dir(dir)
-	if err != nil {
-		return Attr{}, err
-	}
-	c, ok := d.children[name]
-	if !ok {
-		return Attr{}, ErrNotExist
-	}
-	return c.attr(), nil
-}
-
-// LookupPath resolves a slash-separated path from the root.
-func (s *Store) LookupPath(p string) (Attr, error) {
-	cur := s.Root()
-	a := Attr{ID: cur, IsDir: true}
-	for _, part := range strings.Split(path.Clean("/"+p), "/") {
-		if part == "" {
-			continue
-		}
-		var err error
-		a, err = s.Lookup(cur, part)
-		if err != nil {
-			return Attr{}, err
-		}
-		cur = a.ID
-	}
-	return a, nil
-}
-
-func (n *node) attr() Attr {
-	return Attr{ID: n.id, IsDir: n.isDir, Size: n.size, Change: n.change}
-}
-
-// GetAttr returns attributes of id.
-func (s *Store) GetAttr(id FileID) (Attr, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	n, ok := s.byID[id]
-	if !ok {
-		return Attr{}, ErrNotExist
-	}
-	return n.attr(), nil
-}
-
-// Create makes a regular file in dir.  It fails with ErrExist if the name
-// is taken.
-func (s *Store) Create(dir FileID, name string) (Attr, error) {
-	return s.mknod(dir, name, false)
-}
-
-// Mkdir makes a directory in dir.
-func (s *Store) Mkdir(dir FileID, name string) (Attr, error) {
-	return s.mknod(dir, name, true)
-}
-
-func (s *Store) mknod(dir FileID, name string, isDir bool) (Attr, error) {
-	if err := checkName(name); err != nil {
-		return Attr{}, err
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	d, err := s.dir(dir)
-	if err != nil {
-		return Attr{}, err
-	}
-	if _, dup := d.children[name]; dup {
-		return Attr{}, ErrExist
-	}
-	n := s.alloc(isDir)
-	n.parent, n.name = d, name
-	d.children[name] = n
-	d.change++
-	return n.attr(), nil
-}
-
-// Remove unlinks name from dir.  Non-empty directories are refused.
-func (s *Store) Remove(dir FileID, name string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	d, err := s.dir(dir)
-	if err != nil {
-		return err
-	}
-	c, ok := d.children[name]
-	if !ok {
-		return ErrNotExist
-	}
-	if c.isDir && len(c.children) > 0 {
-		return ErrNotEmpty
-	}
-	delete(d.children, name)
-	delete(s.byID, c.id)
-	d.change++
-	return nil
-}
-
-// Rename moves srcName in srcDir to dstName in dstDir, replacing a
-// same-kind target if present.
-func (s *Store) Rename(srcDir FileID, srcName string, dstDir FileID, dstName string) error {
-	if err := checkName(dstName); err != nil {
-		return err
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sd, err := s.dir(srcDir)
-	if err != nil {
-		return err
-	}
-	dd, err := s.dir(dstDir)
-	if err != nil {
-		return err
-	}
-	c, ok := sd.children[srcName]
-	if !ok {
-		return ErrNotExist
-	}
-	if old, ok := dd.children[dstName]; ok {
-		if old.isDir != c.isDir {
-			if old.isDir {
-				return ErrIsDir
-			}
-			return ErrNotDir
-		}
-		if old.isDir && len(old.children) > 0 {
-			return ErrNotEmpty
-		}
-		delete(s.byID, old.id)
-	}
-	delete(sd.children, srcName)
-	dd.children[dstName] = c
-	c.parent, c.name = dd, dstName
-	sd.change++
-	dd.change++
-	return nil
-}
-
-// ReadDir lists dir in lexical order.
-func (s *Store) ReadDir(dir FileID) ([]string, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	d, err := s.dir(dir)
-	if err != nil {
-		return nil, err
-	}
-	names := make([]string, 0, len(d.children))
-	for name := range d.children {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return names, nil
-}
-
-// WriteAt writes b at off, extending the file as needed, and returns the
-// new size.
-func (s *Store) WriteAt(id FileID, off int64, b []byte) (int64, error) {
-	if off < 0 {
-		return 0, ErrInval
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n, err := s.file(id)
-	if err != nil {
-		return 0, err
-	}
-	n.data.writeAt(off, b)
-	if end := off + int64(len(b)); end > n.size {
-		n.size = end
-	}
-	n.change++
-	return n.size, nil
-}
-
-// WriteSyntheticAt records a write of n zero bytes at off without storing
-// chunks: only the size and change counter advance.  Benchmarks move
-// simulated terabytes through this path.
-func (s *Store) WriteSyntheticAt(id FileID, off, n int64) (int64, error) {
-	if off < 0 || n < 0 {
-		return 0, ErrInval
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	f, err := s.file(id)
-	if err != nil {
-		return 0, err
-	}
-	if end := off + n; end > f.size {
-		f.size = end
-	}
-	f.change++
-	return f.size, nil
-}
-
-// ReadAt reads up to len(b) bytes at off; short reads happen at EOF.  Holes
-// read as zeros.
-func (s *Store) ReadAt(id FileID, off int64, b []byte) (int, error) {
-	if off < 0 {
-		return 0, ErrInval
-	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	n, err := s.file(id)
-	if err != nil {
-		return 0, err
-	}
-	if off >= n.size {
-		return 0, nil
-	}
-	avail := n.size - off
-	if int64(len(b)) > avail {
-		b = b[:avail]
-	}
-	n.data.readAt(off, b)
-	return len(b), nil
-}
-
-// Truncate sets the file size, discarding or zero-extending content.
-func (s *Store) Truncate(id FileID, size int64) error {
-	if size < 0 {
-		return ErrInval
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n, err := s.file(id)
-	if err != nil {
-		return err
-	}
-	if size < n.size {
-		n.data.truncate(size)
-	}
-	n.size = size
-	n.change++
-	return nil
-}
-
-// SetSize extends the file size if size is larger (pNFS LAYOUTCOMMIT
-// semantics: the client reports a possibly-extended size after direct I/O).
-func (s *Store) SetSize(id FileID, size int64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n, err := s.file(id)
-	if err != nil {
-		return err
-	}
-	if size > n.size {
-		n.size = size
-		n.change++
-	}
-	return nil
-}
-
-// Stats reports the number of live inodes.
-func (s *Store) Stats() (inodes int) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.byID)
-}
-
-// sparse stores file bytes in fixed-size chunks allocated on demand; holes
-// read as zeros.  Parallel-FS stripe objects are naturally sparse (each
-// storage node holds every k-th stripe unit at its logical offset).
-type sparse struct {
-	chunks map[int64][]byte
-}
-
-const chunkSize = 64 << 10
-
-func newSparse() *sparse { return &sparse{chunks: make(map[int64][]byte)} }
-
-func (sp *sparse) writeAt(off int64, b []byte) {
-	for len(b) > 0 {
-		ci := off / chunkSize
-		co := off % chunkSize
-		c, ok := sp.chunks[ci]
-		if !ok {
-			c = make([]byte, chunkSize)
-			sp.chunks[ci] = c
-		}
-		n := copy(c[co:], b)
-		b = b[n:]
-		off += int64(n)
-	}
-}
-
-func (sp *sparse) readAt(off int64, b []byte) {
-	for len(b) > 0 {
-		ci := off / chunkSize
-		co := off % chunkSize
-		n := chunkSize - int(co)
-		if n > len(b) {
-			n = len(b)
-		}
-		if c, ok := sp.chunks[ci]; ok {
-			copy(b[:n], c[co:])
-		} else {
-			for i := 0; i < n; i++ {
-				b[i] = 0
-			}
-		}
-		b = b[n:]
-		off += int64(n)
-	}
-}
-
-func (sp *sparse) truncate(size int64) {
-	lastChunk := size / chunkSize
-	for ci, c := range sp.chunks {
-		switch {
-		case ci > lastChunk:
-			delete(sp.chunks, ci)
-		case ci == lastChunk:
-			keep := size % chunkSize
-			for i := keep; i < chunkSize; i++ {
-				c[i] = 0
-			}
-		}
-	}
-}
-
-// String renders a debug listing of the namespace.
-func (s *Store) String() string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var sb strings.Builder
-	var walk func(n *node, prefix string)
-	walk = func(n *node, prefix string) {
-		names := make([]string, 0, len(n.children))
-		for name := range n.children {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		for _, name := range names {
-			c := n.children[name]
-			if c.isDir {
-				fmt.Fprintf(&sb, "%s%s/\n", prefix, name)
-				walk(c, prefix+"  ")
-			} else {
-				fmt.Fprintf(&sb, "%s%s (%d bytes)\n", prefix, name, c.size)
-			}
-		}
-	}
-	walk(s.root, "")
-	return sb.String()
-}
