@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"dpnfs/internal/cluster"
+	"dpnfs/internal/metrics"
 )
 
 // TestFigureDeterminism pins the package's seed-threading rule (see the
@@ -75,6 +76,64 @@ func TestFigureDeterminism(t *testing.T) {
 		}
 		if after < before/2 {
 			t.Errorf("%s: throughput did not recover after WAL replay (before %.1f, after %.1f)", s.Label, before, after)
+		}
+	}
+}
+
+// TestTailFigureDeterminism extends the same-seed rule to the tail-latency
+// figure: two runs produce byte-identical series AND byte-identical hedge
+// counters (launch/win/cancel totals come from seeded coin flips in the
+// simulated network, so any nondeterminism in the hedge machinery shows up
+// here).  It also asserts the run is non-vacuous — the degraded phases
+// actually launched hedges — and, per the determinism rule, that the hedge
+// straggler timers never touched the wall clock on the fabric transport.
+func TestTailFigureDeterminism(t *testing.T) {
+	archs := []cluster.Arch{cluster.ArchDirectPNFS, cluster.ArchPVFS2}
+	run := func() (Figure, []float64) {
+		reg := metrics.NewRegistry()
+		fig, err := Tail(Options{Scale: 0.02, Archs: archs, Metrics: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fig, []float64{
+			counterSum(reg, "ioengine_hedges_launched_total"),
+			counterSum(reg, "ioengine_hedges_won_total"),
+			counterSum(reg, "ioengine_hedges_cancelled_total"),
+			counterSum(reg, "ioengine_wallclock_timers_total"),
+		}
+	}
+	fig1, hedges1 := run()
+	fig2, hedges2 := run()
+	if !reflect.DeepEqual(fig1, fig2) {
+		t.Errorf("Tail figure not deterministic:\n%v\nvs\n%v", fig1, fig2)
+	}
+	if !reflect.DeepEqual(hedges1, hedges2) {
+		t.Errorf("hedge counters not deterministic: %v vs %v", hedges1, hedges2)
+	}
+	if hedges1[0] < 1 {
+		t.Error("vacuous run: no hedges launched across the hedged clusters")
+	}
+	if hedges1[1]+hedges1[2] != hedges1[0] {
+		t.Errorf("hedge counters do not reconcile: launched=%v won=%v cancelled=%v",
+			hedges1[0], hedges1[1], hedges1[2])
+	}
+	// Regression (sim-determinism rule): a tail run on the fabric transport
+	// must arm zero wall-clock straggler timers — hedge timing is virtual.
+	if hedges1[3] != 0 {
+		t.Errorf("fabric tail run armed %v wall-clock timers, want 0", hedges1[3])
+	}
+	// The figure's contract: hedging never worsens the degraded tail.  Match
+	// each arch's hedged/unhedged degraded series and compare p999 (the last
+	// point in each series).
+	for _, arch := range archs {
+		unhedged := fig1.Value(archLabel(arch)+" unhedged degraded", 999)
+		hedged := fig1.Value(archLabel(arch)+" hedged degraded", 999)
+		if unhedged <= 0 || hedged <= 0 {
+			t.Errorf("%s: missing degraded p999 series (unhedged %v, hedged %v)", archLabel(arch), unhedged, hedged)
+			continue
+		}
+		if hedged > unhedged {
+			t.Errorf("%s: hedged degraded p999 %.1fms worse than unhedged %.1fms", archLabel(arch), hedged, unhedged)
 		}
 	}
 }

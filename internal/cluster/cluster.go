@@ -87,6 +87,23 @@ type Config struct {
 	// window-sweep comparison (dpnfs-bench -fig window).
 	IOWave bool
 
+	// Tail-latency scheduling knobs (docs/ARCHITECTURE.md "Tail-latency
+	// scheduling"), applied to both clients' engines.  All off/zero by
+	// default — figures calibrated before these knobs are unchanged.
+	//
+	// IOBackgroundShare caps the window fraction background work (NFS
+	// write-back and readahead) may hold; foreground always dispatches
+	// first.  IOHedge enables hedged duplicate reads for stragglers, with
+	// IOHedgeAfter flooring and IOHedgeFactor scaling the adaptive
+	// threshold.  IOAdaptive lets each engine's window float between
+	// IOMinFlight and MaxFlight by AIMD.
+	IOBackgroundShare float64
+	IOHedge           bool
+	IOHedgeAfter      time.Duration
+	IOHedgeFactor     float64
+	IOAdaptive        bool
+	IOMinFlight       int
+
 	NFSCosts  nfs.Costs
 	PVFSCosts pvfs.Costs
 	Disk      simdisk.Config // template; Name is overridden per node
@@ -339,14 +356,20 @@ func (cl *Cluster) pvfsClientAt(n *simnet.Node) *pvfs.Client {
 		io = append(io, cl.dial(n.Name, s.Name, pvfs.ServiceIO))
 	}
 	return pvfs.NewClient(pvfs.ClientConfig{
-		Node:        n,
-		Costs:       cl.Cfg.PVFSCosts,
-		Meta:        cl.dial(n.Name, cl.mdsNode.Name, pvfs.ServiceMeta),
-		IO:          io,
-		MaxFlight:   cl.Cfg.MaxFlight,
-		MaxTransfer: cl.Cfg.MaxTransfer,
-		Wave:        cl.Cfg.IOWave,
-		Metrics:     cl.Cfg.Metrics,
+		Node:            n,
+		Costs:           cl.Cfg.PVFSCosts,
+		Meta:            cl.dial(n.Name, cl.mdsNode.Name, pvfs.ServiceMeta),
+		IO:              io,
+		MaxFlight:       cl.Cfg.MaxFlight,
+		MaxTransfer:     cl.Cfg.MaxTransfer,
+		Wave:            cl.Cfg.IOWave,
+		BackgroundShare: cl.Cfg.IOBackgroundShare,
+		Hedge:           cl.Cfg.IOHedge,
+		HedgeAfter:      cl.Cfg.IOHedgeAfter,
+		HedgeFactor:     cl.Cfg.IOHedgeFactor,
+		Adaptive:        cl.Cfg.IOAdaptive,
+		MinFlight:       cl.Cfg.IOMinFlight,
+		Metrics:         cl.Cfg.Metrics,
 	})
 }
 
@@ -368,12 +391,18 @@ func (cl *Cluster) nfsMountAt(n *simnet.Node, mdsNode *simnet.Node) *nfs.Client 
 			return cl.dial(n.Name, addr, ServiceDS)
 		},
 		WSize: cl.Cfg.WSize, RSize: cl.Cfg.RSize,
-		MaxReadAhead: 8 * cl.Cfg.RSize,
-		MaxFlight:    cl.Cfg.MaxFlight,
-		MaxTransfer:  cl.Cfg.MaxTransfer,
-		Wave:         cl.Cfg.IOWave,
-		Real:         cl.Cfg.Real,
-		Metrics:      cl.Cfg.Metrics,
+		MaxReadAhead:    8 * cl.Cfg.RSize,
+		MaxFlight:       cl.Cfg.MaxFlight,
+		MaxTransfer:     cl.Cfg.MaxTransfer,
+		Wave:            cl.Cfg.IOWave,
+		BackgroundShare: cl.Cfg.IOBackgroundShare,
+		Hedge:           cl.Cfg.IOHedge,
+		HedgeAfter:      cl.Cfg.IOHedgeAfter,
+		HedgeFactor:     cl.Cfg.IOHedgeFactor,
+		Adaptive:        cl.Cfg.IOAdaptive,
+		MinFlight:       cl.Cfg.IOMinFlight,
+		Real:            cl.Cfg.Real,
+		Metrics:         cl.Cfg.Metrics,
 	})
 }
 

@@ -21,13 +21,47 @@
 //     retry/backoff (PVFS2 riding out a crashed daemon), or fallback ladders
 //     (the NFS client's layout-recovery retry and MDS-proxied last resort).
 //
+// # Tail-latency scheduling
+//
+// Beyond the basic window the engine implements four scheduling features
+// (docs/ARCHITECTURE.md "Tail-latency scheduling"), all off by default and
+// enabled per Config/RunOpts:
+//
+//   - QoS classes: every Run carries a Class (Foreground or Background).
+//     Window slots dispatch strict-priority — a waiting foreground request
+//     is always admitted before any waiting background one — and
+//     Config.BackgroundShare caps the fraction of the window background
+//     work may hold, so write-back and readahead can never crowd out
+//     synchronous reads.
+//   - Hedged requests: when a request has been in flight longer than an
+//     adaptive straggler threshold (HedgeFactor × a latency EWMA, floored
+//     at HedgeAfter), a duplicate is launched — but only on a spare slot
+//     (the window bound holds with hedges outstanding).  Whichever copy
+//     completes first wins and is recorded exactly once; the loser's
+//     result is suppressed at completion.  Under the simulation kernel the
+//     straggler timer is a virtual-time sleep, so hedged runs stay
+//     deterministic by seed; only real-time (TCP) mode arms wall-clock
+//     timers (counted by ioengine_wallclock_timers_total).
+//   - Replica steering: SteerReplicas rewrites read extents produced by a
+//     stripe.Replicated mapper onto each extent's least-loaded replica
+//     device, using the engine's live per-device in-flight counts, with a
+//     deterministic tie-break.  stripe.Replicated.Alternates gives issuers
+//     the replica→replica failover ladder to try before their MDS-proxy
+//     rung.
+//   - Adaptive window: with Config.Adaptive the effective window floats
+//     between MinFlight and MaxFlight by AIMD — additive increase while
+//     requests queue for slots, multiplicative decrease when the fast
+//     latency EWMA runs well above the slow one (congestion).  The current
+//     window is exported as the ioengine_maxflight gauge.
+//
 // Errors propagate deterministically: whatever the completion interleaving,
 // Run returns the error of the lowest-indexed failed request, and no new
 // requests are issued once a failure is recorded.
 //
 // The engine records its behaviour in the shared metrics registry
-// (docs/METRICS.md): window occupancy, slot waits, and how many requests
-// coalescing and splitting added or removed.
+// (docs/METRICS.md): window occupancy, slot waits (total and per class),
+// hedge launches/wins/cancellations, the adaptive window, and how many
+// requests coalescing and splitting added or removed.
 package ioengine
 
 import (
@@ -80,9 +114,54 @@ func WithFallback(fb func(ctx *rpc.Ctx, r stripe.Extent, err error) error) Polic
 	}
 }
 
+// Class is a request's QoS priority class.
+type Class int
+
+// The two classes.  Foreground is synchronous work an application thread is
+// blocked on (reads, commits); Background is deferrable work issued on the
+// application's behalf (write-back flushes, readahead fills).
+const (
+	Foreground Class = iota
+	Background
+	numClasses
+)
+
+// String renders the metrics label value.
+func (c Class) String() string {
+	if c == Background {
+		return "background"
+	}
+	return "foreground"
+}
+
+// RunOpts tunes one Run call.  The zero value is a foreground, unhedged run
+// — exactly the pre-QoS behaviour.
+type RunOpts struct {
+	// Class is the run's priority class for slot dispatch.
+	Class Class
+	// Hedge opts this run's requests into hedged duplicates (effective only
+	// when the engine's Config.Hedge is also set).  Only idempotent
+	// operations should opt in; in this repository that is reads.
+	Hedge bool
+}
+
 // DefaultMaxFlight is the window size when Config leaves it zero — the
 // PVFS2 client's "limited request parallelization" depth (paper §5).
 const DefaultMaxFlight = 8
+
+// Defaults for the tail-latency knobs.
+const (
+	// DefaultHedgeAfter floors the straggler threshold: a request is never
+	// hedged before being in flight this long.
+	DefaultHedgeAfter = 10 * time.Millisecond
+	// DefaultHedgeFactor multiplies the fast latency EWMA to form the
+	// adaptive straggler threshold.
+	DefaultHedgeFactor = 4.0
+	// DefaultMinFlight floors the AIMD-adaptive window.
+	DefaultMinFlight = 2
+	// aimdEvery is how many completions pass between AIMD adjustments.
+	aimdEvery = 16
+)
 
 // Config describes one engine instance (one per protocol client).
 type Config struct {
@@ -91,7 +170,8 @@ type Config struct {
 	// Issuer labels the engine's metrics ("nfs", "pvfs").
 	Issuer string
 	// MaxFlight bounds concurrently outstanding requests across every Run
-	// on this engine (0 = DefaultMaxFlight).
+	// on this engine (0 = DefaultMaxFlight).  With Adaptive set it is the
+	// ceiling of the AIMD window.
 	MaxFlight int
 	// MaxTransfer caps a single request's length; Prepare splits larger
 	// extents (0 = no splitting).
@@ -101,6 +181,23 @@ type Config struct {
 	// next batch starts.  This reproduces the pre-engine PVFS2 dispatch for
 	// the bench window-sweep comparison; leave false in production paths.
 	Wave bool
+	// BackgroundShare caps the fraction of the window that Background-class
+	// requests may hold at once (at least one slot).  0 or >= 1 leaves
+	// background uncapped; foreground waiters still dispatch first.
+	BackgroundShare float64
+	// Hedge enables hedged duplicate requests for runs that opt in via
+	// RunOpts.Hedge.
+	Hedge bool
+	// HedgeAfter floors the straggler threshold (0 = DefaultHedgeAfter).
+	HedgeAfter time.Duration
+	// HedgeFactor multiplies the latency EWMA to form the straggler
+	// threshold (0 = DefaultHedgeFactor).
+	HedgeFactor float64
+	// Adaptive lets the effective window float between MinFlight and
+	// MaxFlight by AIMD on the engine's own latency/slot-wait signals.
+	Adaptive bool
+	// MinFlight floors the adaptive window (0 = DefaultMinFlight).
+	MinFlight int
 	// Metrics is the shared observability registry; nil discards.
 	Metrics *metrics.Registry
 }
@@ -112,8 +209,20 @@ type Config struct {
 type Engine struct {
 	cfg Config
 
-	sem *sim.Semaphore // window slots under the simulation kernel
-	rt  chan struct{}  // window slots in real-time (TCP) mode
+	gate *gate // the class-aware window (both execution modes)
+
+	// schedMu guards the latency EWMAs and AIMD counters.  Under the
+	// simulation kernel completions arrive in deterministic virtual-time
+	// order, so the adaptive state is reproducible by seed.
+	schedMu     sync.Mutex
+	latFast     float64 // fast EWMA of request latency, seconds (α=1/8)
+	latSlow     float64 // slow EWMA, the congestion baseline (α=1/64)
+	completions int     // since the last AIMD adjustment
+	waited      int     // acquisitions that queued, since the last adjustment
+
+	// devMu guards the per-device in-flight counts behind SteerReplicas.
+	devMu   sync.Mutex
+	devLoad map[int]int
 
 	requests  *metrics.Counter
 	coalesced *metrics.Counter
@@ -121,6 +230,15 @@ type Engine struct {
 	inflight  *metrics.Gauge
 	occupancy *metrics.Histogram
 	slotWait  *metrics.Histogram
+
+	classReqs     [numClasses]*metrics.Counter
+	classInflight [numClasses]*metrics.Gauge
+	classWait     [numClasses]*metrics.Histogram
+	hedgeLaunched *metrics.Counter
+	hedgeWon      *metrics.Counter
+	hedgeCanceled *metrics.Counter
+	maxflightG    *metrics.Gauge
+	wallTimers    *metrics.Counter
 }
 
 // occupancyBuckets cover window depths up to well past any configured
@@ -138,11 +256,23 @@ func New(cfg Config) *Engine {
 	if cfg.Issuer == "" {
 		cfg.Issuer = cfg.Name
 	}
+	if cfg.HedgeAfter <= 0 {
+		cfg.HedgeAfter = DefaultHedgeAfter
+	}
+	if cfg.HedgeFactor <= 0 {
+		cfg.HedgeFactor = DefaultHedgeFactor
+	}
+	if cfg.MinFlight <= 0 {
+		cfg.MinFlight = DefaultMinFlight
+	}
+	if cfg.MinFlight > cfg.MaxFlight {
+		cfg.MinFlight = cfg.MaxFlight
+	}
 	reg := cfg.Metrics
 	e := &Engine{
-		cfg: cfg,
-		sem: sim.NewSemaphore(cfg.Name+"/window", cfg.MaxFlight),
-		rt:  make(chan struct{}, cfg.MaxFlight),
+		cfg:     cfg,
+		gate:    newGate(cfg.MaxFlight, cfg.BackgroundShare),
+		devLoad: make(map[int]int),
 		requests: reg.CounterVec("ioengine_requests_total",
 			"Requests issued by the striped-I/O engine (after coalescing and splitting).",
 			"issuer").With(cfg.Issuer),
@@ -161,12 +291,43 @@ func New(cfg Config) *Engine {
 		slotWait: reg.HistogramVec("ioengine_slot_wait_seconds",
 			"Time a ready request waited for a free window slot.",
 			metrics.DurationBuckets, "issuer").With(cfg.Issuer),
+		hedgeLaunched: reg.CounterVec("ioengine_hedges_launched_total",
+			"Hedged duplicate requests launched on spare slots for stragglers.",
+			"issuer").With(cfg.Issuer),
+		hedgeWon: reg.CounterVec("ioengine_hedges_won_total",
+			"Hedges that completed before their primary (the duplicate's result won).",
+			"issuer").With(cfg.Issuer),
+		hedgeCanceled: reg.CounterVec("ioengine_hedges_cancelled_total",
+			"Hedges whose primary completed first (the duplicate's result was suppressed).",
+			"issuer").With(cfg.Issuer),
+		maxflightG: reg.GaugeVec("ioengine_maxflight",
+			"Current effective window size (AIMD-adaptive when Config.Adaptive).",
+			"issuer").With(cfg.Issuer),
+		wallTimers: reg.CounterVec("ioengine_wallclock_timers_total",
+			"Wall-clock straggler timers armed (real-time mode only; zero on the fabric).",
+			"issuer").With(cfg.Issuer),
 	}
+	for c := Class(0); c < numClasses; c++ {
+		e.classReqs[c] = reg.CounterVec("ioengine_class_requests_total",
+			"Requests issued per QoS priority class.",
+			"issuer", "class").With(cfg.Issuer, c.String())
+		e.classInflight[c] = reg.GaugeVec("ioengine_class_inflight",
+			"Requests currently occupying window slots, per QoS class.",
+			"issuer", "class").With(cfg.Issuer, c.String())
+		e.classWait[c] = reg.HistogramVec("ioengine_class_slot_wait_seconds",
+			"Slot-wait time per QoS class.",
+			metrics.DurationBuckets, "issuer", "class").With(cfg.Issuer, c.String())
+	}
+	e.maxflightG.Set(int64(cfg.MaxFlight))
 	return e
 }
 
-// MaxFlight reports the engine's window size after defaults.
+// MaxFlight reports the engine's window ceiling after defaults.
 func (e *Engine) MaxFlight() int { return e.cfg.MaxFlight }
+
+// Window reports the current effective window size (equals MaxFlight unless
+// Config.Adaptive shrank it).
+func (e *Engine) Window() int { return e.gate.limitNow() }
 
 // Prepare turns mapper extents into the engine's request stream: adjacent
 // extents on the same device that are contiguous in both logical and device
@@ -216,6 +377,59 @@ func (e *Engine) coalesceExtents(in []stripe.Extent) []stripe.Extent {
 	return out
 }
 
+// SteerReplicas rewrites read extents produced by rm.ReadMap onto each
+// extent's least-loaded replica device, judged by the engine's live
+// per-device in-flight counts.  Ties keep the extent where ReadMap's seed
+// placed it (then the lowest replica index), so steering is deterministic:
+// with no load imbalance it is the identity.
+func (e *Engine) SteerReplicas(rm *stripe.Replicated, exts []stripe.Extent) []stripe.Extent {
+	n := rm.Inner.NumDevices()
+	if rm.Copies < 2 || n <= 0 {
+		return exts
+	}
+	out := make([]stripe.Extent, len(exts))
+	e.devMu.Lock()
+	for i, x := range exts {
+		base := x.Dev % n
+		best, bestLoad := x.Dev, e.devLoad[x.Dev]
+		for r := 0; r < rm.Copies; r++ {
+			if d := base + r*n; e.devLoad[d] < bestLoad {
+				best, bestLoad = d, e.devLoad[d]
+			}
+		}
+		x.Dev = best
+		out[i] = x
+	}
+	e.devMu.Unlock()
+	return out
+}
+
+// DevLoad reports the in-flight request count for one device (tests and
+// steering diagnostics).
+func (e *Engine) DevLoad(dev int) int {
+	e.devMu.Lock()
+	defer e.devMu.Unlock()
+	return e.devLoad[dev]
+}
+
+func (e *Engine) devBegin(dev int) {
+	if dev < 0 {
+		return
+	}
+	e.devMu.Lock()
+	e.devLoad[dev]++
+	e.devMu.Unlock()
+}
+
+func (e *Engine) devEnd(dev int) {
+	if dev < 0 {
+		return
+	}
+	e.devMu.Lock()
+	e.devLoad[dev]--
+	e.devMu.Unlock()
+}
+
 // firstError records the lowest-indexed failure across concurrent requests.
 type firstError struct {
 	mu  sync.Mutex
@@ -237,11 +451,17 @@ func (f *firstError) get() error {
 	return f.err
 }
 
-// Run executes every request with at most MaxFlight in flight, applying the
+// Run executes every request with at most the window in flight, applying the
 // policies (outermost first) around fn.  It blocks the caller until all
 // issued requests complete and returns the lowest-indexed request's error,
-// or nil.  Once any request fails, no further requests are issued.
+// or nil.  Once any request fails, no further requests are issued.  Run is
+// a foreground, unhedged RunWith.
 func (e *Engine) Run(ctx *rpc.Ctx, reqs []stripe.Extent, fn DoFunc, policies ...Policy) error {
+	return e.RunWith(ctx, RunOpts{}, reqs, fn, policies...)
+}
+
+// RunWith is Run with explicit QoS class and hedging options.
+func (e *Engine) RunWith(ctx *rpc.Ctx, opts RunOpts, reqs []stripe.Extent, fn DoFunc, policies ...Policy) error {
 	if len(reqs) == 0 {
 		return nil
 	}
@@ -249,57 +469,153 @@ func (e *Engine) Run(ctx *rpc.Ctx, reqs []stripe.Extent, fn DoFunc, policies ...
 		fn = policies[i](fn)
 	}
 	e.requests.Add(uint64(len(reqs)))
+	e.classReqs[opts.Class].Add(uint64(len(reqs)))
 	if e.cfg.Wave {
-		return e.runWaves(ctx, reqs, fn)
+		return e.runWaves(ctx, opts.Class, reqs, fn)
 	}
-	return e.runWindow(ctx, reqs, fn)
+	return e.runWindow(ctx, opts, reqs, fn)
 }
 
-// acquire takes one window slot, recording slot-wait and occupancy.
-func (e *Engine) acquire(ctx *rpc.Ctx) {
+// acquire takes one window slot for class, recording slot-wait and
+// occupancy.
+func (e *Engine) acquire(ctx *rpc.Ctx, class Class) {
+	var queued bool
+	var wait time.Duration
 	if ctx.P != nil {
 		start := ctx.Now()
-		e.sem.Acquire(ctx.P, 1)
-		e.slotWait.ObserveDuration(time.Duration(ctx.Now() - start))
+		queued = e.gate.acquireSim(ctx.P, class, e.cfg.Name)
+		wait = time.Duration(ctx.Now() - start)
 	} else {
 		start := time.Now()
-		e.rt <- struct{}{}
-		e.slotWait.ObserveDuration(time.Since(start))
+		queued = e.gate.acquireRT(class)
+		wait = time.Since(start)
 	}
+	e.slotWait.ObserveDuration(wait)
+	e.classWait[class].ObserveDuration(wait)
+	if queued {
+		e.schedMu.Lock()
+		e.waited++
+		e.schedMu.Unlock()
+	}
+	e.noteIssued(class)
+}
+
+// tryAcquire takes a slot only if one is free right now and no request is
+// queued for it — the hedge admission rule: duplicates ride spare capacity
+// and never displace first-copy work.
+func (e *Engine) tryAcquire(class Class) bool {
+	if !e.gate.tryAcquire(class) {
+		return false
+	}
+	e.noteIssued(class)
+	return true
+}
+
+func (e *Engine) noteIssued(class Class) {
 	e.inflight.Inc()
+	e.classInflight[class].Inc()
 	e.occupancy.Observe(float64(e.inflight.Value()))
 }
 
 // release returns one window slot.
-func (e *Engine) release(ctx *rpc.Ctx) {
+func (e *Engine) release(class Class) {
 	e.inflight.Dec()
-	if ctx.P != nil {
-		e.sem.Release(1)
+	e.classInflight[class].Dec()
+	e.gate.release(class)
+}
+
+// observeLatency feeds one completed request's service time into the
+// hedging EWMA and, when adaptive, the AIMD controller.
+func (e *Engine) observeLatency(sec float64) {
+	e.schedMu.Lock()
+	if e.latFast == 0 && e.latSlow == 0 {
+		e.latFast, e.latSlow = sec, sec
 	} else {
-		<-e.rt
+		e.latFast += (sec - e.latFast) / 8
+		e.latSlow += (sec - e.latSlow) / 64
+	}
+	adjust := false
+	var congested bool
+	var waited int
+	e.completions++
+	if e.cfg.Adaptive && e.completions >= aimdEvery {
+		e.completions = 0
+		waited, e.waited = e.waited, 0
+		congested = e.latFast > 2*e.latSlow
+		adjust = true
+	}
+	e.schedMu.Unlock()
+	if !adjust {
+		return
+	}
+	cur := e.gate.limitNow()
+	next := cur
+	if congested && cur > e.cfg.MinFlight {
+		// Multiplicative decrease: back off to 3/4 under congestion.
+		next = cur * 3 / 4
+		if next < e.cfg.MinFlight {
+			next = e.cfg.MinFlight
+		}
+	} else if !congested && waited > 0 && cur < e.cfg.MaxFlight {
+		// Additive increase while demand is queueing for slots.
+		next = cur + 1
+	}
+	if next != cur {
+		e.gate.setLimit(next)
+		e.maxflightG.Set(int64(next))
 	}
 }
 
-// group runs request workers on whichever runtime the Ctx selects:
-// simulated processes under the kernel, goroutines on the wall clock.
+// hedgeThreshold is the current straggler threshold: HedgeFactor times the
+// fast latency EWMA, floored at HedgeAfter.
+func (e *Engine) hedgeThreshold() time.Duration {
+	e.schedMu.Lock()
+	ewma := e.latFast
+	e.schedMu.Unlock()
+	d := time.Duration(ewma * e.cfg.HedgeFactor * float64(time.Second))
+	if d < e.cfg.HedgeAfter {
+		d = e.cfg.HedgeAfter
+	}
+	return d
+}
+
+// group tracks per-REQUEST completions, not per-worker exits: issue adds one
+// unit per request, and whichever copy (primary or hedge) completes first
+// signals it.  That is what makes hedging effective — Run unblocks the
+// moment every request has a winning completion, while losing duplicates
+// keep running detached (simulated processes the kernel drains, or plain
+// goroutines) just long enough to return their window slots.
 type group struct {
 	ctx *rpc.Ctx
 	wg  sync.WaitGroup
 	swg sim.WaitGroup
 }
 
-func (g *group) spawn(name string, work func(c *rpc.Ctx)) {
+// add reserves one request completion.
+func (g *group) add() {
 	if g.ctx.P == nil {
 		g.wg.Add(1)
-		go func() {
-			defer g.wg.Done()
-			work(&rpc.Ctx{})
-		}()
 		return
 	}
 	g.swg.Add(1)
+}
+
+// done signals one request's first completion.
+func (g *group) done() {
+	if g.ctx.P == nil {
+		g.wg.Done()
+		return
+	}
+	g.swg.Done()
+}
+
+// launch starts one detached request copy on the mode's runtime.
+func (g *group) launch(name string, work func(c *rpc.Ctx)) {
+	if g.ctx.P == nil {
+		go work(&rpc.Ctx{})
+		return
+	}
 	g.ctx.P.Kernel().Go(name, func(p *sim.Proc) {
-		defer g.swg.Done()
 		work(&rpc.Ctx{P: p})
 	})
 }
@@ -312,14 +628,137 @@ func (g *group) wait() {
 	g.swg.Wait(g.ctx.P)
 }
 
-// issue blocks on a free window slot, then hands request i to its own
-// worker, which releases the slot and records any failure on completion.
-func (e *Engine) issue(g *group, i int, r stripe.Extent, fn DoFunc, ferr *firstError) {
-	e.acquire(g.ctx)
-	g.spawn(e.cfg.Name+"/io", func(c *rpc.Ctx) {
-		defer e.release(c)
-		if err := fn(c, r); err != nil {
+// reqState is the per-request completion record shared by a primary and its
+// hedge: whichever copy finishes first marks done and is the one recorded.
+type reqState struct {
+	mu     sync.Mutex
+	done   bool
+	hedged bool
+}
+
+// complete records one copy's outcome and reports whether it won the
+// request.  Exactly one copy per request passes the first-completion gate,
+// whatever the interleaving — that copy records the error (if any) and feeds
+// the latency EWMA; the loser is suppressed.
+func (e *Engine) complete(st *reqState, i int, err error, ferr *firstError, isHedge bool, sec float64) bool {
+	st.mu.Lock()
+	first := !st.done
+	if first {
+		st.done = true
+	}
+	st.mu.Unlock()
+	if first {
+		if err != nil {
 			ferr.record(i, err)
+		}
+		if isHedge {
+			e.hedgeWon.Inc()
+		}
+		e.observeLatency(sec)
+		return true
+	}
+	if isHedge {
+		e.hedgeCanceled.Inc()
+	}
+	return false
+}
+
+// now returns elapsed seconds measured on the mode's clock.
+func elapsedSince(ctx *rpc.Ctx, simStart sim.Time, wallStart time.Time) float64 {
+	if ctx.P != nil {
+		return time.Duration(ctx.Now() - simStart).Seconds()
+	}
+	return time.Since(wallStart).Seconds()
+}
+
+// issue blocks on a free window slot, then hands request i to its own
+// worker: the group gains one unit — the request's completion — and the
+// first copy to finish signals it.  The worker releases its slot when it
+// returns, win or lose, so the window bound holds even while a losing
+// straggler is still running after Run unblocked.  With hedging, a straggler
+// watcher launches a duplicate on a spare slot once the request outlives the
+// adaptive threshold.
+func (e *Engine) issue(g *group, i int, r stripe.Extent, fn DoFunc, ferr *firstError, opts RunOpts, hedge bool) {
+	e.acquire(g.ctx, opts.Class)
+	st := &reqState{}
+	g.add()
+	g.launch(e.cfg.Name+"/io", func(c *rpc.Ctx) {
+		var simStart sim.Time
+		var wallStart time.Time
+		if c.P != nil {
+			simStart = c.Now()
+		} else {
+			wallStart = time.Now()
+		}
+		e.devBegin(r.Dev)
+		err := fn(c, r)
+		e.devEnd(r.Dev)
+		sec := elapsedSince(c, simStart, wallStart)
+		won := e.complete(st, i, err, ferr, false, sec)
+		e.release(opts.Class)
+		if won {
+			g.done()
+		}
+	})
+	if hedge {
+		e.watchStraggler(g, st, i, r, fn, ferr, opts)
+	}
+}
+
+// watchStraggler arms the straggler timer for one request: a virtual-time
+// sleep under the simulation kernel (deterministic by seed), a wall-clock
+// timer goroutine in real-time mode.  The watcher runs outside the group —
+// Run never waits on a timer, only on issued copies.
+func (e *Engine) watchStraggler(g *group, st *reqState, i int, r stripe.Extent, fn DoFunc, ferr *firstError, opts RunOpts) {
+	d := e.hedgeThreshold()
+	if g.ctx.P != nil {
+		g.ctx.P.Kernel().Go(e.cfg.Name+"/hedge-timer", func(p *sim.Proc) {
+			p.Sleep(d)
+			e.tryHedge(g, st, i, r, fn, ferr, opts)
+		})
+		return
+	}
+	e.wallTimers.Inc()
+	go func() {
+		time.Sleep(d)
+		e.tryHedge(g, st, i, r, fn, ferr, opts)
+	}()
+}
+
+// tryHedge launches the duplicate if the primary is still in flight and a
+// spare slot is free.  The duplicate joins the race for the request's single
+// group unit, which the primary reserved at issue: whichever copy completes
+// first signals it, so a winning hedge unblocks Run while the straggling
+// primary is still out.
+func (e *Engine) tryHedge(g *group, st *reqState, i int, r stripe.Extent, fn DoFunc, ferr *firstError, opts RunOpts) {
+	st.mu.Lock()
+	if st.done || st.hedged {
+		st.mu.Unlock()
+		return
+	}
+	if !e.tryAcquire(opts.Class) {
+		st.mu.Unlock()
+		return
+	}
+	st.hedged = true
+	st.mu.Unlock()
+	e.hedgeLaunched.Inc()
+	g.launch(e.cfg.Name+"/hedge", func(c *rpc.Ctx) {
+		var simStart sim.Time
+		var wallStart time.Time
+		if c.P != nil {
+			simStart = c.Now()
+		} else {
+			wallStart = time.Now()
+		}
+		e.devBegin(r.Dev)
+		err := fn(c, r)
+		e.devEnd(r.Dev)
+		sec := elapsedSince(c, simStart, wallStart)
+		won := e.complete(st, i, err, ferr, true, sec)
+		e.release(opts.Class)
+		if won {
+			g.done()
 		}
 	})
 }
@@ -327,13 +766,25 @@ func (e *Engine) issue(g *group, i int, r stripe.Extent, fn DoFunc, ferr *firstE
 // runWindow is the sliding window: the issue loop blocks on a free slot,
 // then hands the request to its own process/goroutine, so a completing
 // transfer immediately admits the next one.
-func (e *Engine) runWindow(ctx *rpc.Ctx, reqs []stripe.Extent, fn DoFunc) error {
-	if len(reqs) == 1 {
+func (e *Engine) runWindow(ctx *rpc.Ctx, opts RunOpts, reqs []stripe.Extent, fn DoFunc) error {
+	hedge := opts.Hedge && e.cfg.Hedge
+	if len(reqs) == 1 && !hedge {
 		// Degenerate fan-out (one extent per gathered chunk is the common
 		// NFS case): run on the caller, still under the window bound.
-		e.acquire(ctx)
-		defer e.release(ctx)
-		return fn(ctx, reqs[0])
+		e.acquire(ctx, opts.Class)
+		defer e.release(opts.Class)
+		var simStart sim.Time
+		var wallStart time.Time
+		if ctx.P != nil {
+			simStart = ctx.Now()
+		} else {
+			wallStart = time.Now()
+		}
+		e.devBegin(reqs[0].Dev)
+		err := fn(ctx, reqs[0])
+		e.devEnd(reqs[0].Dev)
+		e.observeLatency(elapsedSince(ctx, simStart, wallStart))
+		return err
 	}
 	var ferr firstError
 	g := &group{ctx: ctx}
@@ -341,7 +792,7 @@ func (e *Engine) runWindow(ctx *rpc.Ctx, reqs []stripe.Extent, fn DoFunc) error 
 		if ferr.get() != nil {
 			break
 		}
-		e.issue(g, i, r, fn, &ferr)
+		e.issue(g, i, r, fn, &ferr, opts, hedge)
 	}
 	g.wait()
 	return ferr.get()
@@ -349,8 +800,9 @@ func (e *Engine) runWindow(ctx *rpc.Ctx, reqs []stripe.Extent, fn DoFunc) error 
 
 // runWaves is the historical lock-step dispatch: batches of MaxFlight, each
 // waiting for its slowest member.  Kept for the bench comparison and for
-// reproducing pre-engine schedules.
-func (e *Engine) runWaves(ctx *rpc.Ctx, reqs []stripe.Extent, fn DoFunc) error {
+// reproducing pre-engine schedules.  Waves never hedge.
+func (e *Engine) runWaves(ctx *rpc.Ctx, class Class, reqs []stripe.Extent, fn DoFunc) error {
+	opts := RunOpts{Class: class}
 	var ferr firstError
 	for start := 0; start < len(reqs); start += e.cfg.MaxFlight {
 		end := start + e.cfg.MaxFlight
@@ -359,16 +811,18 @@ func (e *Engine) runWaves(ctx *rpc.Ctx, reqs []stripe.Extent, fn DoFunc) error {
 		}
 		batch := reqs[start:end]
 		if len(batch) == 1 {
-			e.acquire(ctx)
+			e.acquire(ctx, class)
+			e.devBegin(batch[0].Dev)
 			err := fn(ctx, batch[0])
-			e.release(ctx)
+			e.devEnd(batch[0].Dev)
+			e.release(class)
 			if err != nil {
 				ferr.record(start, err)
 			}
 		} else {
 			g := &group{ctx: ctx}
 			for j, r := range batch {
-				e.issue(g, start+j, r, fn, &ferr)
+				e.issue(g, start+j, r, fn, &ferr, opts, false)
 			}
 			g.wait()
 		}

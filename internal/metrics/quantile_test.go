@@ -1,0 +1,106 @@
+package metrics
+
+import "testing"
+
+// TestQuantileExactBounds pins the histogram→percentile extraction the bench
+// tail figure relies on (docs/METRICS.md): known synthetic distributions
+// must report exactly the expected bucket upper bounds, so figure numbers
+// are reproducible arithmetic rather than eyeballed estimates.
+func TestQuantileExactBounds(t *testing.T) {
+	observe := func(h *Histogram, v float64, n int) {
+		for i := 0; i < n; i++ {
+			h.Observe(v)
+		}
+	}
+
+	t.Run("three-stratum distribution", func(t *testing.T) {
+		// 990 fast, 9 medium, 1 extreme outlier past the last bound: the
+		// exact shape of a healthy service with a retransmit tail.
+		h := newHistogram([]float64{1, 2, 4, 8})
+		observe(h, 0.5, 990) // bucket bound 1
+		observe(h, 3, 9)     // bucket bound 4
+		observe(h, 100, 1)   // overflow bucket
+		if got := h.Quantile(0.50); got != 1 {
+			t.Errorf("p50 = %v, want bound 1", got)
+		}
+		if got := h.Quantile(0.99); got != 4 {
+			t.Errorf("p99 = %v, want bound 4", got)
+		}
+		// The p999 observation is the outlier: past the last bound the
+		// histogram reports the exact maximum, not a bucket estimate.
+		if got := h.Quantile(0.999); got != 100 {
+			t.Errorf("p999 = %v, want the max observation 100", got)
+		}
+	})
+
+	t.Run("boundary observations land in their bucket", func(t *testing.T) {
+		// An observation exactly on a bound belongs to that bound's bucket
+		// (upper bounds are inclusive, as in Prometheus `le`).
+		h := newHistogram([]float64{1, 2})
+		observe(h, 1, 4)
+		observe(h, 2, 1)
+		if got := h.Quantile(0.50); got != 1 {
+			t.Errorf("p50 = %v, want bound 1", got)
+		}
+		if got := h.Quantile(0.99); got != 2 {
+			t.Errorf("p99 = %v, want bound 2", got)
+		}
+	})
+
+	t.Run("single observation defines every quantile", func(t *testing.T) {
+		h := newHistogram([]float64{1, 2})
+		observe(h, 1.5, 1)
+		for _, q := range []float64{0, 0.5, 0.99, 0.999} {
+			if got := h.Quantile(q); got != 2 {
+				t.Errorf("Quantile(%v) = %v, want bound 2", q, got)
+			}
+		}
+		// q=1 walks past every bucket and reports the exact maximum.
+		if got := h.Quantile(1); got != 1.5 {
+			t.Errorf("Quantile(1) = %v, want the max observation 1.5", got)
+		}
+	})
+
+	t.Run("empty histogram reports zero", func(t *testing.T) {
+		h := newHistogram([]float64{1})
+		if got := h.Quantile(0.999); got != 0 {
+			t.Errorf("empty p999 = %v, want 0", got)
+		}
+	})
+
+	t.Run("quantiles are monotone in q", func(t *testing.T) {
+		h := newHistogram([]float64{0.001, 0.01, 0.1, 1})
+		observe(h, 0.0005, 500)
+		observe(h, 0.005, 400)
+		observe(h, 0.05, 90)
+		observe(h, 0.5, 9)
+		observe(h, 5, 1)
+		prev := 0.0
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+			got := h.Quantile(q)
+			if got < prev {
+				t.Fatalf("Quantile(%v) = %v < previous %v — not monotone", q, got, prev)
+			}
+			prev = got
+		}
+	})
+
+	t.Run("exact p99 p999 walk", func(t *testing.T) {
+		// 1000 observations split so p50, p99, and p999 each land in a
+		// different bucket: the exact cumulative-walk arithmetic used to
+		// extract the tail figure's three percentiles.
+		h := newHistogram([]float64{0.005, 0.15, 0.5})
+		observe(h, 0.004, 980) // healthy reads
+		observe(h, 0.1, 15)    // straggler stratum
+		observe(h, 0.3, 5)     // retransmit-timeout stratum
+		if got := h.Quantile(0.50); got != 0.005 {
+			t.Errorf("p50 = %v, want 0.005", got)
+		}
+		if got := h.Quantile(0.99); got != 0.15 {
+			t.Errorf("p99 = %v, want 0.15", got)
+		}
+		if got := h.Quantile(0.999); got != 0.5 {
+			t.Errorf("p999 = %v, want 0.5", got)
+		}
+	})
+}

@@ -46,6 +46,20 @@ type ClientConfig struct {
 	// Wave dispatches striped I/O in lock-step batches instead of the
 	// sliding window (bench comparison only).
 	Wave bool
+	// BackgroundShare caps the window fraction background work (write-back
+	// flushes, readahead fills) may hold; foreground reads and commits
+	// always dispatch first.  0 leaves background uncapped.
+	BackgroundShare float64
+	// Hedge enables hedged duplicate READs for straggling foreground
+	// requests (writes never hedge).  HedgeAfter/HedgeFactor tune the
+	// adaptive straggler threshold (0 = engine defaults).
+	Hedge       bool
+	HedgeAfter  time.Duration
+	HedgeFactor float64
+	// Adaptive lets the engine's window float between MinFlight and
+	// MaxFlight by AIMD (0 MinFlight = engine default).
+	Adaptive  bool
+	MinFlight int
 	// Real makes reads and writes carry actual bytes end to end.
 	Real bool
 	// Metrics is the shared observability registry (docs/METRICS.md).  Nil
@@ -178,12 +192,18 @@ func NewClient(cfg ClientConfig) *Client {
 	c.flushSem = sim.NewSemaphore(cfg.Name+"/flush", cfg.FlushParallel)
 	c.rtFlush = make(chan struct{}, cfg.FlushParallel)
 	c.engine = ioengine.New(ioengine.Config{
-		Name:        cfg.Name + "/engine",
-		Issuer:      "nfs",
-		MaxFlight:   cfg.MaxFlight,
-		MaxTransfer: cfg.MaxTransfer,
-		Wave:        cfg.Wave,
-		Metrics:     reg,
+		Name:            cfg.Name + "/engine",
+		Issuer:          "nfs",
+		MaxFlight:       cfg.MaxFlight,
+		MaxTransfer:     cfg.MaxTransfer,
+		Wave:            cfg.Wave,
+		BackgroundShare: cfg.BackgroundShare,
+		Hedge:           cfg.Hedge,
+		HedgeAfter:      cfg.HedgeAfter,
+		HedgeFactor:     cfg.HedgeFactor,
+		Adaptive:        cfg.Adaptive,
+		MinFlight:       cfg.MinFlight,
+		Metrics:         reg,
 	})
 	for i := int(cfg.Slots) - 1; i >= 0; i-- {
 		c.freeSlots = append(c.freeSlots, uint32(i))
@@ -644,7 +664,10 @@ func (c *Client) writeRange(ctx *rpc.Ctx, f *File, off int64, data payload.Paylo
 		}
 		return err
 	})
-	return c.engine.Run(ctx, c.engine.Prepare(f.mapper.Map(off, data.Len())),
+	// Write-back rides the window as Background: gathered flushes must never
+	// crowd out a blocked application read (docs/ARCHITECTURE.md QoS).
+	return c.engine.RunWith(ctx, ioengine.RunOpts{Class: ioengine.Background},
+		c.engine.Prepare(f.mapper.Map(off, data.Len())),
 		primary, mdsProxy, recovery)
 }
 
@@ -790,8 +813,9 @@ func (c *Client) Read(ctx *rpc.Ctx, f *File, off, n int64) (payload.Payload, int
 	}
 	// One engine run covers every missing chunk, so extents from adjacent
 	// chunks that land contiguously on one device coalesce into fewer,
-	// larger READs.
-	if err := c.readChunks(ctx, f, chunks); err != nil {
+	// larger READs.  The application is blocked on these bytes: they ride
+	// the window as Foreground and may hedge against stragglers.
+	if err := c.readChunks(ctx, f, chunks, ioengine.RunOpts{Class: ioengine.Foreground, Hedge: true}); err != nil {
 		return payload.Payload{}, 0, err
 	}
 	// Sequential readahead: extend the window while the pattern holds.
@@ -864,16 +888,21 @@ func (c *Client) prefetch(ctx *rpc.Ctx, f *File, start, window int64) {
 }
 
 // readRange fetches one chunk into the cache (the readahead entry point).
+// Readahead is speculative: it rides the window as Background and never
+// hedges.
 func (c *Client) readRange(ctx *rpc.Ctx, f *File, chunk extent) error {
-	return c.readChunks(ctx, f, []extent{chunk})
+	return c.readChunks(ctx, f, []extent{chunk}, ioengine.RunOpts{Class: ioengine.Background})
 }
 
 // readChunks fetches a set of RSize chunks into the cache in one engine
 // run: striped across data servers under a layout, or from the MDS
-// otherwise.  Striped extents carry the same recovery ladder as writes: a
+// otherwise.  Striped extents carry the same recovery ladder as writes — a
 // device error evicts and refetches the layout for one retry, and extents
-// that still cannot reach a data server are read through the MDS.
-func (c *Client) readChunks(ctx *rpc.Ctx, f *File, chunks []extent) error {
+// that still cannot reach a data server are read through the MDS — with one
+// extra rung under a replicated layout: a failed extent first retries on
+// each alternate replica device before the layout re-drive.  Replicated
+// reads are also steered to the least-loaded replica before issue.
+func (c *Client) readChunks(ctx *rpc.Ctx, f *File, chunks []extent, opts ioengine.RunOpts) error {
 	if len(chunks) == 0 {
 		return nil
 	}
@@ -894,12 +923,17 @@ func (c *Client) readChunks(ctx *rpc.Ctx, f *File, chunks []extent) error {
 		for i, ch := range chunks {
 			reqs[i] = stripe.Extent{Off: ch.Off, Len: ch.len()}
 		}
-		return c.engine.Run(ctx, reqs, mdsRead)
+		return c.engine.RunWith(ctx, opts, reqs, mdsRead)
 	}
 	layout := f.layout
 	var extents []stripe.Extent
 	for _, ch := range chunks {
 		extents = append(extents, f.mapper.ReadMap(ch.Off, ch.len(), ch.Off/c.cfg.RSize)...)
+	}
+	rm, replicated := f.mapper.(*stripe.Replicated)
+	if replicated {
+		// Steer each extent to its least-loaded replica device before issue.
+		extents = c.engine.SteerReplicas(rm, extents)
 	}
 	primary := func(ctx *rpc.Ctx, e stripe.Extent) error {
 		rep, err := c.dsRead(ctx, f, layout, e, want)
@@ -926,7 +960,25 @@ func (c *Client) readChunks(ctx *rpc.Ctx, f *File, chunks []extent) error {
 		c.mdsFallbacks.Inc()
 		return mdsRead(ctx, e)
 	})
-	return c.engine.Run(ctx, c.engine.Prepare(extents), primary, mdsProxy, recovery)
+	policies := []ioengine.Policy{mdsProxy, recovery}
+	if replicated {
+		// Innermost rung: before evicting the layout, retry the extent on
+		// each alternate replica device in turn — every replica holds the
+		// same stripe object, so only Dev changes.
+		replicaFB := ioengine.WithFallback(func(ctx *rpc.Ctx, e stripe.Extent, err error) error {
+			for _, alt := range rm.Alternates(e) {
+				rep, err2 := c.dsRead(ctx, f, layout, alt, want)
+				if err2 != nil {
+					continue
+				}
+				f.cache.fill(alt.Off, rep.Results[1].(*ResRead).Data)
+				return nil
+			}
+			return err
+		})
+		policies = append(policies, replicaFB)
+	}
+	return c.engine.RunWith(ctx, opts, c.engine.Prepare(extents), primary, policies...)
 }
 
 // dsRead sends one extent's READ to its data server under layout l.

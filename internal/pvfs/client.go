@@ -3,6 +3,7 @@ package pvfs
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"dpnfs/internal/ioengine"
 	"dpnfs/internal/metrics"
@@ -35,6 +36,21 @@ type ClientConfig struct {
 	// daemon backs off and retries until the node restarts or the budget
 	// runs out.  Zero-valued fields take rpc.DefaultRetryPolicy.
 	Retry rpc.RetryPolicy
+	// BackgroundShare caps the window fraction Background-class work may
+	// hold.  The PVFS2 library has no write-back or readahead — all its I/O
+	// is synchronous Foreground — so this only matters if an embedding adds
+	// background traffic on the same engine.
+	BackgroundShare float64
+	// Hedge enables hedged duplicate reads for stragglers (writes never
+	// hedge); HedgeAfter/HedgeFactor tune the adaptive threshold (0 =
+	// engine defaults).
+	Hedge       bool
+	HedgeAfter  time.Duration
+	HedgeFactor float64
+	// Adaptive lets the engine's window float between MinFlight and
+	// MaxFlight by AIMD (0 MinFlight = engine default).
+	Adaptive  bool
+	MinFlight int
 	// Metrics is the shared observability registry (docs/METRICS.md); nil
 	// discards.
 	Metrics *metrics.Registry
@@ -71,12 +87,18 @@ func NewClient(cfg ClientConfig) *Client {
 	}
 	c := &Client{cfg: cfg, stats: stats}
 	c.engine = ioengine.New(ioengine.Config{
-		Name:        name,
-		Issuer:      "pvfs",
-		MaxFlight:   cfg.MaxFlight,
-		MaxTransfer: cfg.MaxTransfer,
-		Wave:        cfg.Wave,
-		Metrics:     cfg.Metrics,
+		Name:            name,
+		Issuer:          "pvfs",
+		MaxFlight:       cfg.MaxFlight,
+		MaxTransfer:     cfg.MaxTransfer,
+		Wave:            cfg.Wave,
+		BackgroundShare: cfg.BackgroundShare,
+		Hedge:           cfg.Hedge,
+		HedgeAfter:      cfg.HedgeAfter,
+		HedgeFactor:     cfg.HedgeFactor,
+		Adaptive:        cfg.Adaptive,
+		MinFlight:       cfg.MinFlight,
+		Metrics:         cfg.Metrics,
 	})
 	c.retry = ioengine.WithRetry(cfg.Retry, stats.ioRetries.Inc)
 	c.ioSync = make([]rpc.Conn, len(cfg.IO))
@@ -150,7 +172,10 @@ func (c *Client) Write(ctx *rpc.Ctx, f *File, off int64, data payload.Payload, s
 	}
 	var mu sync.Mutex // requests run on concurrent processes/goroutines
 	var logical int64
-	err := c.engine.Run(ctx, reqs, func(ctx *rpc.Ctx, r stripe.Extent) error {
+	// The library has no write-back: the application is blocked on this
+	// write, so it rides the window as Foreground (never hedged — writes
+	// are not idempotent against concurrent writers).
+	err := c.engine.RunWith(ctx, ioengine.RunOpts{Class: ioengine.Foreground}, reqs, func(ctx *rpc.Ctx, r stripe.Extent) error {
 		var rep IOWriteRep
 		args := &IOWriteArgs{
 			Handle: f.Handle,
@@ -189,7 +214,9 @@ func (c *Client) Read(ctx *rpc.Ctx, f *File, off, n int64, wantReal bool) (paylo
 	// below it that a daemon skipped are holes (zeros).
 	var mu sync.Mutex
 	var maxEnd int64
-	err := c.engine.Run(ctx, reqs, func(ctx *rpc.Ctx, r stripe.Extent) error {
+	// Synchronous read: Foreground, and eligible for hedged duplicates
+	// when the engine has hedging enabled (reads are idempotent).
+	err := c.engine.RunWith(ctx, ioengine.RunOpts{Class: ioengine.Foreground, Hedge: true}, reqs, func(ctx *rpc.Ctx, r stripe.Extent) error {
 		var rep IOReadRep
 		args := &IOReadArgs{Handle: f.Handle, Off: r.DevOff, Len: r.Len, WantReal: wantReal}
 		if err := c.cfg.IO[r.Dev].Call(ctx, ProcIORead, args, &rep); err != nil {
@@ -200,14 +227,16 @@ func (c *Client) Read(ctx *rpc.Ctx, f *File, off, n int64, wantReal bool) (paylo
 		}
 		got := rep.Data.Len()
 		if got > 0 {
+			// The copy stays under mu: a hedged duplicate writes the same
+			// bytes to the same region as its primary.
 			mu.Lock()
 			if end := r.Off + got; end > maxEnd {
 				maxEnd = end
 			}
-			mu.Unlock()
 			if wantReal && rep.Data.Bytes != nil {
 				copy(buf[r.Off-off:], rep.Data.Bytes)
 			}
+			mu.Unlock()
 		}
 		return nil
 	}, c.retry)

@@ -178,16 +178,20 @@ func (f *Fabric) Transfer(p *sim.Proc, src, dst *Node, size int64) sim.Time {
 	txDone := src.NIC.tx.Reserve(p.Now(), svcTx)
 	txStart := txDone - sim.Time(svcTx)
 	latency := src.NIC.Latency + src.extraLat + dst.extraLat
-	// Injected loss on either endpoint: the dropped message is retransmitted
-	// after the sender's RTO, so loss shows up as tail latency, not as a
-	// hung reply channel.
-	if pLoss := src.loss + dst.loss - src.loss*dst.loss; pLoss > 0 &&
-		f.K.Rand().Float64() < pLoss {
-		latency += RetransmitTimeout
-	}
 	firstByte := txStart + sim.Time(latency)
 	svcRx := dst.NIC.xmitTime(size)
 	rxDone := dst.NIC.rx.Reserve(firstByte, svcRx)
+	// Injected loss on either endpoint: the dropped message is retransmitted
+	// after the sender's RTO, so loss shows up as tail latency, not as a
+	// hung reply channel.  The penalty lands after the receive stage — a
+	// dropped packet never reaches the receiver's NIC, so it must not hold
+	// the rx queue across the timeout gap (unrelated messages, including a
+	// hedged duplicate's reply, keep flowing while the sender waits out the
+	// RTO).
+	if pLoss := src.loss + dst.loss - src.loss*dst.loss; pLoss > 0 &&
+		f.K.Rand().Float64() < pLoss {
+		rxDone += sim.Time(RetransmitTimeout)
+	}
 	p.SleepUntilTime(rxDone)
 	return rxDone
 }

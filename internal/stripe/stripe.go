@@ -294,6 +294,29 @@ func (m *Replicated) ReadMap(off, length, seed int64) []Extent {
 	return out
 }
 
+// Alternates returns e re-based onto every other replica's device, in
+// replica order.  DevOff is unchanged — replicas hold identical stripe
+// objects — so an issuer can retry a failed read extent on each alternate
+// in turn (the replica→replica failover ladder) before falling back to its
+// MDS-proxy rung.  Extents not addressed to one of this mapper's devices
+// (e.g. the Dev<0 MDS sentinel) have no alternates.
+func (m *Replicated) Alternates(e Extent) []Extent {
+	n := m.Inner.NumDevices()
+	if m.Copies < 2 || e.Dev < 0 || e.Dev >= n*m.Copies {
+		return nil
+	}
+	base := e.Dev % n
+	out := make([]Extent, 0, m.Copies-1)
+	for r := 0; r < m.Copies; r++ {
+		if d := base + r*n; d != e.Dev {
+			alt := e
+			alt.Dev = d
+			out = append(out, alt)
+		}
+	}
+	return out
+}
+
 // Hierarchical stripes across groups with an outer unit, then across the
 // devices within each group with an inner unit (Clusterfile-style nested
 // striping, paper §4.3 [26]).  Group g owns devices [g*PerGroup,
