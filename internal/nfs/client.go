@@ -95,11 +95,19 @@ type Client struct {
 	// the wall-clock twin of flushSem.
 	rtFlush chan struct{}
 
-	// stateMu guards devices, layouts, and inodeCache: recovery paths
-	// mutate them from parallel extent flows (simulated processes under the
-	// kernel, real goroutines over TCP).
+	// stateMu guards devices, active, epoch, layouts, and inodeCache:
+	// recovery paths mutate them from parallel extent flows (simulated
+	// processes under the kernel, real goroutines over TCP).
 	stateMu sync.Mutex
 	devices map[pnfs.DeviceID]rpc.Conn
+	// active is the device set advertised by the most recent GETDEVICELIST.
+	// Conns for devices that have since left the list stay in devices (so
+	// layouts at older generations remain readable) but are excluded from
+	// replica failover.
+	active map[pnfs.DeviceID]bool
+	// epoch counts layout invalidations (cluster membership changes); open
+	// files compare it to decide whether to refetch their layout.
+	epoch uint64
 
 	flushSem *sim.Semaphore
 	layouts  map[uint64]*pnfs.FileLayout
@@ -163,6 +171,7 @@ func NewClient(cfg ClientConfig) *Client {
 	c := &Client{
 		cfg:        cfg,
 		devices:    make(map[pnfs.DeviceID]rpc.Conn),
+		active:     make(map[pnfs.DeviceID]bool),
 		layouts:    make(map[uint64]*pnfs.FileLayout),
 		inodeCache: make(map[uint64]*inodeState),
 		metrics:    newMetrics(reg),
@@ -329,8 +338,10 @@ func (c *Client) Mount(ctx *rpc.Ctx) error {
 	c.root = c.rootFromRep()
 	if dl, ok := rep.Results[1].(*ResGetDevList); ok && dl.Errno == 0 && c.cfg.DialDS != nil {
 		c.stateMu.Lock()
+		c.active = make(map[pnfs.DeviceID]bool, len(dl.Devices))
 		for _, dev := range dl.Devices {
 			c.devices[dev.ID] = c.cfg.DialDS(dev.Addr)
+			c.active[dev.ID] = true
 		}
 		c.pnfsOK = len(c.devices) > 0
 		c.stateMu.Unlock()
@@ -343,6 +354,63 @@ func (c *Client) device(id pnfs.DeviceID) rpc.Conn {
 	c.stateMu.Lock()
 	defer c.stateMu.Unlock()
 	return c.devices[id]
+}
+
+// deviceActive reports whether id appears in the most recent device list
+// and has a conn — the liveness test replica failover uses so it never
+// retries a departed device.
+func (c *Client) deviceActive(id pnfs.DeviceID) bool {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	return c.active[id] && c.devices[id] != nil
+}
+
+// refreshDevices re-drives GETDEVICELIST, dials any newly advertised
+// device, and replaces the active set.  Conns for departed devices are
+// retained so data written under older layout generations stays reachable.
+func (c *Client) refreshDevices(ctx *rpc.Ctx) error {
+	if c.cfg.DialDS == nil {
+		return fmt.Errorf("nfs: no data-server dialer")
+	}
+	rep, err := c.call(ctx, c.cfg.MDS, true, &OpPutRootFH{}, &OpGetDevList{})
+	if err != nil {
+		return err
+	}
+	dl, ok := rep.Results[1].(*ResGetDevList)
+	if !ok || dl.Errno != 0 {
+		return fmt.Errorf("nfs: GETDEVICELIST refresh failed")
+	}
+	c.stateMu.Lock()
+	c.active = make(map[pnfs.DeviceID]bool, len(dl.Devices))
+	for _, dev := range dl.Devices {
+		if c.devices[dev.ID] == nil {
+			c.devices[dev.ID] = c.cfg.DialDS(dev.Addr)
+		}
+		c.active[dev.ID] = true
+	}
+	c.stateMu.Unlock()
+	return nil
+}
+
+// InvalidateLayouts discards every cached layout and bumps the layout
+// epoch, so each open file refetches its layout (and the device list)
+// before its next striped I/O.  The cluster calls this after a membership
+// change regenerates layouts at a new generation.
+func (c *Client) InvalidateLayouts() {
+	c.stateMu.Lock()
+	n := len(c.layouts)
+	c.layouts = make(map[uint64]*pnfs.FileLayout)
+	c.epoch++
+	c.stateMu.Unlock()
+	for i := 0; i < n; i++ {
+		c.layoutEvicts.Inc()
+	}
+}
+
+func (c *Client) epochNow() uint64 {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	return c.epoch
 }
 
 // rootFromRep is a placeholder for servers whose root is implicit: the
@@ -370,8 +438,12 @@ type File struct {
 	size    int64
 	change  uint64
 
-	layout *pnfs.FileLayout
-	mapper stripe.Mapper
+	// layoutMu serializes layout refetches after an epoch bump (membership
+	// change); layout/mapper/epoch are re-read by parallel extent flows.
+	layoutMu sync.Mutex
+	layout   *pnfs.FileLayout
+	mapper   stripe.Mapper
+	epoch    uint64
 
 	cache *pageCache
 
@@ -493,6 +565,7 @@ func (c *Client) Create(ctx *rpc.Ctx, path string) (*File, error) {
 func (f *File) fetchLayout(ctx *rpc.Ctx) error {
 	f.c.stateMu.Lock()
 	l, ok := f.c.layouts[f.fh]
+	epoch := f.c.epoch
 	f.c.stateMu.Unlock()
 	if ok {
 		f.c.layoutHits.Inc()
@@ -513,12 +586,31 @@ func (f *File) fetchLayout(ctx *rpc.Ctx) error {
 		return fmt.Errorf("nfs: layout for %s: %w", f.Path, err)
 	}
 	f.mapper = m
+	f.epoch = epoch
 	for _, id := range f.layout.Devices {
 		if f.c.device(id) == nil {
-			return fmt.Errorf("nfs: layout references unknown device %d", id)
+			// A device this layout references may have joined after mount:
+			// refresh the device list once before giving up.
+			if err := f.c.refreshDevices(ctx); err != nil || f.c.device(id) == nil {
+				return fmt.Errorf("nfs: layout references unknown device %d", id)
+			}
 		}
 	}
 	return nil
+}
+
+// ensureLayout refetches the file's layout when the client's layout epoch
+// moved since the layout was fetched (a membership change invalidated it).
+func (f *File) ensureLayout(ctx *rpc.Ctx) error {
+	if f.mapper == nil || f.epoch == f.c.epochNow() {
+		return nil
+	}
+	f.layoutMu.Lock()
+	defer f.layoutMu.Unlock()
+	if f.epoch == f.c.epochNow() {
+		return nil
+	}
+	return f.fetchLayout(ctx)
 }
 
 // recoverLayout handles a data-server failure: it evicts the file's cached
@@ -531,15 +623,7 @@ func (c *Client) recoverLayout(ctx *rpc.Ctx, f *File) *pnfs.FileLayout {
 	delete(c.layouts, f.fh)
 	c.stateMu.Unlock()
 	c.layoutEvicts.Inc()
-	if rep, err := c.call(ctx, c.cfg.MDS, true, &OpPutRootFH{}, &OpGetDevList{}); err == nil && c.cfg.DialDS != nil {
-		if dl, ok := rep.Results[1].(*ResGetDevList); ok && dl.Errno == 0 {
-			c.stateMu.Lock()
-			for _, dev := range dl.Devices {
-				c.devices[dev.ID] = c.cfg.DialDS(dev.Addr)
-			}
-			c.stateMu.Unlock()
-		}
-	}
+	_ = c.refreshDevices(ctx) // best effort: LAYOUTGET below decides
 	rep, err := c.call(ctx, c.cfg.MDS, true, &OpPutFH{FH: f.fh}, &OpLayoutGet{})
 	if err != nil {
 		return nil
@@ -622,6 +706,9 @@ func (c *Client) flushAsync(ctx *rpc.Ctx, f *File, chunk extent) {
 // server, which writes into the parallel file system on the client's
 // behalf.
 func (c *Client) writeRange(ctx *rpc.Ctx, f *File, off int64, data payload.Payload) error {
+	if err := f.ensureLayout(ctx); err != nil {
+		return err
+	}
 	if f.mapper == nil {
 		_, err := c.call(ctx, c.cfg.MDS, true,
 			&OpPutFH{FH: f.fh},
@@ -644,7 +731,28 @@ func (c *Client) writeRange(ctx *rpc.Ctx, f *File, off int64, data payload.Paylo
 	recovery := ioengine.WithFallback(func(ctx *rpc.Ctx, e stripe.Extent, err error) error {
 		c.devErrors.Inc()
 		l2 := c.recoverLayout(ctx, f)
-		if l2 == nil || e.Dev >= len(l2.Devices) {
+		if l2 == nil {
+			return err
+		}
+		if l2.Gen != layout.Gen {
+			// Membership changed underneath us: the extent's device index is
+			// meaningless under the new geometry.  Remap the logical range
+			// through the fresh layout and write each sub-extent; the commit
+			// goes through the MDS because the touched-device indices no
+			// longer line up.
+			m2, merr := l2.Mapper()
+			if merr != nil {
+				return err
+			}
+			for _, se := range m2.Map(e.Off, e.Len) {
+				if _, err2 := c.dsWrite(ctx, f, l2, se, data.Slice(se.Off-off, se.Len)); err2 != nil {
+					return err2
+				}
+			}
+			f.markTouched(-1)
+			return nil
+		}
+		if e.Dev >= len(l2.Devices) {
 			return err
 		}
 		if _, err2 := c.dsWrite(ctx, f, l2, e, chunk(e)); err2 != nil {
@@ -728,7 +836,10 @@ func (c *Client) Fsync(ctx *rpc.Ctx, f *File) error {
 		commits[i] = stripe.Extent{Dev: dev}
 	}
 	err := c.engine.Run(ctx, commits, func(ctx *rpc.Ctx, r stripe.Extent) error {
-		if r.Dev < 0 {
+		// r.Dev < 0 is the explicit MDS marker; an out-of-range or unknown
+		// device (the layout was regenerated under a new membership between
+		// the write and this commit) falls back to the MDS the same way.
+		if r.Dev < 0 || r.Dev >= len(f.layout.Devices) || c.device(f.layout.Devices[r.Dev]) == nil {
 			_, err := c.call(ctx, c.cfg.MDS, true, &OpPutFH{FH: f.fh}, &OpCommit{})
 			return err
 		}
@@ -906,6 +1017,9 @@ func (c *Client) readChunks(ctx *rpc.Ctx, f *File, chunks []extent, opts ioengin
 	if len(chunks) == 0 {
 		return nil
 	}
+	if err := f.ensureLayout(ctx); err != nil {
+		return err
+	}
 	want := c.cfg.Real
 	mdsRead := func(ctx *rpc.Ctx, e stripe.Extent) error {
 		rep, err := c.call(ctx, c.cfg.MDS, true,
@@ -946,7 +1060,27 @@ func (c *Client) readChunks(ctx *rpc.Ctx, f *File, chunks []extent, opts ioengin
 	recovery := ioengine.WithFallback(func(ctx *rpc.Ctx, e stripe.Extent, err error) error {
 		c.devErrors.Inc()
 		l2 := c.recoverLayout(ctx, f)
-		if l2 == nil || e.Dev >= len(l2.Devices) {
+		if l2 == nil {
+			return err
+		}
+		if l2.Gen != layout.Gen {
+			// The layout was regenerated under a new membership: remap the
+			// logical range through the fresh geometry instead of retrying
+			// the now-meaningless device index.
+			m2, merr := l2.Mapper()
+			if merr != nil {
+				return err
+			}
+			for _, se := range m2.ReadMap(e.Off, e.Len, e.Off/c.cfg.RSize) {
+				rep, err2 := c.dsRead(ctx, f, l2, se, want)
+				if err2 != nil {
+					return err2
+				}
+				f.cache.fill(se.Off, rep.Results[1].(*ResRead).Data)
+			}
+			return nil
+		}
+		if e.Dev >= len(l2.Devices) {
 			return err
 		}
 		rep, err2 := c.dsRead(ctx, f, l2, e, want)
@@ -964,9 +1098,13 @@ func (c *Client) readChunks(ctx *rpc.Ctx, f *File, chunks []extent, opts ioengin
 	if replicated {
 		// Innermost rung: before evicting the layout, retry the extent on
 		// each alternate replica device in turn — every replica holds the
-		// same stripe object, so only Dev changes.
+		// same stripe object, so only Dev changes.  The liveness filter
+		// keeps failover off devices that have left the cluster.
+		live := func(dev int) bool {
+			return dev >= 0 && dev < len(layout.Devices) && c.deviceActive(layout.Devices[dev])
+		}
 		replicaFB := ioengine.WithFallback(func(ctx *rpc.Ctx, e stripe.Extent, err error) error {
-			for _, alt := range rm.Alternates(e) {
+			for _, alt := range rm.AlternatesLive(e, live) {
 				rep, err2 := c.dsRead(ctx, f, layout, alt, want)
 				if err2 != nil {
 					continue

@@ -147,9 +147,12 @@ func NewServer(cfg ServerConfig) *Server {
 		"Payload bytes accepted by WRITE.", "service").With(service)
 	opsVec := reg.CounterVec("nfs_server_ops_total",
 		"Operations executed inside COMPOUNDs, by RFC 5661 op name.", "service", "op")
-	for num := range opCtor {
-		if num <= maxOpNum {
-			s.opCounters[num] = opsVec.With(service, opName(num))
+	// Register in op-number order, not map order: series snapshots render
+	// in insertion order, so ranging over the map would make two otherwise
+	// identical runs emit differently ordered (byte-unequal) reports.
+	for num := 0; num <= maxOpNum; num++ {
+		if _, ok := opCtor[uint32(num)]; ok {
+			s.opCounters[num] = opsVec.With(service, opName(uint32(num)))
 		}
 	}
 	switch {

@@ -14,6 +14,19 @@
 // describe the exact physical distribution, so clients send device-space
 // offsets straight to the storage nodes; indirect (two/three-tier) layouts
 // stripe logical offsets across intermediary data servers.
+//
+// # Device-ID stability
+//
+// A DeviceID names one data server for the lifetime of the file system, not
+// a position in the current device list.  Under elastic membership
+// (cluster join/drain) entries come and go from GETDEVICELIST, so an ID is
+// allocated once per node and never reused after the node departs: a layout
+// held across a membership change either still names live devices (and
+// stays usable) or names departed ones (and fails with a device error that
+// sends the client back through GETDEVICELIST + LAYOUTGET).  Layouts carry
+// a generation number (FileLayout.Gen) so clients can tell a re-fetched
+// layout with new geometry from a positional retry within the same
+// geometry.
 package pnfs
 
 import (
@@ -60,6 +73,13 @@ type FileLayout struct {
 	// storage objects themselves (Direct-pNFS).  When false, data servers
 	// interpret logical file offsets (two/three-tier file-based pNFS).
 	Direct bool
+	// Gen is the layout generation: it increments whenever cluster
+	// membership changes the file's geometry (devices added or drained).
+	// Two layouts for the same file with equal Gen describe the same
+	// geometry, so a device index from one is valid in the other; across
+	// generations indexes are meaningless and clients must remap offsets
+	// through the new layout's Mapper.
+	Gen uint64
 }
 
 // Mapper instantiates the aggregation driver described by the layout.  The
@@ -150,6 +170,7 @@ func (l *FileLayout) MarshalXDR(e *xdr.Encoder) {
 		e.Uint64(l.FHs[i])
 	}
 	e.Bool(l.Direct)
+	e.Uint64(l.Gen)
 }
 
 // UnmarshalXDR implements xdr.Unmarshaler.
@@ -190,7 +211,10 @@ func (l *FileLayout) UnmarshalXDR(d *xdr.Decoder) error {
 			return err
 		}
 	}
-	l.Direct, err = d.Bool()
+	if l.Direct, err = d.Bool(); err != nil {
+		return err
+	}
+	l.Gen, err = d.Uint64()
 	return err
 }
 

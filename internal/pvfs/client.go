@@ -16,9 +16,15 @@ import (
 
 // ClientConfig describes one PVFS2 client library instance.
 type ClientConfig struct {
-	Node  *simnet.Node
-	Meta  rpc.Conn
-	IO    []rpc.Conn // one per storage daemon, in device order
+	Node *simnet.Node
+	Meta rpc.Conn
+	IO   []rpc.Conn // one per storage daemon, in device order
+	// IOIDs gives the stable server ID of each IO conn.  When empty the
+	// conns are assumed positional (IDs 0..len(IO)-1), which matches the
+	// legacy static-membership layout.  Files resolve their daemon conns
+	// through these IDs via the placement's DistParams.Servers, so a
+	// client keeps addressing the right daemons after membership changes.
+	IOIDs []uint32
 	Costs Costs
 	// MaxFlight bounds concurrent outstanding I/O requests ("limited
 	// request parallelization", paper §5) — the I/O engine's sliding-window
@@ -51,6 +57,12 @@ type ClientConfig struct {
 	// MaxFlight by AIMD (0 MinFlight = engine default).
 	Adaptive  bool
 	MinFlight int
+	// Class is the QoS class all of this client's striped I/O runs under
+	// (zero value = Foreground).  The cluster's rebalance engine sets
+	// Background here so migration traffic yields to application I/O.
+	Class ioengine.Class
+	// Issuer labels this client's engine metrics (empty = "pvfs").
+	Issuer string
 	// Metrics is the shared observability registry (docs/METRICS.md); nil
 	// discards.
 	Metrics *metrics.Registry
@@ -64,9 +76,14 @@ type Client struct {
 	stats  *clientStats
 	engine *ioengine.Engine
 	retry  ioengine.Policy
-	// ioSync wraps the daemon conns in the retry policy for the serial
-	// fsync path, which does not ride the engine.
-	ioSync []rpc.Conn
+	// mu guards the conn maps: AddServer may race with newFile when the
+	// cluster reconfigures while clients are running.
+	mu sync.Mutex
+	// io/ioSync key the daemon conns by stable server ID.  ioSync wraps
+	// each conn in the retry policy for the serial fsync path, which does
+	// not ride the engine.
+	io     map[uint32]rpc.Conn
+	ioSync map[uint32]rpc.Conn
 }
 
 // NewClient returns a client with defaults applied.  Striped reads and
@@ -85,10 +102,14 @@ func NewClient(cfg ClientConfig) *Client {
 	if cfg.Node != nil {
 		name = cfg.Node.Name + "/pvfs"
 	}
+	issuer := cfg.Issuer
+	if issuer == "" {
+		issuer = "pvfs"
+	}
 	c := &Client{cfg: cfg, stats: stats}
 	c.engine = ioengine.New(ioengine.Config{
 		Name:            name,
-		Issuer:          "pvfs",
+		Issuer:          issuer,
 		MaxFlight:       cfg.MaxFlight,
 		MaxTransfer:     cfg.MaxTransfer,
 		Wave:            cfg.Wave,
@@ -101,18 +122,39 @@ func NewClient(cfg ClientConfig) *Client {
 		Metrics:         cfg.Metrics,
 	})
 	c.retry = ioengine.WithRetry(cfg.Retry, stats.ioRetries.Inc)
-	c.ioSync = make([]rpc.Conn, len(cfg.IO))
+	c.io = make(map[uint32]rpc.Conn, len(cfg.IO))
+	c.ioSync = make(map[uint32]rpc.Conn, len(cfg.IO))
 	for i, conn := range cfg.IO {
-		c.ioSync[i] = rpc.WithRetry(conn, cfg.Retry, stats.ioRetries.Inc)
+		id := uint32(i)
+		if i < len(cfg.IOIDs) {
+			id = cfg.IOIDs[i]
+		}
+		c.io[id] = conn
+		c.ioSync[id] = rpc.WithRetry(conn, cfg.Retry, stats.ioRetries.Inc)
 	}
 	return c
 }
 
-// File is an open PVFS2 file reference.
+// AddServer registers (or replaces) the conn for a storage daemon by its
+// stable server ID, so files placed on a newly joined node resolve their
+// conns without rebuilding the client.
+func (c *Client) AddServer(id uint32, conn rpc.Conn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.io[id] = conn
+	c.ioSync[id] = rpc.WithRetry(conn, c.cfg.Retry, c.stats.ioRetries.Inc)
+}
+
+// File is an open PVFS2 file reference.  Data is the handle the datafiles
+// live under (it diverges from Handle after a migration); io/ioSync hold the
+// daemon conns for the file's placement, in stripe-device order.
 type File struct {
 	Handle Handle
+	Data   Handle
 	Dist   DistParams
 	mapper *stripe.RoundRobin
+	io     []rpc.Conn
+	ioSync []rpc.Conn
 }
 
 func (c *Client) chargeOp(ctx *rpc.Ctx, bytes int64) {
@@ -123,12 +165,35 @@ func (c *Client) chargeOp(ctx *rpc.Ctx, bytes int64) {
 	ctx.UseCPU(cpu, c.cfg.Costs.ClientPerOp+perMB(c.cfg.Costs.ClientPerMB, bytes))
 }
 
-func (c *Client) newFile(h Handle, dist DistParams) *File {
-	return &File{
-		Handle: h,
-		Dist:   dist,
-		mapper: stripe.NewRoundRobin(dist.StripeSize, int(dist.NumServers)),
+func (c *Client) newFile(h, data Handle, dist DistParams) *File {
+	if data == 0 {
+		data = h
 	}
+	ids := dist.ServerIDs()
+	f := &File{
+		Handle: h,
+		Data:   data,
+		Dist:   dist,
+		mapper: stripe.NewRoundRobin(dist.StripeSize, len(ids)),
+		io:     make([]rpc.Conn, len(ids)),
+		ioSync: make([]rpc.Conn, len(ids)),
+	}
+	c.mu.Lock()
+	for i, id := range ids {
+		f.io[i] = c.io[id]
+		f.ioSync[i] = c.ioSync[id]
+	}
+	c.mu.Unlock()
+	return f
+}
+
+// conn returns the file's daemon conn for stripe device dev, or an error if
+// the placement names a server this client has no conn for.
+func (f *File) conn(dev int) (rpc.Conn, error) {
+	if dev < 0 || dev >= len(f.io) || f.io[dev] == nil {
+		return nil, fmt.Errorf("pvfs: no conn for device %d of handle %x", dev, uint64(f.Handle))
+	}
+	return f.io[dev], nil
 }
 
 // Create makes a new file and returns an open reference.
@@ -141,7 +206,7 @@ func (c *Client) Create(ctx *rpc.Ctx, path string) (*File, error) {
 	if rep.Errno != 0 {
 		return nil, rep.Errno.Err()
 	}
-	return c.newFile(rep.Handle, rep.Dist), nil
+	return c.newFile(rep.Handle, rep.Data, rep.Dist), nil
 }
 
 // Open resolves an existing file.
@@ -157,7 +222,7 @@ func (c *Client) Open(ctx *rpc.Ctx, path string) (*File, error) {
 	if rep.IsDir {
 		return nil, fmt.Errorf("pvfs: %s is a directory", path)
 	}
-	return c.newFile(rep.Handle, rep.Dist), nil
+	return c.newFile(rep.Handle, rep.Data, rep.Dist), nil
 }
 
 // Write stores data at off.  Sync forces the touched daemons to flush to
@@ -173,17 +238,22 @@ func (c *Client) Write(ctx *rpc.Ctx, f *File, off int64, data payload.Payload, s
 	var mu sync.Mutex // requests run on concurrent processes/goroutines
 	var logical int64
 	// The library has no write-back: the application is blocked on this
-	// write, so it rides the window as Foreground (never hedged — writes
-	// are not idempotent against concurrent writers).
-	err := c.engine.RunWith(ctx, ioengine.RunOpts{Class: ioengine.Foreground}, reqs, func(ctx *rpc.Ctx, r stripe.Extent) error {
+	// write, so it rides the window at the client's configured class
+	// (Foreground by default; never hedged — writes are not idempotent
+	// against concurrent writers).
+	err := c.engine.RunWith(ctx, ioengine.RunOpts{Class: c.cfg.Class}, reqs, func(ctx *rpc.Ctx, r stripe.Extent) error {
+		conn, err := f.conn(r.Dev)
+		if err != nil {
+			return err
+		}
 		var rep IOWriteRep
 		args := &IOWriteArgs{
-			Handle: f.Handle,
+			Handle: f.Data,
 			Off:    r.DevOff,
 			Data:   data.Slice(r.Off-off, r.Len),
 			Sync:   syncData,
 		}
-		if err := c.cfg.IO[r.Dev].Call(ctx, ProcIOWrite, args, &rep); err != nil {
+		if err := conn.Call(ctx, ProcIOWrite, args, &rep); err != nil {
 			return err
 		}
 		if rep.Errno != 0 {
@@ -214,12 +284,17 @@ func (c *Client) Read(ctx *rpc.Ctx, f *File, off, n int64, wantReal bool) (paylo
 	// below it that a daemon skipped are holes (zeros).
 	var mu sync.Mutex
 	var maxEnd int64
-	// Synchronous read: Foreground, and eligible for hedged duplicates
-	// when the engine has hedging enabled (reads are idempotent).
-	err := c.engine.RunWith(ctx, ioengine.RunOpts{Class: ioengine.Foreground, Hedge: true}, reqs, func(ctx *rpc.Ctx, r stripe.Extent) error {
+	// Synchronous read: runs at the client's configured class, and is
+	// eligible for hedged duplicates when the engine has hedging enabled
+	// (reads are idempotent).
+	err := c.engine.RunWith(ctx, ioengine.RunOpts{Class: c.cfg.Class, Hedge: true}, reqs, func(ctx *rpc.Ctx, r stripe.Extent) error {
+		conn, err := f.conn(r.Dev)
+		if err != nil {
+			return err
+		}
 		var rep IOReadRep
-		args := &IOReadArgs{Handle: f.Handle, Off: r.DevOff, Len: r.Len, WantReal: wantReal}
-		if err := c.cfg.IO[r.Dev].Call(ctx, ProcIORead, args, &rep); err != nil {
+		args := &IOReadArgs{Handle: f.Data, Off: r.DevOff, Len: r.Len, WantReal: wantReal}
+		if err := conn.Call(ctx, ProcIORead, args, &rep); err != nil {
 			return err
 		}
 		if rep.Errno != 0 {
@@ -256,15 +331,18 @@ func (c *Client) Read(ctx *rpc.Ctx, f *File, off, n int64, wantReal bool) (paylo
 	return payload.Synthetic(valid), valid, nil
 }
 
-// Sync flushes the file's buffered data on every storage daemon.  The
-// flushes are issued serially, matching the sequential datafile flush in
-// the PVFS2 client's fsync path — one source of its poor synchronous
-// small-I/O performance (§6.4.1).
+// Sync flushes the file's buffered data on each storage daemon holding one
+// of its datafiles.  The flushes are issued serially, matching the
+// sequential datafile flush in the PVFS2 client's fsync path — one source
+// of its poor synchronous small-I/O performance (§6.4.1).
 func (c *Client) Sync(ctx *rpc.Ctx, f *File) error {
 	c.chargeOp(ctx, 0)
-	for i := range c.ioSync {
+	for i, conn := range f.ioSync {
+		if conn == nil {
+			return fmt.Errorf("pvfs: no conn for device %d of handle %x", i, uint64(f.Handle))
+		}
 		var rep IOFlushRep
-		if err := c.ioSync[i].Call(ctx, ProcIOFlush, &IOFlushArgs{Handle: f.Handle}, &rep); err != nil {
+		if err := conn.Call(ctx, ProcIOFlush, &IOFlushArgs{Handle: f.Data}, &rep); err != nil {
 			return err
 		}
 		if rep.Errno != 0 {

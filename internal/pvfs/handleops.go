@@ -19,7 +19,47 @@ const (
 	ProcRemoveH
 	ProcRenameH
 	ProcReadDirH
+	ProcPlacementH
 )
+
+// PlacementHArgs fetches a file's data placement by handle.
+type PlacementHArgs struct{ Handle Handle }
+
+func (a *PlacementHArgs) MarshalXDR(e *xdr.Encoder) { e.Uint64(uint64(a.Handle)) }
+func (a *PlacementHArgs) UnmarshalXDR(d *xdr.Decoder) error {
+	h, err := d.Uint64()
+	a.Handle = Handle(h)
+	return err
+}
+
+// PlacementRep is the reply to ProcPlacementH: where the file's bytes live
+// right now.  Data servers that export PVFS2 use it to re-resolve a file
+// after a migration generation bump.
+type PlacementRep struct {
+	Errno fserr.Errno
+	Data  Handle
+	Dist  DistParams
+}
+
+func (r *PlacementRep) MarshalXDR(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Errno))
+	e.Uint64(uint64(r.Data))
+	r.Dist.MarshalXDR(e)
+}
+
+func (r *PlacementRep) UnmarshalXDR(d *xdr.Decoder) error {
+	v, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	r.Errno = fserr.Errno(v)
+	h, err := d.Uint64()
+	if err != nil {
+		return err
+	}
+	r.Data = Handle(h)
+	return r.Dist.UnmarshalXDR(d)
+}
 
 // DirOpArgs addresses a name within a directory by handle.
 type DirOpArgs struct {
@@ -87,7 +127,8 @@ func (m *MetaServer) handleMeta(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshal
 		if err != nil {
 			return &LookupRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
 		}
-		return &LookupRep{Handle: Handle(at.ID), IsDir: at.IsDir, Size: -1, Dist: m.cfg.Dist}, rpc.StatusOK
+		place := m.PlacementOf(Handle(at.ID))
+		return &LookupRep{Handle: Handle(at.ID), IsDir: at.IsDir, Size: -1, Dist: place.Dist, Data: place.Data}, rpc.StatusOK
 
 	case ProcCreateH:
 		a := req.(*DirOpArgs)
@@ -96,18 +137,21 @@ func (m *MetaServer) handleMeta(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshal
 			return &CreateRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
 		}
 		h := Handle(at.ID)
-		ferr := m.fanout(ctx, func(ctx *rpc.Ctx, dev int) error {
-			var rep IOCreateRep
-			if err := m.cfg.IOConns[dev].Call(ctx, ProcIOCreate, &IOCreateArgs{Handle: h}, &rep); err != nil {
-				return err
-			}
-			return rep.Errno.Err()
-		})
-		if ferr != nil {
+		dist := m.Dist()
+		if err := m.createObjects(ctx, h, dist); err != nil {
 			return &CreateRep{Errno: fserr.IO}, rpc.StatusOK
 		}
+		m.SetPlacement(h, Placement{Data: h, Dist: dist})
 		m.syncMeta(ctx)
-		return &CreateRep{Handle: h, Dist: m.cfg.Dist}, rpc.StatusOK
+		return &CreateRep{Handle: h, Dist: dist, Data: h}, rpc.StatusOK
+
+	case ProcPlacementH:
+		a := req.(*PlacementHArgs)
+		if _, err := m.store.GetAttr(store.FileID(a.Handle)); err != nil {
+			return &PlacementRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
+		}
+		place := m.PlacementOf(a.Handle)
+		return &PlacementRep{Data: place.Data, Dist: place.Dist}, rpc.StatusOK
 
 	case ProcMkdirH:
 		a := req.(*DirOpArgs)
@@ -125,11 +169,7 @@ func (m *MetaServer) handleMeta(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshal
 			return &RemoveRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
 		}
 		if !at.IsDir {
-			h := Handle(at.ID)
-			m.fanout(ctx, func(ctx *rpc.Ctx, dev int) error {
-				var rep IORemoveRep
-				return m.cfg.IOConns[dev].Call(ctx, ProcIORemove, &IORemoveArgs{Handle: h}, &rep)
-			})
+			m.removeObjects(ctx, Handle(at.ID))
 		}
 		if err := m.store.Remove(store.FileID(a.Dir), a.Name); err != nil {
 			return &RemoveRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
@@ -167,9 +207,29 @@ func (c *Client) RootHandle() Handle { return 1 }
 
 // OpenHandle builds an open file reference from a handle without a metadata
 // round trip: the distribution is a file-system-wide constant, so data
-// servers exporting PVFS2 can address any file directly.
+// servers exporting PVFS2 can address any file directly.  Files that may
+// have been migrated need OpenPlaced with a fresh placement instead.
 func (c *Client) OpenHandle(h Handle, dist DistParams) *File {
-	return c.newFile(h, dist)
+	return c.newFile(h, h, dist)
+}
+
+// OpenPlaced builds an open file reference from an explicit placement
+// (data handle + distribution), as returned by Lookup/Create/PlacementH.
+func (c *Client) OpenPlaced(h, data Handle, dist DistParams) *File {
+	return c.newFile(h, data, dist)
+}
+
+// PlacementH fetches the file's current data placement from the MDS.
+func (c *Client) PlacementH(ctx *rpc.Ctx, h Handle) (Handle, DistParams, error) {
+	c.chargeOp(ctx, 0)
+	var rep PlacementRep
+	if err := c.cfg.Meta.Call(ctx, ProcPlacementH, &PlacementHArgs{Handle: h}, &rep); err != nil {
+		return 0, DistParams{}, err
+	}
+	if rep.Errno != 0 {
+		return 0, DistParams{}, rep.Errno.Err()
+	}
+	return rep.Data, rep.Dist, nil
 }
 
 // LookupH resolves name within the directory handle.
@@ -195,7 +255,11 @@ func (c *Client) CreateH(ctx *rpc.Ctx, dir Handle, name string) (*File, error) {
 	if rep.Errno != 0 {
 		return nil, rep.Errno.Err()
 	}
-	return c.newFile(rep.Handle, rep.Dist), nil
+	data := rep.Data
+	if data == 0 {
+		data = rep.Handle
+	}
+	return c.newFile(rep.Handle, data, rep.Dist), nil
 }
 
 // MkdirH creates a directory within the directory handle.

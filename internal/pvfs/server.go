@@ -2,6 +2,7 @@ package pvfs
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -441,12 +442,34 @@ type MetaConfig struct {
 	Metrics *metrics.Registry
 }
 
+// Placement is a file's data placement: the handle its stripe objects live
+// under and the distribution geometry they follow.  Data equals the file's
+// own handle until a migration copies the bytes into shadow objects.
+type Placement struct {
+	Data Handle
+	Dist DistParams
+}
+
+// shadowBase is the first handle in the range reserved for migration shadow
+// objects — far above anything the namespace store allocates.
+const shadowBase Handle = 1 << 48
+
 // MetaServer is the PVFS2 metadata manager: it owns the namespace and
 // orchestrates datafile objects across storage daemons.
 type MetaServer struct {
 	cfg   MetaConfig
 	store store.Store
 	stats *metaStats
+
+	// mu guards the mutable distribution state: the default geometry for
+	// new files, the per-file placements recorded at create and rewritten
+	// by migration, and the IO conn table keyed by stable server ID.
+	mu          sync.Mutex
+	dist        DistParams // current default distribution
+	initialDist DistParams // geometry at construction (fallback for untracked files)
+	ioByID      map[uint32]rpc.Conn
+	placements  map[Handle]Placement
+	nextShadow  Handle
 }
 
 // NewMetaServer creates the MDS and registers its RPC service on the node
@@ -470,7 +493,17 @@ func NewMetaServer(cfg MetaConfig) *MetaServer {
 	if cfg.Store == nil {
 		cfg.Store = mem.New()
 	}
-	m := &MetaServer{cfg: cfg, store: cfg.Store, stats: stats}
+	m := &MetaServer{
+		cfg: cfg, store: cfg.Store, stats: stats,
+		dist:        cfg.Dist,
+		initialDist: cfg.Dist,
+		ioByID:      make(map[uint32]rpc.Conn, len(conns)),
+		placements:  make(map[Handle]Placement),
+		nextShadow:  shadowBase,
+	}
+	for i, conn := range conns {
+		m.ioByID[uint32(i)] = conn
+	}
 	switch {
 	case cfg.Transport != nil && cfg.Node != nil:
 		if _, err := cfg.Transport.Serve(cfg.Node.Name, ServiceMeta, MetaRegistry(), m.Handle, cfg.Threads); err != nil {
@@ -488,9 +521,11 @@ func NewMetaServer(cfg MetaConfig) *MetaServer {
 	return m
 }
 
-// Mapper returns the round-robin mapper for the FS-wide distribution.
+// Mapper returns the round-robin mapper for the current default
+// distribution.
 func (m *MetaServer) Mapper() *stripe.RoundRobin {
-	return stripe.NewRoundRobin(m.cfg.Dist.StripeSize, int(m.cfg.Dist.NumServers))
+	d := m.Dist()
+	return stripe.NewRoundRobin(d.StripeSize, len(d.ServerIDs()))
 }
 
 // Namespace exposes the backing metadata repository (layout translator and
@@ -504,14 +539,98 @@ func (m *MetaServer) syncMeta(ctx *rpc.Ctx) {
 	_ = m.store.Sync(ctx.P)
 }
 
-// Dist returns the FS-wide distribution parameters.
-func (m *MetaServer) Dist() DistParams { return m.cfg.Dist }
+// Dist returns the current default distribution parameters for new files.
+func (m *MetaServer) Dist() DistParams {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dist
+}
 
-// fanout runs fn against every storage daemon in parallel.
-func (m *MetaServer) fanout(ctx *rpc.Ctx, fn func(ctx *rpc.Ctx, dev int) error) error {
-	errs := make([]error, len(m.cfg.IOConns))
-	rpc.Parallel(ctx, len(m.cfg.IOConns), func(ctx *rpc.Ctx, i int) {
-		errs[i] = fn(ctx, i)
+// SetDefaultDist replaces the default distribution new files are created
+// under.  Existing files keep their recorded placement until migration
+// rewrites it.
+func (m *MetaServer) SetDefaultDist(d DistParams) {
+	m.mu.Lock()
+	m.dist = d
+	m.mu.Unlock()
+}
+
+// AddIOConn registers (or replaces) the conn to the storage daemon with the
+// given stable server ID, wrapped in the server's retry policy.  Joining
+// nodes get IDs beyond the construction-time range.
+func (m *MetaServer) AddIOConn(id uint32, conn rpc.Conn) {
+	wrapped := rpc.WithRetry(conn, m.cfg.Retry, m.stats.ioRetries.Inc)
+	m.mu.Lock()
+	m.ioByID[id] = wrapped
+	m.mu.Unlock()
+}
+
+// PlacementOf returns the file's recorded placement.  Files with no record
+// (created before placement tracking, or whose record was lost with MDS
+// volatile state) fall back to their own handle under the construction-time
+// geometry — exactly where their bytes are, since migration always records
+// what it moves.
+func (m *MetaServer) PlacementOf(h Handle) Placement {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p, ok := m.placements[h]; ok {
+		return p
+	}
+	return Placement{Data: h, Dist: m.initialDist}
+}
+
+// SetPlacement records the file's placement (migration commit).
+func (m *MetaServer) SetPlacement(h Handle, p Placement) {
+	m.mu.Lock()
+	m.placements[h] = p
+	m.mu.Unlock()
+}
+
+// connsFor resolves stripe-order server IDs to conns.  Unknown IDs yield a
+// nil conn; callers treat that as an I/O error rather than panicking.
+func (m *MetaServer) connsFor(ids []uint32) []rpc.Conn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]rpc.Conn, len(ids))
+	for i, id := range ids {
+		out[i] = m.ioByID[id]
+	}
+	return out
+}
+
+// allConns snapshots every registered storage conn (cluster-wide fan-outs:
+// remove, flush).
+func (m *MetaServer) allConns() []rpc.Conn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := make([]uint32, 0, len(m.ioByID))
+	for id := range m.ioByID {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]rpc.Conn, len(ids))
+	for i, id := range ids {
+		out[i] = m.ioByID[id]
+	}
+	return out
+}
+
+// fanout runs fn against every registered storage daemon in parallel.
+func (m *MetaServer) fanout(ctx *rpc.Ctx, fn func(ctx *rpc.Ctx, i int, conn rpc.Conn) error) error {
+	return m.fanoutConns(ctx, m.allConns(), fn)
+}
+
+// fanoutConns runs fn against each conn in parallel (i is the stripe-order
+// index), collecting the first error.  A nil conn (unknown server ID) is an
+// immediate I/O error.
+func (m *MetaServer) fanoutConns(ctx *rpc.Ctx, conns []rpc.Conn, fn func(ctx *rpc.Ctx, i int, conn rpc.Conn) error) error {
+	errs := make([]error, len(conns))
+	rpc.Parallel(ctx, len(conns), func(ctx *rpc.Ctx, i int) {
+		if conns[i] == nil {
+			errs[i] = fserr.IO.Err()
+			return
+		}
+		errs[i] = fn(ctx, i, conns[i])
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -536,11 +655,13 @@ func (m *MetaServer) Handle(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshaler, 
 		if err != nil {
 			return &LookupRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
 		}
+		place := m.PlacementOf(Handle(at.ID))
 		return &LookupRep{
 			Handle: Handle(at.ID),
 			IsDir:  at.IsDir,
 			Size:   -1, // size is reconstructed by GetAttr, not lookup
-			Dist:   m.cfg.Dist,
+			Dist:   place.Dist,
+			Data:   place.Data,
 		}, rpc.StatusOK
 
 	case ProcCreate:
@@ -554,20 +675,17 @@ func (m *MetaServer) Handle(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshaler, 
 			return &CreateRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
 		}
 		h := Handle(at.ID)
-		// Create the datafile object on every storage daemon before the
-		// file becomes visible — the expensive part of PVFS2 creates.
-		ferr := m.fanout(ctx, func(ctx *rpc.Ctx, dev int) error {
-			var rep IOCreateRep
-			if err := m.cfg.IOConns[dev].Call(ctx, ProcIOCreate, &IOCreateArgs{Handle: h}, &rep); err != nil {
-				return err
-			}
-			return rep.Errno.Err()
-		})
+		// Create the datafile object on each storage daemon of the current
+		// default distribution before the file becomes visible — the
+		// expensive part of PVFS2 creates.
+		dist := m.Dist()
+		ferr := m.createObjects(ctx, h, dist)
 		if ferr != nil {
 			return &CreateRep{Errno: fserr.IO}, rpc.StatusOK
 		}
+		m.SetPlacement(h, Placement{Data: h, Dist: dist})
 		m.syncMeta(ctx)
-		return &CreateRep{Handle: h, Dist: m.cfg.Dist}, rpc.StatusOK
+		return &CreateRep{Handle: h, Dist: dist, Data: h}, rpc.StatusOK
 
 	case ProcRemove:
 		a := req.(*RemoveArgs)
@@ -580,11 +698,7 @@ func (m *MetaServer) Handle(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshaler, 
 			return &RemoveRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
 		}
 		if !at.IsDir {
-			h := Handle(at.ID)
-			m.fanout(ctx, func(ctx *rpc.Ctx, dev int) error {
-				var rep IORemoveRep
-				return m.cfg.IOConns[dev].Call(ctx, ProcIORemove, &IORemoveArgs{Handle: h}, &rep)
-			})
+			m.removeObjects(ctx, Handle(at.ID))
 		}
 		if err := m.store.Remove(dir, name); err != nil {
 			return &RemoveRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
@@ -626,14 +740,16 @@ func (m *MetaServer) Handle(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshaler, 
 		if at.IsDir {
 			return &GetAttrRep{IsDir: true}, rpc.StatusOK
 		}
-		// Reconstruct logical size from the datafile sizes on every
-		// storage daemon (decentralized metadata, paper §6.4.3).
-		mapper := m.Mapper()
-		sizes := make([]int64, len(m.cfg.IOConns))
-		changes := make([]uint64, len(m.cfg.IOConns))
-		ferr := m.fanout(ctx, func(ctx *rpc.Ctx, dev int) error {
+		// Reconstruct logical size from the datafile sizes on the file's
+		// placement servers (decentralized metadata, paper §6.4.3).
+		place := m.PlacementOf(a.Handle)
+		ids := place.Dist.ServerIDs()
+		mapper := stripe.NewRoundRobin(place.Dist.StripeSize, len(ids))
+		sizes := make([]int64, len(ids))
+		changes := make([]uint64, len(ids))
+		ferr := m.fanoutConns(ctx, m.connsFor(ids), func(ctx *rpc.Ctx, dev int, conn rpc.Conn) error {
 			var rep IOGetSizeRep
-			if err := m.cfg.IOConns[dev].Call(ctx, ProcIOGetSize, &IOGetSizeArgs{Handle: a.Handle}, &rep); err != nil {
+			if err := conn.Call(ctx, ProcIOGetSize, &IOGetSizeArgs{Handle: place.Data}, &rep); err != nil {
 				return err
 			}
 			if rep.Errno != fserr.OK {
@@ -657,7 +773,7 @@ func (m *MetaServer) Handle(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshaler, 
 		change += at.Change
 		return &GetAttrRep{Size: size, Change: change}, rpc.StatusOK
 
-	case ProcLookupH, ProcCreateH, ProcMkdirH, ProcRemoveH, ProcRenameH, ProcReadDirH:
+	case ProcLookupH, ProcCreateH, ProcMkdirH, ProcRemoveH, ProcRenameH, ProcReadDirH, ProcPlacementH:
 		return m.handleMeta(ctx, proc, req)
 
 	case ProcTruncate:
@@ -665,11 +781,13 @@ func (m *MetaServer) Handle(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshaler, 
 		if _, err := m.store.GetAttr(store.FileID(a.Handle)); err != nil {
 			return &TruncateRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
 		}
-		sizes := objSizes(m.Mapper(), len(m.cfg.IOConns), a.Size)
-		ferr := m.fanout(ctx, func(ctx *rpc.Ctx, dev int) error {
+		place := m.PlacementOf(a.Handle)
+		ids := place.Dist.ServerIDs()
+		sizes := objSizes(stripe.NewRoundRobin(place.Dist.StripeSize, len(ids)), len(ids), a.Size)
+		ferr := m.fanoutConns(ctx, m.connsFor(ids), func(ctx *rpc.Ctx, dev int, conn rpc.Conn) error {
 			var rep IOTruncateRep
-			return m.cfg.IOConns[dev].Call(ctx, ProcIOTruncate,
-				&IOTruncateArgs{Handle: a.Handle, ObjSize: sizes[dev]}, &rep)
+			return conn.Call(ctx, ProcIOTruncate,
+				&IOTruncateArgs{Handle: place.Data, ObjSize: sizes[dev]}, &rep)
 		})
 		if ferr != nil {
 			return &TruncateRep{Errno: fserr.IO}, rpc.StatusOK
@@ -678,6 +796,61 @@ func (m *MetaServer) Handle(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshaler, 
 	}
 	return nil, rpc.StatusProcUnavail
 }
+
+// createObjects creates the datafile objects for handle h on each server of
+// dist, in parallel.
+func (m *MetaServer) createObjects(ctx *rpc.Ctx, h Handle, dist DistParams) error {
+	return m.fanoutConns(ctx, m.connsFor(dist.ServerIDs()), func(ctx *rpc.Ctx, _ int, conn rpc.Conn) error {
+		var rep IOCreateRep
+		if err := conn.Call(ctx, ProcIOCreate, &IOCreateArgs{Handle: h}, &rep); err != nil {
+			return err
+		}
+		return rep.Errno.Err()
+	})
+}
+
+// removeObjects deletes a file's datafile objects.  Both the original and
+// (if migrated) shadow handles are removed, on every registered daemon:
+// source objects deliberately stay behind after a join migration so stale
+// layouts keep reading correct bytes, and remove is where they finally go.
+// Absent objects answer NoEnt, which is ignored like the conn errors here.
+func (m *MetaServer) removeObjects(ctx *rpc.Ctx, h Handle) {
+	handles := []Handle{h}
+	if place := m.PlacementOf(h); place.Data != h {
+		handles = append(handles, place.Data)
+	}
+	m.fanout(ctx, func(ctx *rpc.Ctx, _ int, conn rpc.Conn) error {
+		for _, obj := range handles {
+			var rep IORemoveRep
+			if err := conn.Call(ctx, ProcIORemove, &IORemoveArgs{Handle: obj}, &rep); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	m.mu.Lock()
+	delete(m.placements, h)
+	m.mu.Unlock()
+}
+
+// PrepareMigrate allocates a shadow data handle for h and creates its
+// objects on the current default distribution's servers.  The returned
+// placement is where a migration should copy the file's bytes; nothing is
+// visible to clients until CommitMigrate records it.
+func (m *MetaServer) PrepareMigrate(ctx *rpc.Ctx, h Handle) (Placement, error) {
+	m.mu.Lock()
+	shadow := m.nextShadow
+	m.nextShadow++
+	dist := m.dist
+	m.mu.Unlock()
+	if err := m.createObjects(ctx, shadow, dist); err != nil {
+		return Placement{}, err
+	}
+	return Placement{Data: shadow, Dist: dist}, nil
+}
+
+// CommitMigrate atomically flips h's placement to the migrated copy.
+func (m *MetaServer) CommitMigrate(h Handle, p Placement) { m.SetPlacement(h, p) }
 
 // splitPath resolves the parent directory of path and returns (dirID, name).
 func (m *MetaServer) splitPath(p string) (store.FileID, string, error) {

@@ -64,12 +64,35 @@ type LookupRep struct {
 	IsDir  bool
 	Size   int64
 	Dist   DistParams
+	// Data is the handle addressing the file's stripe objects on the
+	// storage daemons.  It equals Handle for files that have never been
+	// migrated; after a rebalance it names the shadow objects the data was
+	// copied into.  Zero means "same as Handle" (legacy peers).
+	Data Handle
 }
 
 // DistParams carries the file's distribution (aggregation) geometry.
 type DistParams struct {
 	StripeSize int64
 	NumServers uint32
+	// Servers optionally lists the stable storage-server IDs in stripe
+	// order.  Empty means the legacy positional geometry [0..NumServers):
+	// the encoding every pre-membership peer produced.  When set,
+	// len(Servers) == NumServers.
+	Servers []uint32
+}
+
+// ServerIDs returns the stripe-order server IDs, materializing the legacy
+// positional list when Servers is empty.
+func (p DistParams) ServerIDs() []uint32 {
+	if len(p.Servers) > 0 {
+		return p.Servers
+	}
+	ids := make([]uint32, p.NumServers)
+	for i := range ids {
+		ids[i] = uint32(i)
+	}
+	return ids
 }
 
 // CreateArgs creates a regular file; the MDS creates datafile objects on
@@ -81,6 +104,8 @@ type CreateRep struct {
 	Errno  fserr.Errno
 	Handle Handle
 	Dist   DistParams
+	// Data mirrors LookupRep.Data (equal to Handle at creation).
+	Data Handle
 }
 
 // RemoveArgs unlinks a file or empty directory, removing datafiles from
@@ -216,6 +241,7 @@ func (r *LookupRep) MarshalXDR(e *xdr.Encoder) {
 	e.Bool(r.IsDir)
 	e.Int64(r.Size)
 	r.Dist.MarshalXDR(e)
+	e.Uint64(uint64(r.Data))
 }
 
 func (r *LookupRep) UnmarshalXDR(d *xdr.Decoder) error {
@@ -235,12 +261,21 @@ func (r *LookupRep) UnmarshalXDR(d *xdr.Decoder) error {
 	if r.Size, err = d.Int64(); err != nil {
 		return err
 	}
-	return r.Dist.UnmarshalXDR(d)
+	if err = r.Dist.UnmarshalXDR(d); err != nil {
+		return err
+	}
+	dh, err := d.Uint64()
+	r.Data = Handle(dh)
+	return err
 }
 
 func (p *DistParams) MarshalXDR(e *xdr.Encoder) {
 	e.Int64(p.StripeSize)
 	e.Uint32(p.NumServers)
+	e.Uint32(uint32(len(p.Servers)))
+	for _, id := range p.Servers {
+		e.Uint32(id)
+	}
 }
 
 func (p *DistParams) UnmarshalXDR(d *xdr.Decoder) error {
@@ -248,8 +283,26 @@ func (p *DistParams) UnmarshalXDR(d *xdr.Decoder) error {
 	if p.StripeSize, err = d.Int64(); err != nil {
 		return err
 	}
-	p.NumServers, err = d.Uint32()
-	return err
+	if p.NumServers, err = d.Uint32(); err != nil {
+		return err
+	}
+	n, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	if n > 4096 {
+		return xdr.ErrTooLong
+	}
+	p.Servers = nil
+	if n > 0 {
+		p.Servers = make([]uint32, n)
+		for i := range p.Servers {
+			if p.Servers[i], err = d.Uint32(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 func (a *CreateArgs) MarshalXDR(e *xdr.Encoder) { e.String(a.Path) }
@@ -263,6 +316,7 @@ func (r *CreateRep) MarshalXDR(e *xdr.Encoder) {
 	e.Uint32(uint32(r.Errno))
 	e.Uint64(uint64(r.Handle))
 	r.Dist.MarshalXDR(e)
+	e.Uint64(uint64(r.Data))
 }
 
 func (r *CreateRep) UnmarshalXDR(d *xdr.Decoder) error {
@@ -276,7 +330,12 @@ func (r *CreateRep) UnmarshalXDR(d *xdr.Decoder) error {
 		return err
 	}
 	r.Handle = Handle(h)
-	return r.Dist.UnmarshalXDR(d)
+	if err = r.Dist.UnmarshalXDR(d); err != nil {
+		return err
+	}
+	dh, err := d.Uint64()
+	r.Data = Handle(dh)
+	return err
 }
 
 func (a *RemoveArgs) MarshalXDR(e *xdr.Encoder) { e.String(a.Path) }
@@ -607,6 +666,7 @@ func MetaRegistry() *rpc.Registry {
 	reg.Register(ProcRemoveH, func() xdr.Unmarshaler { return &DirOpArgs{} })
 	reg.Register(ProcRenameH, func() xdr.Unmarshaler { return &RenameHArgs{} })
 	reg.Register(ProcReadDirH, func() xdr.Unmarshaler { return &ReadDirHArgs{} })
+	reg.Register(ProcPlacementH, func() xdr.Unmarshaler { return &PlacementHArgs{} })
 	return reg
 }
 

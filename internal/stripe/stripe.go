@@ -317,6 +317,26 @@ func (m *Replicated) Alternates(e Extent) []Extent {
 	return out
 }
 
+// AlternatesLive is Alternates filtered through a liveness predicate: only
+// alternates whose device index live reports as valid are returned.  Under
+// elastic membership a replica's device can depart between the layout fetch
+// and the retry, and a departed device must never be retried — its ID is
+// retired, so the call would either fail again or (worse, with positional
+// IDs) land on an aliased survivor.  A nil live behaves like Alternates.
+func (m *Replicated) AlternatesLive(e Extent, live func(dev int) bool) []Extent {
+	alts := m.Alternates(e)
+	if live == nil {
+		return alts
+	}
+	out := alts[:0]
+	for _, alt := range alts {
+		if live(alt.Dev) {
+			out = append(out, alt)
+		}
+	}
+	return out
+}
+
 // Hierarchical stripes across groups with an outer unit, then across the
 // devices within each group with an inner unit (Clusterfile-style nested
 // striping, paper §4.3 [26]).  Group g owns devices [g*PerGroup,

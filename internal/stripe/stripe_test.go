@@ -162,6 +162,36 @@ func TestReplicatedReadsPickOneCopy(t *testing.T) {
 	}
 }
 
+func TestAlternatesLiveFiltersDepartedReplicas(t *testing.T) {
+	m := NewReplicated(NewRoundRobin(100, 2), 3)
+	e := Extent{Dev: 0, Off: 0, DevOff: 0, Len: 100}
+	// Unfiltered: the other two replicas of device 0 are 2 and 4.
+	all := m.Alternates(e)
+	if len(all) != 2 || all[0].Dev != 2 || all[1].Dev != 4 {
+		t.Fatalf("alternates = %+v, want devs 2 and 4", all)
+	}
+	// A nil predicate behaves like Alternates.
+	if got := m.AlternatesLive(e, nil); len(got) != 2 {
+		t.Fatalf("nil predicate filtered: %+v", got)
+	}
+	// Replica device 2 has departed: it must never be offered as a retry
+	// target, while the still-live device 4 survives with DevOff intact.
+	live := func(dev int) bool { return dev != 2 }
+	got := m.AlternatesLive(e, live)
+	if len(got) != 1 || got[0].Dev != 4 || got[0].DevOff != e.DevOff || got[0].Len != e.Len {
+		t.Fatalf("filtered alternates = %+v, want only dev 4", got)
+	}
+	// All replicas departed: no alternates, so the failover ladder falls
+	// through to its MDS-proxy rung instead of retrying a retired device.
+	if got := m.AlternatesLive(e, func(int) bool { return false }); len(got) != 0 {
+		t.Fatalf("dead cluster still offered alternates: %+v", got)
+	}
+	// The MDS sentinel (Dev < 0) has no alternates to begin with.
+	if got := m.AlternatesLive(Extent{Dev: -1, Len: 100}, live); len(got) != 0 {
+		t.Fatalf("sentinel extent grew alternates: %+v", got)
+	}
+}
+
 func TestHierarchical(t *testing.T) {
 	// 2 groups of 3 devices; outer 300 bytes per group, inner 100.
 	m := NewHierarchical(300, 100, 2, 3)
