@@ -80,6 +80,51 @@ func TestFigureDeterminism(t *testing.T) {
 	}
 }
 
+// TestRebalanceFigureDeterminism extends the same-seed rule to the
+// elastic-membership figure: two runs produce identical series and identical
+// migration counters, the run is non-vacuous (bytes actually migrated), and
+// the figure's contract holds — joining a node never leaves steady-state
+// foreground throughput below the pre-join baseline.
+func TestRebalanceFigureDeterminism(t *testing.T) {
+	archs := []cluster.Arch{cluster.ArchDirectPNFS, cluster.ArchPVFS2}
+	run := func() (Figure, []float64) {
+		reg := metrics.NewRegistry()
+		fig, err := Rebalance(Options{Scale: 0.05, Archs: archs, Metrics: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fig, []float64{
+			counterSum(reg, "rebalance_bytes_total"),
+			counterSum(reg, "rebalance_files_total"),
+			counterSum(reg, "rebalance_reissued_chunks_total"),
+		}
+	}
+	fig1, mig1 := run()
+	fig2, mig2 := run()
+	if !reflect.DeepEqual(fig1, fig2) {
+		t.Errorf("Rebalance figure not deterministic:\n%v\nvs\n%v", fig1, fig2)
+	}
+	if !reflect.DeepEqual(mig1, mig2) {
+		t.Errorf("migration counters not deterministic: %v vs %v", mig1, mig2)
+	}
+	if mig1[0] < 1 || mig1[1] < 1 {
+		t.Errorf("vacuous run: migrated %v bytes across %v files", mig1[0], mig1[1])
+	}
+	// A healthy join re-issues nothing: the fast first pass moves it all.
+	if mig1[2] != 0 {
+		t.Errorf("healthy join re-issued %v chunks, want 0", mig1[2])
+	}
+	for _, s := range fig1.Series {
+		before, after := s.Points[0].Y, s.Points[2].Y
+		if before <= 0 {
+			t.Errorf("%s: no pre-join baseline throughput", s.Label)
+		}
+		if after < before {
+			t.Errorf("%s: post-join steady state %.1f MB/s below the pre-join baseline %.1f", s.Label, after, before)
+		}
+	}
+}
+
 // TestTailFigureDeterminism extends the same-seed rule to the tail-latency
 // figure: two runs produce byte-identical series AND byte-identical hedge
 // counters (launch/win/cancel totals come from seeded coin flips in the

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"sync"
 	"time"
 
 	"dpnfs/internal/fserr"
@@ -101,11 +102,31 @@ func (b *directDSBackend) LayoutCommit(*rpc.Ctx, uint64, int64) error { return n
 // translator.  File sizes are maintained locally from LAYOUTCOMMITs, so
 // GETATTR never ripples into the parallel FS.
 type directMDSBackend struct {
-	meta    *pvfs.MetaServer
+	meta  *pvfs.MetaServer
+	agg   string
+	aggP  []int64
+	proxy *pvfs.Client // fallback I/O path through the MDS
+
+	// mu guards devices and gen: the membership reconciler replaces them
+	// while server processes serve GETDEVICELIST/LAYOUTGET.
+	mu      sync.Mutex
 	devices []pnfs.DeviceInfo
-	agg     string
-	aggP    []int64
-	proxy   *pvfs.Client // fallback I/O path through the MDS
+	gen     uint64
+}
+
+// setDevices replaces the advertised device list and layout generation
+// after a membership change.
+func (b *directMDSBackend) setDevices(devs []pnfs.DeviceInfo, gen uint64) {
+	b.mu.Lock()
+	b.devices = devs
+	b.gen = gen
+	b.mu.Unlock()
+}
+
+func (b *directMDSBackend) snapshot() ([]pnfs.DeviceInfo, uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.devices, b.gen
 }
 
 // metaCall invokes the co-located PVFS2 metadata manager in-process.
@@ -207,15 +228,21 @@ func (b *directMDSBackend) SetSize(ctx *rpc.Ctx, fh uint64, size int64) error {
 
 // Read and Write proxy through the co-located PVFS2 client; they are a
 // fallback only — Direct-pNFS clients hold layouts and go to the data
-// servers directly.
+// servers directly.  The proxy resolves each file's current placement
+// in-process, so it follows migrations.
+func (b *directMDSBackend) openCurrent(fh uint64) *pvfs.File {
+	place := b.meta.PlacementOf(pvfs.Handle(fh))
+	return b.proxy.OpenPlaced(pvfs.Handle(fh), place.Data, place.Dist)
+}
+
 func (b *directMDSBackend) Read(ctx *rpc.Ctx, fh uint64, off, n int64, wantReal bool) (payload.Payload, bool, error) {
-	f := b.proxy.OpenHandle(pvfs.Handle(fh), b.meta.Dist())
+	f := b.openCurrent(fh)
 	data, got, err := b.proxy.Read(ctx, f, off, n, wantReal)
 	return data, got < n, err
 }
 
 func (b *directMDSBackend) Write(ctx *rpc.Ctx, fh uint64, off int64, data payload.Payload, stable bool) (int64, error) {
-	f := b.proxy.OpenHandle(pvfs.Handle(fh), b.meta.Dist())
+	f := b.openCurrent(fh)
 	size, err := b.proxy.Write(ctx, f, off, data, stable)
 	if err == nil {
 		b.meta.Namespace().SetSize(store.FileID(fh), size)
@@ -224,41 +251,60 @@ func (b *directMDSBackend) Write(ctx *rpc.Ctx, fh uint64, off int64, data payloa
 }
 
 func (b *directMDSBackend) Commit(ctx *rpc.Ctx, fh uint64) error {
-	f := b.proxy.OpenHandle(pvfs.Handle(fh), b.meta.Dist())
-	return b.proxy.Sync(ctx, f)
+	return b.proxy.Sync(ctx, b.openCurrent(fh))
 }
 
 func (b *directMDSBackend) DevList(*rpc.Ctx) ([]pnfs.DeviceInfo, error) {
-	return b.devices, nil
+	devs, _ := b.snapshot()
+	return devs, nil
 }
 
 // LayoutGet translates the parallel FS's native layout into a pNFS
 // file-based layout (paper §4.2): exact distribution, direct offsets.
+// Under the default round-robin aggregation the layout comes from the
+// file's own placement — stable device IDs, the datafile handle, and the
+// current layout generation — so it stays exact across membership changes.
 func (b *directMDSBackend) LayoutGet(ctx *rpc.Ctx, fh uint64) (*pnfs.FileLayout, error) {
-	agg := b.agg
-	params := b.aggP
-	if agg == "" {
-		agg = pnfs.AggRoundRobin
-		params = []int64{b.meta.Dist().StripeSize}
-	}
-	nodes := make([]string, len(b.devices))
-	for i, d := range b.devices {
-		nodes[i] = d.Addr
-	}
-	native := pnfs.NativeLayout{
-		Aggregation:  agg,
-		Params:       params,
-		StorageNodes: nodes,
-		ObjectHandle: fh,
-	}
-	return pnfs.Translate(native, func(node string) (pnfs.DeviceID, bool) {
-		for _, d := range b.devices {
-			if d.Addr == node {
-				return d.ID, true
-			}
+	devices, gen := b.snapshot()
+	if b.agg != "" {
+		// Custom aggregation drivers keep the whole-cluster translation;
+		// membership changes refuse to run alongside them.
+		nodes := make([]string, len(devices))
+		for i, d := range devices {
+			nodes[i] = d.Addr
 		}
-		return 0, false
-	})
+		native := pnfs.NativeLayout{
+			Aggregation:  b.agg,
+			Params:       b.aggP,
+			StorageNodes: nodes,
+			ObjectHandle: fh,
+		}
+		l, err := pnfs.Translate(native, func(node string) (pnfs.DeviceID, bool) {
+			for _, d := range devices {
+				if d.Addr == node {
+					return d.ID, true
+				}
+			}
+			return 0, false
+		})
+		if err != nil {
+			return nil, err
+		}
+		l.Gen = gen
+		return l, nil
+	}
+	place := b.meta.PlacementOf(pvfs.Handle(fh))
+	l := &pnfs.FileLayout{
+		Aggregation: pnfs.AggRoundRobin,
+		Params:      []int64{place.Dist.StripeSize},
+		Direct:      true,
+		Gen:         gen,
+	}
+	for _, id := range place.Dist.ServerIDs() {
+		l.Devices = append(l.Devices, pnfs.DeviceID(id))
+		l.FHs = append(l.FHs, uint64(place.Data))
+	}
+	return l, nil
 }
 
 // LayoutCommit records the client-reported size in the MDS namespace
@@ -278,9 +324,35 @@ func (b *directMDSBackend) LayoutCommit(ctx *rpc.Ctx, fh uint64, newSize int64) 
 // unit u land on the data server one past the storage node that actually
 // holds it (the general, misaligned case the paper measures).
 type blindLayouts struct {
+	// mu guards devices and gen against the membership reconciler.
+	mu      sync.Mutex
 	stripe  int64
 	devices []pnfs.DeviceInfo
 	shift   int
+	gen     uint64
+}
+
+func (bl *blindLayouts) snapshot() ([]pnfs.DeviceInfo, uint64) {
+	bl.mu.Lock()
+	defer bl.mu.Unlock()
+	return bl.devices, bl.gen
+}
+
+// set replaces the device list and layout generation (2-tier membership,
+// where data servers ride the storage nodes).
+func (bl *blindLayouts) set(devs []pnfs.DeviceInfo, gen uint64) {
+	bl.mu.Lock()
+	bl.devices = devs
+	bl.gen = gen
+	bl.mu.Unlock()
+}
+
+// setGen bumps only the generation (3-tier membership: the data-server tier
+// is unchanged but clients must refetch layouts).
+func (bl *blindLayouts) setGen(gen uint64) {
+	bl.mu.Lock()
+	bl.gen = gen
+	bl.mu.Unlock()
 }
 
 // exportBackend serves NFS from a PVFS2 client — the single-server NFSv4
@@ -296,6 +368,58 @@ type exportBackend struct {
 	node    *simnet.Node
 	dist    pvfs.DistParams
 	layouts *blindLayouts // non-nil on the pNFS MDS of 2/3-tier setups
+
+	// Placement-aware (dynamic) mode: off until the first membership change
+	// — the legacy static-distribution fast path keeps pre-membership runs
+	// byte-identical.  Once on, every data op resolves the file's current
+	// placement through PLACEMENT_H, cached per handle until the next
+	// generation bump.
+	mu       sync.Mutex
+	dynamic  bool
+	placeGen uint64
+	places   map[pvfs.Handle]cachedPlace
+}
+
+type cachedPlace struct {
+	data pvfs.Handle
+	dist pvfs.DistParams
+	gen  uint64
+}
+
+// setDynamic switches the export to placement-aware mode at generation gen,
+// invalidating the per-handle placement cache.
+func (b *exportBackend) setDynamic(gen uint64) {
+	b.mu.Lock()
+	b.dynamic = true
+	b.placeGen = gen
+	b.mu.Unlock()
+}
+
+// openCurrent opens fh for data access: the static distribution before any
+// membership change, the file's live placement after.
+func (b *exportBackend) openCurrent(ctx *rpc.Ctx, fh uint64) (*pvfs.File, error) {
+	h := pvfs.Handle(fh)
+	b.mu.Lock()
+	dyn, gen := b.dynamic, b.placeGen
+	cp, ok := b.places[h]
+	b.mu.Unlock()
+	if !dyn {
+		return b.pv.OpenHandle(h, b.dist), nil
+	}
+	if ok && cp.gen == gen {
+		return b.pv.OpenPlaced(h, cp.data, cp.dist), nil
+	}
+	data, dist, err := b.pv.PlacementH(ctx, h)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	if b.places == nil {
+		b.places = make(map[pvfs.Handle]cachedPlace)
+	}
+	b.places[h] = cachedPlace{data: data, dist: dist, gen: gen}
+	b.mu.Unlock()
+	return b.pv.OpenPlaced(h, data, dist), nil
 }
 
 const (
@@ -366,19 +490,28 @@ func (b *exportBackend) SetSize(ctx *rpc.Ctx, fh uint64, size int64) error {
 // access.
 func (b *exportBackend) Read(ctx *rpc.Ctx, fh uint64, off, n int64, wantReal bool) (payload.Payload, bool, error) {
 	b.conduit(ctx, exportReadPerMB, n)
-	f := b.pv.OpenHandle(pvfs.Handle(fh), b.dist)
+	f, err := b.openCurrent(ctx, fh)
+	if err != nil {
+		return payload.Payload{}, false, err
+	}
 	data, got, err := b.pv.Read(ctx, f, off, n, wantReal)
 	return data, got < n, err
 }
 
 func (b *exportBackend) Write(ctx *rpc.Ctx, fh uint64, off int64, data payload.Payload, stable bool) (int64, error) {
 	b.conduit(ctx, exportWritePerMB, data.Len())
-	f := b.pv.OpenHandle(pvfs.Handle(fh), b.dist)
+	f, err := b.openCurrent(ctx, fh)
+	if err != nil {
+		return 0, err
+	}
 	return b.pv.Write(ctx, f, off, data, stable)
 }
 
 func (b *exportBackend) Commit(ctx *rpc.Ctx, fh uint64) error {
-	f := b.pv.OpenHandle(pvfs.Handle(fh), b.dist)
+	f, err := b.openCurrent(ctx, fh)
+	if err != nil {
+		return err
+	}
 	return b.pv.Sync(ctx, f)
 }
 
@@ -386,21 +519,24 @@ func (b *exportBackend) DevList(*rpc.Ctx) ([]pnfs.DeviceInfo, error) {
 	if b.layouts == nil {
 		return nil, nfs.ErrNoPNFS
 	}
-	return b.layouts.devices, nil
+	devs, _ := b.layouts.snapshot()
+	return devs, nil
 }
 
 func (b *exportBackend) LayoutGet(ctx *rpc.Ctx, fh uint64) (*pnfs.FileLayout, error) {
 	if b.layouts == nil {
 		return nil, nfs.ErrNoPNFS
 	}
+	devs, gen := b.layouts.snapshot()
 	l := &pnfs.FileLayout{
 		Aggregation: pnfs.AggRoundRobin,
 		Params:      []int64{b.layouts.stripe},
 		Direct:      false,
+		Gen:         gen,
 	}
-	n := len(b.layouts.devices)
-	for i := range b.layouts.devices {
-		d := b.layouts.devices[(i+b.layouts.shift)%n]
+	n := len(devs)
+	for i := range devs {
+		d := devs[(i+b.layouts.shift)%n]
 		l.Devices = append(l.Devices, d.ID)
 		l.FHs = append(l.FHs, fh)
 	}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"dpnfs/internal/faults"
+	"dpnfs/internal/ioengine"
 	"dpnfs/internal/metrics"
 	"dpnfs/internal/nfs"
 	"dpnfs/internal/pnfs"
@@ -231,6 +232,44 @@ type Cluster struct {
 	disarmed      bool
 	diskByNode    map[string]*simdisk.Disk
 	storageByNode map[string]*pvfs.StorageServer
+	skippedFaults *metrics.CounterVec
+
+	// Membership state (elastic join/drain, membership.go).  devIDs maps a
+	// node name to its stable pNFS device ID: allocated on first sight,
+	// never reused after the node departs (see the device-ID stability note
+	// in package pnfs).
+	memberMu     sync.Mutex
+	devIDs       map[string]pnfs.DeviceID
+	nextDevID    uint32
+	members      map[string]*member
+	layoutGen    uint64
+	pendingOps   []memberOp
+	reconcileErr error
+	memberGauge  *metrics.GaugeVec
+
+	// Rebalance bookkeeping: virtual-time window of the last migration and
+	// the test hooks the crash-during-drain suite uses (membership.go).
+	migStart, migEnd  time.Duration
+	migChunkHook      func(file, chunk int)
+	migReissueHook    func()
+	rebalanceBytes    *metrics.Counter
+	rebalanceFiles    *metrics.Counter
+	rebalanceReissued *metrics.Counter
+
+	// Client/backend registries the reconciler pushes topology changes to.
+	pvClients  []pvClientRef
+	nfsClients []*nfs.Client
+	exports    []*exportBackend
+	directMDS  *directMDSBackend
+	blind      *blindLayouts
+	nodeByName map[string]*simnet.Node
+}
+
+// pvClientRef remembers which node a PVFS2 client library lives on, so a
+// join can dial it a conn to the new storage server.
+type pvClientRef struct {
+	c    *pvfs.Client
+	node *simnet.Node
 }
 
 // New builds a cluster for the configuration.
@@ -246,7 +285,22 @@ func New(cfg Config) *Cluster {
 		Cfg: cfg, K: k, Fabric: f,
 		diskByNode:    make(map[string]*simdisk.Disk),
 		storageByNode: make(map[string]*pvfs.StorageServer),
+		devIDs:        make(map[string]pnfs.DeviceID),
+		members:       make(map[string]*member),
+		nodeByName:    make(map[string]*simnet.Node),
 	}
+	cl.skippedFaults = cfg.Metrics.CounterVec("faults_skipped_total",
+		"Fault events skipped because the target node is drained or unknown, by event kind and target node.",
+		"kind", "node")
+	cl.memberGauge = cfg.Metrics.GaugeVec("cluster_members",
+		"Storage-node membership by state (active, draining, removed).",
+		"state")
+	cl.rebalanceBytes = cfg.Metrics.Counter("rebalance_bytes_total",
+		"Bytes copied onto their new placement by membership rebalances.")
+	cl.rebalanceFiles = cfg.Metrics.Counter("rebalance_files_total",
+		"Files whose placement a membership rebalance moved.")
+	cl.rebalanceReissued = cfg.Metrics.Counter("rebalance_reissued_chunks_total",
+		"Migration chunks re-issued by the second (patient) rebalance pass.")
 	switch cfg.Transport {
 	case TransportTCP:
 		tr := rpc.NewTCPTransport(0)
@@ -306,6 +360,15 @@ func (cl *Cluster) dial(from, to, service string) rpc.Conn {
 	return conn
 }
 
+// addNode creates a fabric node and records it in the cluster's node
+// registry (the registry is what lets fault injection distinguish "known
+// node" from "typo or departed member").
+func (cl *Cluster) addNode(cfg simnet.NodeConfig) *simnet.Node {
+	n := cl.Fabric.AddNode(cfg)
+	cl.nodeByName[n.Name] = n
+	return n
+}
+
 // buildBackend creates the PVFS2 storage nodes and metadata manager.  The
 // metadata manager runs on storage node 0 ("one storage node doubling as a
 // metadata manager", §6.1).
@@ -313,28 +376,11 @@ func (cl *Cluster) buildBackend(nodes int, diskScale float64) {
 	cfg := cl.Cfg
 	var ioConnsFromMDS []rpc.Conn
 	for i := 0; i < nodes; i++ {
-		n := cl.Fabric.AddNode(simnet.NodeConfig{
+		n := cl.addNode(simnet.NodeConfig{
 			Name:        fmt.Sprintf("io%d", i),
 			BytesPerSec: cfg.NetBPS,
 		})
-		cl.storageNodes = append(cl.storageNodes, n)
-		dcfg := cfg.Disk
-		dcfg.Name = n.Name + "/disk"
-		if dcfg.ReadBPS == 0 {
-			dcfg = simdisk.DefaultConfig(dcfg.Name)
-		}
-		dcfg.ReadBPS *= diskScale
-		dcfg.WriteBPS *= diskScale
-		disk := simdisk.New(dcfg)
-		cl.Disks = append(cl.Disks, disk)
-		cl.diskByNode[n.Name] = disk
-		ss := pvfs.NewStorageServer(pvfs.StorageConfig{
-			Transport: cl.tr, Node: n, Disk: disk, Costs: cfg.PVFSCosts,
-			Metrics: cfg.Metrics,
-			Store:   cfg.ContentBackend(n.Name, disk, cfg.Metrics),
-		})
-		cl.Storage = append(cl.Storage, ss)
-		cl.storageByNode[n.Name] = ss
+		cl.addStorageSubstrate(n, diskScale)
 	}
 	cl.mdsNode = cl.storageNodes[0]
 	for _, n := range cl.storageNodes {
@@ -347,19 +393,83 @@ func (cl *Cluster) buildBackend(nodes int, diskScale float64) {
 		Metrics: cfg.Metrics,
 		Store:   cfg.MetadataBackend("mds", cl.diskByNode[cl.mdsNode.Name], cfg.Metrics),
 	})
+	cl.updateMemberGauges()
+}
+
+// addStorageSubstrate attaches a disk, an object store (via the configured
+// backend factory), and a PVFS2 storage daemon to node n, and registers the
+// node as an active member with a freshly allocated stable device ID.
+func (cl *Cluster) addStorageSubstrate(n *simnet.Node, diskScale float64) *pvfs.StorageServer {
+	cfg := cl.Cfg
+	cl.storageNodes = append(cl.storageNodes, n)
+	dcfg := cfg.Disk
+	dcfg.Name = n.Name + "/disk"
+	if dcfg.ReadBPS == 0 {
+		dcfg = simdisk.DefaultConfig(dcfg.Name)
+	}
+	dcfg.ReadBPS *= diskScale
+	dcfg.WriteBPS *= diskScale
+	disk := simdisk.New(dcfg)
+	cl.Disks = append(cl.Disks, disk)
+	cl.diskByNode[n.Name] = disk
+	ss := pvfs.NewStorageServer(pvfs.StorageConfig{
+		Transport: cl.tr, Node: n, Disk: disk, Costs: cfg.PVFSCosts,
+		Metrics: cfg.Metrics,
+		Store:   cfg.ContentBackend(n.Name, disk, cfg.Metrics),
+	})
+	cl.Storage = append(cl.Storage, ss)
+	cl.storageByNode[n.Name] = ss
+	cl.members[n.Name] = &member{node: n, id: cl.devIDFor(n.Name), state: memberActive}
+	return ss
+}
+
+// devIDFor returns the node's stable pNFS device ID, allocating the next
+// free ID on first sight.  IDs are handed out in first-sight order — so the
+// initial build matches the historical positional numbering — and are never
+// reused, even after the node drains.
+func (cl *Cluster) devIDFor(name string) pnfs.DeviceID {
+	if id, ok := cl.devIDs[name]; ok {
+		return id
+	}
+	id := pnfs.DeviceID(cl.nextDevID)
+	cl.nextDevID++
+	cl.devIDs[name] = id
+	return id
 }
 
 // pvfsClientAt builds a PVFS2 client library instance on the given node.
+// Every client is recorded in pvClients so a later join can hand it a conn
+// to the new storage server.
 func (cl *Cluster) pvfsClientAt(n *simnet.Node) *pvfs.Client {
+	c := cl.pvfsClientWith(n, 0, "", rpc.RetryPolicy{})
+	cl.pvClients = append(cl.pvClients, pvClientRef{c: c, node: n})
+	return c
+}
+
+// pvfsClientWith builds a PVFS2 client on n with an explicit QoS class,
+// issuer label, and retry policy (zero values keep the foreground/"pvfs"/
+// default-retry behaviour).  The client's IO conns are keyed by stable
+// server ID, so its files keep addressing the right daemons across
+// membership changes.
+func (cl *Cluster) pvfsClientWith(n *simnet.Node, class ioengine.Class, issuer string, retry rpc.RetryPolicy) *pvfs.Client {
 	var io []rpc.Conn
+	var ids []uint32
 	for _, s := range cl.storageNodes {
+		if m := cl.members[s.Name]; m != nil && m.state == memberRemoved {
+			continue
+		}
 		io = append(io, cl.dial(n.Name, s.Name, pvfs.ServiceIO))
+		ids = append(ids, uint32(cl.devIDFor(s.Name)))
 	}
 	return pvfs.NewClient(pvfs.ClientConfig{
 		Node:            n,
 		Costs:           cl.Cfg.PVFSCosts,
 		Meta:            cl.dial(n.Name, cl.mdsNode.Name, pvfs.ServiceMeta),
 		IO:              io,
+		IOIDs:           ids,
+		Class:           class,
+		Issuer:          issuer,
+		Retry:           retry,
 		MaxFlight:       cl.Cfg.MaxFlight,
 		MaxTransfer:     cl.Cfg.MaxTransfer,
 		Wave:            cl.Cfg.IOWave,
@@ -375,15 +485,17 @@ func (cl *Cluster) pvfsClientAt(n *simnet.Node) *pvfs.Client {
 
 // clientNode creates the i-th application client node.
 func (cl *Cluster) clientNode(i int) *simnet.Node {
-	return cl.Fabric.AddNode(simnet.NodeConfig{
+	return cl.addNode(simnet.NodeConfig{
 		Name:        fmt.Sprintf("c%d", i),
 		BytesPerSec: cl.Cfg.NetBPS,
 	})
 }
 
-// nfsMountAt builds an NFSv4.1 mount on node n against the MDS node.
+// nfsMountAt builds an NFSv4.1 mount on node n against the MDS node.  The
+// client is recorded in nfsClients so the membership reconciler can recall
+// its layouts (the in-process stand-in for CB_LAYOUTRECALL).
 func (cl *Cluster) nfsMountAt(n *simnet.Node, mdsNode *simnet.Node) *nfs.Client {
-	return nfs.NewClient(nfs.ClientConfig{
+	c := nfs.NewClient(nfs.ClientConfig{
 		Fabric: cl.Fabric, Node: n, Costs: cl.Cfg.NFSCosts,
 		Name: n.Name,
 		MDS:  cl.dial(n.Name, mdsNode.Name, ServiceMDS),
@@ -404,6 +516,8 @@ func (cl *Cluster) nfsMountAt(n *simnet.Node, mdsNode *simnet.Node) *nfs.Client 
 		Real:            cl.Cfg.Real,
 		Metrics:         cl.Cfg.Metrics,
 	})
+	cl.nfsClients = append(cl.nfsClients, c)
+	return c
 }
 
 // buildDirect wires Direct-pNFS: an NFS data server on every storage node
@@ -424,6 +538,7 @@ func (cl *Cluster) buildDirect() {
 		aggP:    cl.Cfg.AggParams,
 		proxy:   cl.pvfsClientAt(cl.mdsNode),
 	}
+	cl.directMDS = mdsBackend
 	nfsServeOn(cl, cl.mdsNode, ServiceMDS, mdsBackend)
 	for i := 0; i < cl.Cfg.Clients; i++ {
 		n := cl.clientNode(i)
@@ -443,14 +558,16 @@ func (cl *Cluster) buildPVFS2() {
 // storage nodes but striping blindly over logical offsets.
 func (cl *Cluster) build2Tier() {
 	for _, n := range cl.storageNodes {
-		nfsServeOn(cl, n, ServiceDS, &exportBackend{pv: cl.pvfsClientAt(n), node: n, dist: cl.PVFSMeta.Dist()})
+		cl.exportDSOn(n)
 	}
+	cl.blind = &blindLayouts{stripe: cl.Cfg.WSize, devices: cl.deviceList(cl.storageNodes), shift: 1}
 	mds := &exportBackend{
 		pv:      cl.pvfsClientAt(cl.mdsNode),
 		node:    cl.mdsNode,
 		dist:    cl.PVFSMeta.Dist(),
-		layouts: &blindLayouts{stripe: cl.Cfg.WSize, devices: cl.deviceList(cl.storageNodes), shift: 1},
+		layouts: cl.blind,
 	}
+	cl.exports = append(cl.exports, mds)
 	nfsServeOn(cl, cl.mdsNode, ServiceMDS, mds)
 	for i := 0; i < cl.Cfg.Clients; i++ {
 		n := cl.clientNode(i)
@@ -464,19 +581,21 @@ func (cl *Cluster) build3Tier() {
 	nDS := cl.Cfg.Backends - len(cl.storageNodes)
 	var dsNodes []*simnet.Node
 	for i := 0; i < nDS; i++ {
-		n := cl.Fabric.AddNode(simnet.NodeConfig{
+		n := cl.addNode(simnet.NodeConfig{
 			Name:        fmt.Sprintf("ds%d", i),
 			BytesPerSec: cl.Cfg.NetBPS,
 		})
 		dsNodes = append(dsNodes, n)
-		nfsServeOn(cl, n, ServiceDS, &exportBackend{pv: cl.pvfsClientAt(n), node: n, dist: cl.PVFSMeta.Dist()})
+		cl.exportDSOn(n)
 	}
+	cl.blind = &blindLayouts{stripe: cl.Cfg.WSize, devices: cl.deviceList(dsNodes), shift: 1}
 	mds := &exportBackend{
 		pv:      cl.pvfsClientAt(dsNodes[0]),
 		node:    dsNodes[0],
 		dist:    cl.PVFSMeta.Dist(),
-		layouts: &blindLayouts{stripe: cl.Cfg.WSize, devices: cl.deviceList(dsNodes), shift: 1},
+		layouts: cl.blind,
 	}
+	cl.exports = append(cl.exports, mds)
 	nfsServeOn(cl, dsNodes[0], ServiceMDS, mds)
 	for i := 0; i < cl.Cfg.Clients; i++ {
 		n := cl.clientNode(i)
@@ -486,21 +605,36 @@ func (cl *Cluster) build3Tier() {
 
 // buildNFSv4 wires the single-server export.
 func (cl *Cluster) buildNFSv4() {
-	srv := cl.Fabric.AddNode(simnet.NodeConfig{Name: "nfssrv", BytesPerSec: cl.Cfg.NetBPS})
-	nfsServeOn(cl, srv, ServiceMDS, &exportBackend{pv: cl.pvfsClientAt(srv), node: srv, dist: cl.PVFSMeta.Dist()})
+	srv := cl.addNode(simnet.NodeConfig{Name: "nfssrv", BytesPerSec: cl.Cfg.NetBPS})
+	b := &exportBackend{pv: cl.pvfsClientAt(srv), node: srv, dist: cl.PVFSMeta.Dist()}
+	cl.exports = append(cl.exports, b)
+	nfsServeOn(cl, srv, ServiceMDS, b)
 	for i := 0; i < cl.Cfg.Clients; i++ {
 		n := cl.clientNode(i)
 		cl.mounts = append(cl.mounts, &Mount{cl: cl, node: n, nfsc: cl.nfsMountAt(n, srv)})
 	}
 }
 
-// deviceList builds pNFS device infos for a node set.
+// deviceList builds pNFS device infos for a node set.  IDs come from the
+// stable per-node registry, not the slice position: a device list rebuilt
+// after a drain keeps every survivor under its original ID, and a list
+// extended by a join gives the newcomer a never-before-seen ID.
 func (cl *Cluster) deviceList(nodes []*simnet.Node) []pnfs.DeviceInfo {
 	out := make([]pnfs.DeviceInfo, len(nodes))
 	for i, n := range nodes {
-		out[i] = pnfs.DeviceInfo{ID: pnfs.DeviceID(i), Addr: n.Name}
+		out[i] = pnfs.DeviceInfo{ID: cl.devIDFor(n.Name), Addr: n.Name}
 	}
 	return out
+}
+
+// exportDSOn registers a file-based pNFS data server on node n: an NFS
+// server whose backend re-exports the PVFS2 file system through a client
+// library instance (logical offsets, no layout knowledge).
+func (cl *Cluster) exportDSOn(n *simnet.Node) *exportBackend {
+	b := &exportBackend{pv: cl.pvfsClientAt(n), node: n, dist: cl.PVFSMeta.Dist()}
+	cl.exports = append(cl.exports, b)
+	nfsServeOn(cl, n, ServiceDS, b)
+	return b
 }
 
 // nfsServeOn registers an NFS server for a backend under an explicit
@@ -520,11 +654,17 @@ func (cl *Cluster) Mounts() []*Mount { return cl.mounts }
 // metadata manager.  The list is identical in spirit across architectures
 // ("io1", "io2", ...), so one plan drives all five.
 func (cl *Cluster) FaultCandidates() []string {
+	cl.memberMu.Lock()
+	defer cl.memberMu.Unlock()
 	var out []string
 	for _, n := range cl.storageNodes {
-		if n != cl.mdsNode {
-			out = append(out, n.Name)
+		if n == cl.mdsNode {
+			continue
 		}
+		if m := cl.members[n.Name]; m != nil && m.state == memberRemoved {
+			continue
+		}
+		out = append(out, n.Name)
 	}
 	return out
 }
@@ -548,10 +688,30 @@ func (cl *Cluster) armedInjector() *faults.Injector {
 	return cl.injector
 }
 
+// faultTargetable reports whether a fault event may touch the named node:
+// it must be one the cluster built and must not have been drained away by
+// membership.  Unknown and departed targets are counted no-ops
+// (faults_skipped_total) rather than fabric-lookup panics — a fault plan
+// outlives the topology it was written against.
+func (cl *Cluster) faultTargetable(kind, node string) bool {
+	cl.memberMu.Lock()
+	_, known := cl.nodeByName[node]
+	m := cl.members[node]
+	cl.memberMu.Unlock()
+	if known && (m == nil || m.state != memberRemoved) {
+		return true
+	}
+	cl.skippedFaults.With(kind, node).Inc()
+	return false
+}
+
 // SetNodeDown implements faults.Target.  On the simulated fabric the node
 // itself is marked down (the rpc layer turns calls to it into retryable
 // timeouts); in TCP mode the transport gates every conn dialed to the node.
 func (cl *Cluster) SetNodeDown(node string, down bool) {
+	if !cl.faultTargetable("node-down", node) {
+		return
+	}
 	if tcp, ok := cl.tr.(*rpc.TCPTransport); ok {
 		tcp.SetNodeDown(node, down)
 		return
@@ -563,6 +723,9 @@ func (cl *Cluster) SetNodeDown(node string, down bool) {
 // Link faults are a property of the simulated network model; in TCP mode
 // (real sockets) they are a no-op.
 func (cl *Cluster) SetLink(node string, loss float64, extraRTT time.Duration) {
+	if !cl.faultTargetable("link", node) {
+		return
+	}
 	if _, ok := cl.tr.(*rpc.TCPTransport); ok {
 		return
 	}
@@ -570,14 +733,20 @@ func (cl *Cluster) SetLink(node string, loss float64, extraRTT time.Duration) {
 }
 
 // SetDiskSlow implements faults.Target: scales the node's disk service
-// time.  Disks are simulated-only state, so this is a no-op in TCP mode
-// and on nodes without a disk (dedicated data servers, clients).
+// time.  Disks are simulated-only state, so this is a no-op in TCP mode;
+// targets without a disk (dedicated data servers, clients, drained nodes)
+// are counted no-ops like any other untargetable node.
 func (cl *Cluster) SetDiskSlow(node string, factor float64) {
+	if !cl.faultTargetable("disk-slow", node) {
+		return
+	}
 	if _, ok := cl.tr.(*rpc.TCPTransport); ok {
 		return
 	}
 	if d, ok := cl.diskByNode[node]; ok {
 		d.SetSlowFactor(factor)
+	} else {
+		cl.skippedFaults.With("disk-slow", node).Inc()
 	}
 }
 
@@ -618,6 +787,24 @@ func (cl *Cluster) runSubsetInner(mounts []*Mount, fn func(ctx *rpc.Ctx, m *Moun
 			for _, ev := range events {
 				p.SleepUntilTime(start + sim.Time(ev.When()))
 				inj.Apply(ev)
+			}
+		})
+	}
+	if ops := cl.takePendingOps(); len(ops) > 0 {
+		// The membership reconciler runs as its own simulated process,
+		// applying each scheduled join/drain relative to this run's start
+		// (same shape as the fault driver above).  Errors are recorded on
+		// the cluster — applications keep running through them, exactly as
+		// they would through a failed operator action.
+		cl.K.Go("reconcile-driver", func(p *sim.Proc) {
+			ctx := &rpc.Ctx{P: p}
+			for _, op := range ops {
+				p.SleepUntilTime(start + sim.Time(op.at))
+				if err := cl.applyMemberOp(ctx, op); err != nil {
+					cl.memberMu.Lock()
+					cl.reconcileErr = err
+					cl.memberMu.Unlock()
+				}
 			}
 		})
 	}

@@ -1,0 +1,314 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"dpnfs/internal/faults"
+	"dpnfs/internal/payload"
+	"dpnfs/internal/pnfs"
+	"dpnfs/internal/rpc"
+)
+
+// memberPattern is the per-file corpus the membership tests write and then
+// demand back byte-identically after the topology has changed underneath it.
+func memberPattern(i, size int) []byte {
+	data := make([]byte, size)
+	for j := range data {
+		data[j] = byte((j*7 + i*13) % 251)
+	}
+	return data
+}
+
+// writeMemberCorpus writes each client's pattern file and syncs it.
+func writeMemberCorpus(cl *Cluster, size int) error {
+	_, err := cl.Run(func(ctx *rpc.Ctx, m *Mount, i int) error {
+		f, err := m.Create(ctx, fmt.Sprintf("/member.%d", i))
+		if err != nil {
+			return err
+		}
+		if err := m.Write(ctx, f, 0, payload.Real(memberPattern(i, size))); err != nil {
+			return err
+		}
+		if err := m.Fsync(ctx, f); err != nil {
+			return err
+		}
+		return m.Close(ctx, f)
+	})
+	return err
+}
+
+// verifyMemberCorpus reads every pattern file back through the full protocol
+// stack and compares bytes.
+func verifyMemberCorpus(cl *Cluster, size int) error {
+	_, err := cl.Run(func(ctx *rpc.Ctx, m *Mount, i int) error {
+		f, err := m.Open(ctx, fmt.Sprintf("/member.%d", i))
+		if err != nil {
+			return fmt.Errorf("reopen: %w", err)
+		}
+		want := memberPattern(i, size)
+		got, n, err := m.Read(ctx, f, 0, int64(size))
+		if err != nil || n != int64(size) {
+			return fmt.Errorf("read: n=%d err=%v", n, err)
+		}
+		if !bytes.Equal(got.Bytes, want) {
+			return fmt.Errorf("data corrupted after membership change")
+		}
+		return m.Close(ctx, f)
+	})
+	return err
+}
+
+func TestJoinWidensClusterAndPreservesData(t *testing.T) {
+	const size = 300_000
+	for _, arch := range Archs {
+		arch := arch
+		t.Run(string(arch), func(t *testing.T) {
+			cl := New(Config{Arch: arch, Clients: 2, Real: true, StripeSize: 64 << 10})
+			defer cl.Close()
+			if err := writeMemberCorpus(cl, size); err != nil {
+				t.Fatal(err)
+			}
+			before := len(cl.activeNodes())
+			if err := cl.AddStorageNode("io9", 0); err != nil {
+				t.Fatal(err)
+			}
+			if err := cl.Reconcile(); err != nil {
+				t.Fatal(err)
+			}
+			if got := len(cl.activeNodes()); got != before+1 {
+				t.Fatalf("active members %d, want %d", got, before+1)
+			}
+			if cl.rebalanceBytes.Value() == 0 {
+				t.Fatal("join migrated no bytes")
+			}
+			if cl.rebalanceFiles.Value() == 0 {
+				t.Fatal("join moved no files")
+			}
+			if err := verifyMemberCorpus(cl, size); err != nil {
+				t.Fatal(err)
+			}
+			// New data spreads onto the joined node's daemon.
+			if _, err := cl.Run(func(ctx *rpc.Ctx, m *Mount, i int) error {
+				f, err := m.Create(ctx, fmt.Sprintf("/post.%d", i))
+				if err != nil {
+					return err
+				}
+				if err := m.Write(ctx, f, 0, payload.Synthetic(1<<20)); err != nil {
+					return err
+				}
+				if err := m.Fsync(ctx, f); err != nil {
+					return err
+				}
+				return m.Close(ctx, f)
+			}); err != nil {
+				t.Fatal(err)
+			}
+			joined := cl.storageByNode["io9"]
+			if joined == nil {
+				t.Fatal("joined node has no storage daemon")
+			}
+			at, err := cl.PVFSMeta.Namespace().LookupPath("/post.0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if joined.ObjectSize(pvfsHandle(at.ID)) == 0 {
+				t.Fatal("post-join writes put no bytes on the joined node")
+			}
+		})
+	}
+}
+
+func TestDrainRetiresDeviceIDAndPreservesData(t *testing.T) {
+	const size = 300_000
+	for _, arch := range Archs {
+		arch := arch
+		t.Run(string(arch), func(t *testing.T) {
+			cl := New(Config{Arch: arch, Clients: 2, Real: true, StripeSize: 64 << 10})
+			defer cl.Close()
+			if err := writeMemberCorpus(cl, size); err != nil {
+				t.Fatal(err)
+			}
+			drainedID, ok := cl.devIDs["io1"]
+			if !ok {
+				t.Fatal("io1 has no device ID")
+			}
+			survivorIDs := map[string]uint32{}
+			for name, id := range cl.devIDs {
+				if name != "io1" {
+					survivorIDs[name] = uint32(id)
+				}
+			}
+			if err := cl.DrainNode("io1", 0); err != nil {
+				t.Fatal(err)
+			}
+			if err := cl.Reconcile(); err != nil {
+				t.Fatal(err)
+			}
+			if st := cl.members["io1"].state; st != memberRemoved {
+				t.Fatalf("io1 state %v after drain, want removed", st)
+			}
+			// Survivors keep their stable IDs: a drain must never re-index
+			// the remaining devices (the positional-aliasing bug).
+			for name, want := range survivorIDs {
+				if got := uint32(cl.devIDs[name]); got != want {
+					t.Fatalf("%s device ID changed %d -> %d across drain", name, want, got)
+				}
+			}
+			// The drained name may not rejoin: its device ID is retired.
+			if err := cl.AddStorageNode("io1", 0); err == nil {
+				t.Fatal("re-adding a drained node name was accepted")
+			}
+			// A fresh node gets a fresh ID, never the retired one.
+			if err := cl.AddStorageNode("io9", 0); err != nil {
+				t.Fatal(err)
+			}
+			if err := cl.Reconcile(); err != nil {
+				t.Fatal(err)
+			}
+			if cl.devIDs["io9"] == drainedID {
+				t.Fatalf("retired device ID %d was reused by io9", drainedID)
+			}
+			if err := verifyMemberCorpus(cl, size); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestFaultsOnDrainedNodeAreCountedNoOps(t *testing.T) {
+	// The plan targets io1 — written against the original topology — but by
+	// the time it is armed the node has been drained away.  Every event must
+	// become a counted no-op instead of a fabric-lookup panic.
+	plan := faults.NewPlan(1,
+		faults.StorageNodeCrash{At: 10 * time.Millisecond, Node: "io1"},
+		faults.SlowDisk{At: 20 * time.Millisecond, Node: "io1", Factor: 4},
+		faults.LinkDegrade{At: 30 * time.Millisecond, Node: "io1", Loss: 0.5},
+		faults.StorageNodeRestart{At: 40 * time.Millisecond, Node: "io1"},
+	)
+	cl := New(Config{Arch: ArchDirectPNFS, Clients: 1, Real: true, StripeSize: 64 << 10, Faults: plan})
+	defer cl.Close()
+	cl.ArmFaults(false)
+	if err := writeMemberCorpus(cl, 300_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.DrainNode("io1", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+	cl.ArmFaults(true)
+	// The measured run outlives the last event, so the driver drains the
+	// whole plan against the post-drain topology.
+	if _, err := cl.Run(func(ctx *rpc.Ctx, m *Mount, i int) error {
+		ctx.Sleep(60 * time.Millisecond)
+		f, err := m.Open(ctx, fmt.Sprintf("/member.%d", i))
+		if err != nil {
+			return err
+		}
+		if _, n, err := m.Read(ctx, f, 0, 300_000); err != nil || n != 300_000 {
+			return fmt.Errorf("read under stale plan: n=%d err=%v", n, err)
+		}
+		return m.Close(ctx, f)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var skipped uint64
+	for _, kind := range []string{"node-down", "disk-slow", "link"} {
+		skipped += cl.skippedFaults.With(kind, "io1").Value()
+	}
+	if skipped < 4 {
+		t.Fatalf("faults_skipped_total counted %d skips for io1, want all 4 plan events", skipped)
+	}
+	// Direct calls against a never-known node are counted no-ops too.
+	cl.SetNodeDown("no-such-node", true)
+	if got := cl.skippedFaults.With("node-down", "no-such-node").Value(); got != 1 {
+		t.Fatalf("unknown-node skip count = %d, want 1", got)
+	}
+}
+
+func TestMembershipValidation(t *testing.T) {
+	cl := New(Config{Arch: ArchDirectPNFS, Clients: 1})
+	defer cl.Close()
+	if err := cl.AddStorageNode("io1", 0); err == nil {
+		t.Fatal("adding an existing node was accepted")
+	}
+	if err := cl.DrainNode("io0", 0); err == nil {
+		t.Fatal("draining the metadata node was accepted")
+	}
+	if err := cl.DrainNode("nope", 0); err == nil {
+		t.Fatal("draining an unknown node was accepted")
+	}
+	if err := cl.AddStorageNode("io9", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.DrainNode("io9", time.Second); err == nil {
+		t.Fatal("second pending op for the same node was accepted")
+	}
+	if err := cl.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+	cl2 := New(Config{Arch: ArchDirectPNFS, Clients: 1, Aggregation: pnfs.AggReplicated})
+	defer cl2.Close()
+	if err := cl2.AddStorageNode("io9", 0); err == nil {
+		t.Fatal("membership with custom aggregation was accepted")
+	}
+}
+
+func TestCrashDuringDrainReissuesPendingChunksOnce(t *testing.T) {
+	// The drained node is WAL-backed and killed mid-migration: its volatile
+	// store image is discarded while chunks are still being copied off it.
+	// First-pass copies fail fast, the reconciler restarts the node (WAL
+	// replay restores every acknowledged byte) and re-issues exactly the
+	// pending chunks once, and the corpus must read back byte-identical on
+	// the post-drain topology.
+	const size = 1 << 20
+	for _, arch := range Archs {
+		arch := arch
+		t.Run(string(arch), func(t *testing.T) {
+			cl := New(Config{
+				Arch: arch, Clients: 2, Real: true,
+				StripeSize: 64 << 10, Backend: BackendWAL,
+			})
+			defer cl.Close()
+			if err := writeMemberCorpus(cl, size); err != nil {
+				t.Fatal(err)
+			}
+			crashed := false
+			reissues := 0
+			cl.migChunkHook = func(file, chunk int) {
+				if !crashed && file == 0 && chunk == 1 {
+					crashed = true
+					cl.CrashVolatile("io1")
+					cl.SetNodeDown("io1", true)
+				}
+			}
+			cl.migReissueHook = func() {
+				reissues++
+				cl.RestartVolatile("io1")
+				cl.SetNodeDown("io1", false)
+			}
+			if err := cl.DrainNode("io1", 0); err != nil {
+				t.Fatal(err)
+			}
+			if err := cl.Reconcile(); err != nil {
+				t.Fatal(err)
+			}
+			if !crashed {
+				t.Fatal("the crash hook never fired: migration had no second chunk")
+			}
+			if reissues != 1 {
+				t.Fatalf("re-issue pass ran %d times, want exactly 1", reissues)
+			}
+			if cl.rebalanceReissued.Value() == 0 {
+				t.Fatal("no chunks were re-issued despite the mid-migration crash")
+			}
+			if err := verifyMemberCorpus(cl, size); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
