@@ -11,6 +11,7 @@
 //	dpnfs-bench -fig window             # I/O-engine sliding window vs waves
 //	dpnfs-bench -fig tail               # read-latency percentiles, hedged vs not
 //	dpnfs-bench -fig rebalance          # foreground writes under a node join
+//	dpnfs-bench -fig sweep              # open-loop scaling, 64 → 10k clients
 //	dpnfs-bench -fig 6a -scale 0.01 -transport tcp   # real loopback sockets
 //	dpnfs-bench -fig 6a -scale 0.1 -report BENCH_6a.json
 //
@@ -42,7 +43,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure id (6a..6e, 7a..7d, 8a..8d, ssh, degraded, recovery, window, tail, rebalance) or 'all'")
+	fig := flag.String("fig", "all", "figure id (6a..6e, 7a..7d, 8a..8d, ssh, degraded, recovery, window, tail, rebalance, sweep) or 'all'")
 	scale := flag.Float64("scale", 1.0, "data-size scale factor (1.0 = paper sizes)")
 	clients := flag.String("clients", "", "comma-separated client counts (default: per figure)")
 	transport := flag.String("transport", "sim", "cluster wiring: sim (virtual time) or tcp (real loopback sockets)")
@@ -75,11 +76,12 @@ func main() {
 		ids = directpnfs.FigureIDs
 		if opt.Transport == cluster.TransportTCP {
 			// The degraded/recovery/rebalance figures' throughput windows
-			// and the tail figure's latency percentiles are virtual-time
-			// intervals; skip them rather than failing the whole sweep.
+			// and the tail/sweep figures' latency percentiles are
+			// virtual-time intervals; skip them rather than failing the
+			// whole sweep.
 			kept := ids[:0:0]
 			for _, id := range ids {
-				if id == "degraded" || id == "recovery" || id == "tail" || id == "rebalance" {
+				if id == "degraded" || id == "recovery" || id == "tail" || id == "rebalance" || id == "sweep" {
 					fmt.Fprintf(os.Stderr, "skipping %s: sim transport only\n", id)
 					continue
 				}

@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"dpnfs/internal/metrics"
+	"dpnfs/internal/rpc"
 )
 
 // Report is the machine-readable outcome of a figure run: the regenerated
@@ -58,10 +59,22 @@ func (r *Report) Add(id string, opt Options) (Figure, error) {
 		return Figure{}, fmt.Errorf("bench: unknown figure %q (known: %v)", id, IDs)
 	}
 	opt.Metrics = metrics.NewRegistry()
+	borrowed0, avoided0 := rpc.BufCounters()
 	fig, err := gen(opt)
 	if err != nil {
 		return fig, err
 	}
+	// The zero-copy counters are process-wide (the frame pool is shared by
+	// every cluster), so fold this figure's delta into its snapshot as
+	// gauges — the report then records how much of the figure's traffic
+	// rode the borrow path.
+	borrowed1, avoided1 := rpc.BufCounters()
+	opt.Metrics.Gauge("rpc_buf_borrowed_total",
+		"Bytes decoded by borrowing pooled frames during this figure (zero-copy reads).").
+		Set(int64(borrowed1 - borrowed0))
+	opt.Metrics.Gauge("rpc_buf_copies_avoided_total",
+		"Payload copies avoided by frame borrowing during this figure.").
+		Set(int64(avoided1 - avoided0))
 	snap := opt.Metrics.Snapshot()
 	r.Figures = append(r.Figures, FigureReport{Figure: fig, Metrics: &snap})
 	return fig, nil

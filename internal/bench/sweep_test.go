@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"dpnfs/internal/cluster"
+)
+
+// TestSweepFigureDeterminism extends the same-seed rule to the open-loop
+// scaling figure: two runs with the same options produce identical series
+// (arrival schedules, offsets, and latencies are all virtual-time
+// quantities seeded explicitly).  It also pins the figure's open-loop
+// contract on a two-point miniature: the heavier point must drive the
+// engine window at least as hard as the light one (mean occupancy is
+// non-decreasing in offered load), and every point records a full set of
+// percentile and occupancy series.
+func TestSweepFigureDeterminism(t *testing.T) {
+	archs := []cluster.Arch{cluster.ArchDirectPNFS, cluster.ArchPVFS2}
+	opt := Options{Scale: 0.05, Clients: []int{16, 256}, Archs: archs}
+	fig1, err := Sweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig2, err := Sweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fig1, fig2) {
+		t.Errorf("Sweep figure not deterministic:\n%v\nvs\n%v", fig1, fig2)
+	}
+	wantSeries := len(archs) * len(sweepMetrics)
+	if len(fig1.Series) != wantSeries {
+		t.Fatalf("got %d series, want %d:\n%v", len(fig1.Series), wantSeries, fig1)
+	}
+	for _, s := range fig1.Series {
+		if len(s.Points) != len(opt.Clients) {
+			t.Errorf("%s: %d points, want %d", s.Label, len(s.Points), len(opt.Clients))
+		}
+	}
+	for _, arch := range archs {
+		light := fig1.Value(archLabel(arch)+" occupancy", opt.Clients[0])
+		heavy := fig1.Value(archLabel(arch)+" occupancy", opt.Clients[len(opt.Clients)-1])
+		if light <= 0 || heavy <= 0 {
+			t.Errorf("%s: missing occupancy samples (light %v, heavy %v)", archLabel(arch), light, heavy)
+			continue
+		}
+		if heavy < light {
+			t.Errorf("%s: occupancy fell under heavier load (light %.2f, heavy %.2f)", archLabel(arch), light, heavy)
+		}
+	}
+	// The figure is virtual-time only: wiring it to TCP must refuse.
+	if _, err := Sweep(Options{Transport: cluster.TransportTCP, Archs: archs}); err == nil {
+		t.Error("Sweep accepted the TCP transport; want an error")
+	}
+}

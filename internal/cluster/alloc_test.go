@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"dpnfs/internal/payload"
+	"dpnfs/internal/rpc"
+)
+
+// Steady-state allocation ceilings for the client READ and WRITE hot paths
+// (sim transport, mem backend, real bytes).  These pin the zero-copy work:
+// pooled transfer buffers, borrowed XDR decode, recycled page-cache chunks.
+// The ceilings carry ~35% headroom over measured values; before buffer
+// pooling the same loops cost ~1000 (read) and ~1120 (write) allocs per
+// pass, so a ceiling trip means a per-chunk copy or per-op allocation has
+// crept back into the data path.
+const (
+	readAllocCeiling  = 520
+	writeAllocCeiling = 680
+)
+
+func TestReadAllocCeiling(t *testing.T) {
+	cl := newBenchCluster(t)
+	avg := testing.AllocsPerRun(5, func() {
+		if _, err := cl.RunClient(0, func(ctx *rpc.Ctx, m *Mount, _ int) error {
+			m.DropCaches()
+			f, err := m.Open(ctx, "/bench")
+			if err != nil {
+				return err
+			}
+			for off := int64(0); off < benchFileSize; off += benchBlock {
+				p, got, err := m.Read(ctx, f, off, benchBlock)
+				if err != nil {
+					return err
+				}
+				if got != benchBlock {
+					return fmt.Errorf("short read: %d of %d at %d", got, benchBlock, off)
+				}
+				p.Release()
+			}
+			return m.Close(ctx, f)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > readAllocCeiling {
+		t.Errorf("cold-cache read pass: %.0f allocs, ceiling %d", avg, readAllocCeiling)
+	}
+}
+
+func TestWriteAllocCeiling(t *testing.T) {
+	cl := newBenchCluster(t)
+	buf := make([]byte, benchBlock)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	avg := testing.AllocsPerRun(5, func() {
+		if _, err := cl.RunClient(0, func(ctx *rpc.Ctx, m *Mount, _ int) error {
+			f, err := m.Open(ctx, "/bench")
+			if err != nil {
+				return err
+			}
+			for off := int64(0); off < benchFileSize; off += benchBlock {
+				if err := m.Write(ctx, f, off, payload.Real(buf)); err != nil {
+					return err
+				}
+			}
+			if err := m.Fsync(ctx, f); err != nil {
+				return err
+			}
+			return m.Close(ctx, f)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > writeAllocCeiling {
+		t.Errorf("gathered write pass: %.0f allocs, ceiling %d", avg, writeAllocCeiling)
+	}
+}

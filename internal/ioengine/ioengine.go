@@ -468,6 +468,23 @@ func (e *Engine) RunWith(ctx *rpc.Ctx, opts RunOpts, reqs []stripe.Extent, fn Do
 	for i := len(policies) - 1; i >= 0; i-- {
 		fn = policies[i](fn)
 	}
+	return e.RunIndexed(ctx, opts, reqs,
+		func(ctx *rpc.Ctx, _ int, r stripe.Extent) error { return fn(ctx, r) })
+}
+
+// IndexedDoFunc is a DoFunc that also receives the request's index in the
+// run's extent list.  Cross-file write-back batches use it to dispatch
+// each extent to its owning file's ladder.
+type IndexedDoFunc func(ctx *rpc.Ctx, i int, r stripe.Extent) error
+
+// RunIndexed runs reqs under opts like RunWith, delivering each extent's
+// index in reqs to fn.  Unlike RunWith it takes no policies: a batch mixes
+// extents with different failure ladders, so the caller pre-composes the
+// right ladder into fn per index.
+func (e *Engine) RunIndexed(ctx *rpc.Ctx, opts RunOpts, reqs []stripe.Extent, fn IndexedDoFunc) error {
+	if len(reqs) == 0 {
+		return nil
+	}
 	e.requests.Add(uint64(len(reqs)))
 	e.classReqs[opts.Class].Add(uint64(len(reqs)))
 	if e.cfg.Wave {
@@ -678,7 +695,7 @@ func elapsedSince(ctx *rpc.Ctx, simStart sim.Time, wallStart time.Time) float64 
 // straggler is still running after Run unblocked.  With hedging, a straggler
 // watcher launches a duplicate on a spare slot once the request outlives the
 // adaptive threshold.
-func (e *Engine) issue(g *group, i int, r stripe.Extent, fn DoFunc, ferr *firstError, opts RunOpts, hedge bool) {
+func (e *Engine) issue(g *group, i int, r stripe.Extent, fn IndexedDoFunc, ferr *firstError, opts RunOpts, hedge bool) {
 	e.acquire(g.ctx, opts.Class)
 	st := &reqState{}
 	g.add()
@@ -691,7 +708,7 @@ func (e *Engine) issue(g *group, i int, r stripe.Extent, fn DoFunc, ferr *firstE
 			wallStart = time.Now()
 		}
 		e.devBegin(r.Dev)
-		err := fn(c, r)
+		err := fn(c, i, r)
 		e.devEnd(r.Dev)
 		sec := elapsedSince(c, simStart, wallStart)
 		won := e.complete(st, i, err, ferr, false, sec)
@@ -709,7 +726,7 @@ func (e *Engine) issue(g *group, i int, r stripe.Extent, fn DoFunc, ferr *firstE
 // sleep under the simulation kernel (deterministic by seed), a wall-clock
 // timer goroutine in real-time mode.  The watcher runs outside the group —
 // Run never waits on a timer, only on issued copies.
-func (e *Engine) watchStraggler(g *group, st *reqState, i int, r stripe.Extent, fn DoFunc, ferr *firstError, opts RunOpts) {
+func (e *Engine) watchStraggler(g *group, st *reqState, i int, r stripe.Extent, fn IndexedDoFunc, ferr *firstError, opts RunOpts) {
 	d := e.hedgeThreshold()
 	if g.ctx.P != nil {
 		g.ctx.P.Kernel().Go(e.cfg.Name+"/hedge-timer", func(p *sim.Proc) {
@@ -730,7 +747,7 @@ func (e *Engine) watchStraggler(g *group, st *reqState, i int, r stripe.Extent, 
 // group unit, which the primary reserved at issue: whichever copy completes
 // first signals it, so a winning hedge unblocks Run while the straggling
 // primary is still out.
-func (e *Engine) tryHedge(g *group, st *reqState, i int, r stripe.Extent, fn DoFunc, ferr *firstError, opts RunOpts) {
+func (e *Engine) tryHedge(g *group, st *reqState, i int, r stripe.Extent, fn IndexedDoFunc, ferr *firstError, opts RunOpts) {
 	st.mu.Lock()
 	if st.done || st.hedged {
 		st.mu.Unlock()
@@ -752,7 +769,7 @@ func (e *Engine) tryHedge(g *group, st *reqState, i int, r stripe.Extent, fn DoF
 			wallStart = time.Now()
 		}
 		e.devBegin(r.Dev)
-		err := fn(c, r)
+		err := fn(c, i, r)
 		e.devEnd(r.Dev)
 		sec := elapsedSince(c, simStart, wallStart)
 		won := e.complete(st, i, err, ferr, true, sec)
@@ -766,7 +783,7 @@ func (e *Engine) tryHedge(g *group, st *reqState, i int, r stripe.Extent, fn DoF
 // runWindow is the sliding window: the issue loop blocks on a free slot,
 // then hands the request to its own process/goroutine, so a completing
 // transfer immediately admits the next one.
-func (e *Engine) runWindow(ctx *rpc.Ctx, opts RunOpts, reqs []stripe.Extent, fn DoFunc) error {
+func (e *Engine) runWindow(ctx *rpc.Ctx, opts RunOpts, reqs []stripe.Extent, fn IndexedDoFunc) error {
 	hedge := opts.Hedge && e.cfg.Hedge
 	if len(reqs) == 1 && !hedge {
 		// Degenerate fan-out (one extent per gathered chunk is the common
@@ -781,7 +798,7 @@ func (e *Engine) runWindow(ctx *rpc.Ctx, opts RunOpts, reqs []stripe.Extent, fn 
 			wallStart = time.Now()
 		}
 		e.devBegin(reqs[0].Dev)
-		err := fn(ctx, reqs[0])
+		err := fn(ctx, 0, reqs[0])
 		e.devEnd(reqs[0].Dev)
 		e.observeLatency(elapsedSince(ctx, simStart, wallStart))
 		return err
@@ -801,7 +818,7 @@ func (e *Engine) runWindow(ctx *rpc.Ctx, opts RunOpts, reqs []stripe.Extent, fn 
 // runWaves is the historical lock-step dispatch: batches of MaxFlight, each
 // waiting for its slowest member.  Kept for the bench comparison and for
 // reproducing pre-engine schedules.  Waves never hedge.
-func (e *Engine) runWaves(ctx *rpc.Ctx, class Class, reqs []stripe.Extent, fn DoFunc) error {
+func (e *Engine) runWaves(ctx *rpc.Ctx, class Class, reqs []stripe.Extent, fn IndexedDoFunc) error {
 	opts := RunOpts{Class: class}
 	var ferr firstError
 	for start := 0; start < len(reqs); start += e.cfg.MaxFlight {
@@ -813,7 +830,7 @@ func (e *Engine) runWaves(ctx *rpc.Ctx, class Class, reqs []stripe.Extent, fn Do
 		if len(batch) == 1 {
 			e.acquire(ctx, class)
 			e.devBegin(batch[0].Dev)
-			err := fn(ctx, batch[0])
+			err := fn(ctx, start, batch[0])
 			e.devEnd(batch[0].Dev)
 			e.release(class)
 			if err != nil {

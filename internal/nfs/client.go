@@ -95,6 +95,17 @@ type Client struct {
 	// the wall-clock twin of flushSem.
 	rtFlush chan struct{}
 
+	// wbQueue gathers dirty chunks — across all open files — awaiting
+	// write-back.  A drain flow takes the whole queue and issues it as one
+	// coalesced engine window, so concurrent flushes from many files share
+	// a single in-flight budget instead of fanning out per file.
+	wbMu    sync.Mutex
+	wbQueue []wbChunk
+
+	// flushProc names the simulated flush processes (hoisted: one string
+	// per mount, not one per flush).
+	flushProc string
+
 	// stateMu guards devices, active, epoch, layouts, and inodeCache:
 	// recovery paths mutate them from parallel extent flows (simulated
 	// processes under the kernel, real goroutines over TCP).
@@ -200,6 +211,7 @@ func NewClient(cfg ClientConfig) *Client {
 	c.rtSlots = make(chan struct{}, cfg.Slots)
 	c.flushSem = sim.NewSemaphore(cfg.Name+"/flush", cfg.FlushParallel)
 	c.rtFlush = make(chan struct{}, cfg.FlushParallel)
+	c.flushProc = cfg.Name + "/flush"
 	c.engine = ioengine.New(ioengine.Config{
 		Name:            cfg.Name + "/engine",
 		Issuer:          "nfs",
@@ -425,6 +437,11 @@ func (c *Client) PNFS() bool { return c.pnfsOK }
 // /proc/sys/vm/drop_caches) — benchmark methodology between phases.
 func (c *Client) DropCaches() {
 	c.stateMu.Lock()
+	// Drop the map's reference on every retained cache; caches still shared
+	// with an open File survive until that File is closed out of the map.
+	for _, st := range c.inodeCache {
+		st.pc.release()
+	}
 	c.inodeCache = make(map[uint64]*inodeState)
 	c.stateMu.Unlock()
 }
@@ -523,13 +540,18 @@ func (c *Client) open(ctx *rpc.Ctx, path string, create bool) (*File, error) {
 	or := rep.Results[len(rep.Results)-2].(*ResOpen)
 	ga := rep.Results[len(rep.Results)-1].(*ResGetAttr)
 	// Close-to-open consistency: reuse the inode's page cache if no other
-	// client changed the file since we last saw it.
-	pc := newPageCache(c.cfg.Real)
+	// client changed the file since we last saw it.  The File takes its own
+	// reference; the inode cache keeps one.
+	var pc *pageCache
 	c.stateMu.Lock()
 	if st, ok := c.inodeCache[or.FH]; ok && st.change == ga.Attr.Change {
 		pc = st.pc
+		pc.retain()
 	}
 	c.stateMu.Unlock()
+	if pc == nil {
+		pc = newPageCache(c.cfg.Real)
+	}
 	f := &File{
 		c:         c,
 		Path:      path,
@@ -667,58 +689,127 @@ func (c *Client) Write(ctx *rpc.Ctx, f *File, off int64, data payload.Payload) e
 	return nil
 }
 
-// flushAsync writes back one chunk without blocking the caller: a simulated
-// process under the kernel, a real goroutine in TCP mode.  Both are bounded
-// by FlushParallel and report failures through setAsyncErr for the next
-// Fsync.
+// wbChunk is one gathered dirty run awaiting write-back: the owning file,
+// its logical offset, a pooled snapshot of the cache content, and the
+// completion hook that unblocks the owner's Fsync.
+type wbChunk struct {
+	f    *File
+	off  int64
+	data payload.Payload
+	done func()
+}
+
+// flushAsync queues one chunk for write-back and spawns a drain flow — a
+// simulated process under the kernel, a real goroutine in TCP mode — that
+// takes *every* queued chunk, across all files, and issues them as a single
+// coalesced engine run.  Flows are bounded by FlushParallel; a flow that
+// finds the queue already drained by a sibling exits immediately.  Failures
+// surface through the owning file's setAsyncErr for its next Fsync.
 func (c *Client) flushAsync(ctx *rpc.Ctx, f *File, chunk extent) {
-	data := f.cache.slice(chunk.Off, chunk.len())
+	wb := wbChunk{f: f, off: chunk.Off, data: f.cache.slice(chunk.Off, chunk.len())}
 	if ctx.P == nil {
 		f.rtPending.Add(1)
+		wb.done = f.rtPending.Done
+		c.wbMu.Lock()
+		c.wbQueue = append(c.wbQueue, wb)
+		c.wbMu.Unlock()
 		go func() {
-			defer f.rtPending.Done()
 			c.rtFlush <- struct{}{}
 			defer func() { <-c.rtFlush }()
-			if err := c.writeRange(&rpc.Ctx{}, f, chunk.Off, data); err != nil {
-				f.setAsyncErr(err)
-			}
+			c.drainWriteBack(&rpc.Ctx{})
 		}()
 		return
 	}
 	f.pending.Add(1)
+	wb.done = f.pending.Done
+	c.wbMu.Lock()
+	c.wbQueue = append(c.wbQueue, wb)
+	c.wbMu.Unlock()
 	k := ctx.P.Kernel()
-	k.Go(c.cfg.Name+"/flush", func(p *sim.Proc) {
-		defer f.pending.Done()
+	k.Go(c.flushProc, func(p *sim.Proc) {
 		c.flushSem.Acquire(p, 1)
 		defer c.flushSem.Release(1)
-		if err := c.writeRange(&rpc.Ctx{P: p}, f, chunk.Off, data); err != nil {
-			f.setAsyncErr(err)
-		}
+		c.drainWriteBack(&rpc.Ctx{P: p})
 	})
 }
 
-// writeRange sends one gathered chunk to storage: striped across data
-// servers under a pNFS layout, or to the MDS otherwise.  Striped extents
-// ride the I/O engine under a two-rung policy ladder: a device error evicts
-// the cached layout, re-drives GETDEVICELIST + LAYOUTGET, and retries once
-// against the fresh layout (the recalled-layout path, paper §4); extents
-// that still cannot reach a data server are proxied through the metadata
-// server, which writes into the parallel file system on the client's
-// behalf.
-func (c *Client) writeRange(ctx *rpc.Ctx, f *File, off int64, data payload.Payload) error {
-	if err := f.ensureLayout(ctx); err != nil {
-		return err
+// drainWriteBack empties the write-back queue and sends everything in one
+// engine window: each chunk's extents are coalesced against themselves
+// (extents carry no owner tag, so cross-file runs must never merge) and the
+// per-chunk lists are concatenated into a single RunIndexed.  A failing
+// extent is recorded on its owning file and absorbed, so one file's error
+// cannot starve another file's flush.  Chunk payloads return to the buffer
+// pool once the batch completes.
+func (c *Client) drainWriteBack(ctx *rpc.Ctx) {
+	c.wbMu.Lock()
+	chunks := c.wbQueue
+	c.wbQueue = nil
+	c.wbMu.Unlock()
+	if len(chunks) == 0 {
+		return
 	}
-	if f.mapper == nil {
-		_, err := c.call(ctx, c.cfg.MDS, true,
-			&OpPutFH{FH: f.fh},
-			&OpWrite{StateID: f.stateID, Off: off, Data: data},
-		)
-		if err == nil {
-			f.markTouched(-1)
+	var reqs []stripe.Extent
+	var fns []ioengine.DoFunc
+	var owners []*File
+	for _, wb := range chunks {
+		f, data := wb.f, wb.data
+		if err := f.ensureLayout(ctx); err != nil {
+			f.setAsyncErr(err)
+			continue
 		}
-		return err
+		if f.mapper == nil {
+			// No layout: the whole chunk goes through the MDS as one
+			// pseudo-extent (Dev -1, the engine's MDS marker).
+			reqs = append(reqs, stripe.Extent{Dev: -1, Off: wb.off, Len: data.Len()})
+			fns = append(fns, func(ctx *rpc.Ctx, e stripe.Extent) error {
+				_, err := c.call(ctx, c.cfg.MDS, true,
+					&OpPutFH{FH: f.fh},
+					&OpWrite{StateID: f.stateID, Off: e.Off, Data: data},
+				)
+				if err == nil {
+					f.markTouched(-1)
+				}
+				return err
+			})
+			owners = append(owners, f)
+			continue
+		}
+		fn := c.chunkLadder(f, wb.off, data)
+		for _, e := range c.engine.Prepare(f.mapper.Map(wb.off, data.Len())) {
+			reqs = append(reqs, e)
+			fns = append(fns, fn)
+			owners = append(owners, f)
+		}
 	}
+	if len(reqs) > 0 {
+		// Write-back rides the window as Background: gathered flushes must
+		// never crowd out a blocked application read (docs/ARCHITECTURE.md
+		// QoS).  Per-extent errors were already absorbed onto their owners,
+		// so the run itself cannot fail.
+		_ = c.engine.RunIndexed(ctx, ioengine.RunOpts{Class: ioengine.Background}, reqs,
+			func(ctx *rpc.Ctx, i int, r stripe.Extent) error {
+				if err := fns[i](ctx, r); err != nil {
+					owners[i].setAsyncErr(err)
+				}
+				return nil
+			})
+	}
+	for _, wb := range chunks {
+		wb.data.Release()
+		if wb.done != nil {
+			wb.done()
+		}
+	}
+}
+
+// chunkLadder builds the per-extent dispatch for one gathered chunk:
+// striped writes under the file's pNFS layout behind a two-rung policy
+// ladder.  A device error evicts the cached layout, re-drives
+// GETDEVICELIST + LAYOUTGET, and retries once against the fresh layout
+// (the recalled-layout path, paper §4); extents that still cannot reach a
+// data server are proxied through the metadata server, which writes into
+// the parallel file system on the client's behalf.
+func (c *Client) chunkLadder(f *File, off int64, data payload.Payload) ioengine.DoFunc {
 	layout := f.layout
 	chunk := func(e stripe.Extent) payload.Payload { return data.Slice(e.Off-off, e.Len) }
 	primary := func(ctx *rpc.Ctx, e stripe.Extent) error {
@@ -772,11 +863,10 @@ func (c *Client) writeRange(ctx *rpc.Ctx, f *File, off int64, data payload.Paylo
 		}
 		return err
 	})
-	// Write-back rides the window as Background: gathered flushes must never
-	// crowd out a blocked application read (docs/ARCHITECTURE.md QoS).
-	return c.engine.RunWith(ctx, ioengine.RunOpts{Class: ioengine.Background},
-		c.engine.Prepare(f.mapper.Map(off, data.Len())),
-		primary, mdsProxy, recovery)
+	// Same composition order RunWith would apply to (primary, mdsProxy,
+	// recovery): try the layout's data server, recover the layout on error,
+	// and proxy through the MDS as the last rung.
+	return mdsProxy(recovery(primary))
 }
 
 // dsWrite sends one extent's WRITE to its data server under layout l.
@@ -880,6 +970,11 @@ func (c *Client) Close(ctx *rpc.Ctx, f *File) error {
 		return err
 	}
 	c.stateMu.Lock()
+	// The File's cache reference transfers to the inode cache; whatever the
+	// slot held before loses the map's reference.
+	if st, ok := c.inodeCache[f.fh]; ok {
+		st.pc.release()
+	}
 	c.inodeCache[f.fh] = &inodeState{
 		change: rep.Results[1].(*ResGetAttr).Attr.Change,
 		pc:     f.cache,
@@ -1005,6 +1100,15 @@ func (c *Client) readRange(ctx *rpc.Ctx, f *File, chunk extent) error {
 	return c.readChunks(ctx, f, []extent{chunk}, ioengine.RunOpts{Class: ioengine.Background})
 }
 
+// fillRelease installs fetched data into the page cache and releases the
+// payload: the cache copies content, so a reply backed by a pooled transfer
+// buffer (server-side RealPooled over the fabric, borrow-decoded frame over
+// TCP) returns to the pool right here — the end of the zero-copy READ path.
+func fillRelease(f *File, off int64, data payload.Payload) {
+	f.cache.fill(off, data)
+	data.Release()
+}
+
 // readChunks fetches a set of RSize chunks into the cache in one engine
 // run: striped across data servers under a layout, or from the MDS
 // otherwise.  Striped extents carry the same recovery ladder as writes — a
@@ -1029,7 +1133,7 @@ func (c *Client) readChunks(ctx *rpc.Ctx, f *File, chunks []extent, opts ioengin
 		if err != nil {
 			return err
 		}
-		f.cache.fill(e.Off, rep.Results[1].(*ResRead).Data)
+		fillRelease(f, e.Off, rep.Results[1].(*ResRead).Data)
 		return nil
 	}
 	if f.mapper == nil {
@@ -1054,7 +1158,7 @@ func (c *Client) readChunks(ctx *rpc.Ctx, f *File, chunks []extent, opts ioengin
 		if err != nil {
 			return err
 		}
-		f.cache.fill(e.Off, rep.Results[1].(*ResRead).Data)
+		fillRelease(f, e.Off, rep.Results[1].(*ResRead).Data)
 		return nil
 	}
 	recovery := ioengine.WithFallback(func(ctx *rpc.Ctx, e stripe.Extent, err error) error {
@@ -1076,7 +1180,7 @@ func (c *Client) readChunks(ctx *rpc.Ctx, f *File, chunks []extent, opts ioengin
 				if err2 != nil {
 					return err2
 				}
-				f.cache.fill(se.Off, rep.Results[1].(*ResRead).Data)
+				fillRelease(f, se.Off, rep.Results[1].(*ResRead).Data)
 			}
 			return nil
 		}
@@ -1087,7 +1191,7 @@ func (c *Client) readChunks(ctx *rpc.Ctx, f *File, chunks []extent, opts ioengin
 		if err2 != nil {
 			return err2
 		}
-		f.cache.fill(e.Off, rep.Results[1].(*ResRead).Data)
+		fillRelease(f, e.Off, rep.Results[1].(*ResRead).Data)
 		return nil
 	})
 	mdsProxy := ioengine.WithFallback(func(ctx *rpc.Ctx, e stripe.Extent, _ error) error {
@@ -1109,7 +1213,7 @@ func (c *Client) readChunks(ctx *rpc.Ctx, f *File, chunks []extent, opts ioengin
 				if err2 != nil {
 					continue
 				}
-				f.cache.fill(alt.Off, rep.Results[1].(*ResRead).Data)
+				fillRelease(f, alt.Off, rep.Results[1].(*ResRead).Data)
 				return nil
 			}
 			return err

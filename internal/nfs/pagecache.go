@@ -2,8 +2,10 @@ package nfs
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"dpnfs/internal/payload"
+	"dpnfs/internal/rpc"
 	"dpnfs/internal/store"
 	"dpnfs/internal/store/mem"
 )
@@ -24,10 +26,16 @@ type pageCache struct {
 	dirty    extList
 	store    *mem.Store // nil in synthetic mode
 	file     store.FileID
+	// refs counts who can still read the cache: the client's inode cache
+	// holds one reference and every open File sharing the cache holds one.
+	// The last release returns the backing chunks to the mem chunk pool, so
+	// DropCaches recycles a whole working set instead of leaving it to GC.
+	refs atomic.Int32
 }
 
 func newPageCache(real bool) *pageCache {
 	pc := &pageCache{}
+	pc.refs.Store(1)
 	if real {
 		pc.store = mem.New()
 		at, err := pc.store.Create(pc.store.Root(), "cache")
@@ -37,6 +45,22 @@ func newPageCache(real bool) *pageCache {
 		pc.file = at.ID
 	}
 	return pc
+}
+
+// retain adds a reference (an additional File opening the same inode).
+func (pc *pageCache) retain() { pc.refs.Add(1) }
+
+// release drops a reference; the last one discards the backing store's
+// chunks to the mem chunk pool.  Callers must not touch the cache after
+// their final release.
+func (pc *pageCache) release() {
+	if n := pc.refs.Add(-1); n == 0 {
+		if pc.store != nil {
+			pc.store.Discard()
+		}
+	} else if n < 0 {
+		panic("nfs: pageCache over-released")
+	}
 }
 
 // write installs data at off as resident and dirty.
@@ -89,17 +113,23 @@ func (pc *pageCache) firstDirty() (extent, bool) {
 
 // slice returns the cached content of [off, off+n) — the caller must have
 // established residency.  Synthetic mode returns a synthetic payload.
+// Real-mode slices are backed by pooled buffers: the consumer (a flush's
+// RPC path, or the application reading through Mount.Read) releases the
+// payload when done; unreleased payloads just fall to the GC.
 func (pc *pageCache) slice(off, n int64) payload.Payload {
 	if pc.store == nil {
 		return payload.Synthetic(n)
 	}
-	buf := make([]byte, n)
+	buf := rpc.GetBuf(int(n))
 	// Bytes beyond the sparse store's size are holes; ReadAt zero-fills
-	// only up to size, so read what exists and leave the rest zero.
-	if _, err := pc.store.ReadAt(pc.file, off, buf); err != nil {
+	// only up to size, so read what exists and zero the (dirty, pooled)
+	// tail explicitly.
+	got, err := pc.store.ReadAt(pc.file, off, buf)
+	if err != nil {
 		panic("nfs: page cache read: " + err.Error())
 	}
-	return payload.Real(buf)
+	clear(buf[got:])
+	return payload.RealPooled(buf, func() { rpc.PutBuf(buf) })
 }
 
 // clean marks [off, end) as flushed.

@@ -191,6 +191,7 @@ func (s *Server) Handle(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshaler, rpc.
 	// Session check and replay cache.  The lock covers only the in-memory
 	// checks — backend work in run() may suspend the handler process.
 	var sess *session
+	var cacheReply bool
 	if args.Session != 0 {
 		s.mu.Lock()
 		sess = s.sessions[args.Session]
@@ -209,14 +210,22 @@ func (s *Server) Handle(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshaler, rpc.
 			s.replays.Inc()
 			return rep, rpc.StatusOK
 		}
-		if args.Seq != sess.lastSeq[args.Slot]+1 {
+		if args.Seq != sess.lastSeq[args.Slot]+1 &&
+			!(args.Seq == sess.lastSeq[args.Slot] && sess.lastRep[args.Slot] == nil) {
+			// Neither the next sequence nor a retransmission of an
+			// uncached (idempotent) compound, which is simply re-executed.
 			s.mu.Unlock()
 			return &CompoundRep{Status: fserr.Inval}, rpc.StatusOK
 		}
 		s.mu.Unlock()
-		// The reply outlives its first transmission in the replay cache, so
-		// its payloads must not alias pooled transfer buffers.
-		ctx.Retain()
+		if cacheReply = !compoundIdempotent(args.Ops); cacheReply {
+			// The reply outlives its first transmission in the replay
+			// cache, so its payloads must not alias pooled transfer
+			// buffers.  Idempotent compounds (the READ hot path) skip the
+			// cache — RFC 5661's csa_cachethis=false — and may hand out
+			// pooled reply buffers.
+			ctx.Retain()
+		}
 	}
 
 	rep := s.run(ctx, cpu, args)
@@ -224,10 +233,38 @@ func (s *Server) Handle(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshaler, rpc.
 	if sess != nil {
 		s.mu.Lock()
 		sess.lastSeq[args.Slot] = args.Seq
-		sess.lastRep[args.Slot] = rep
+		if cacheReply {
+			sess.lastRep[args.Slot] = rep
+		} else {
+			sess.lastRep[args.Slot] = nil
+		}
 		s.mu.Unlock()
 	}
 	return rep, rpc.StatusOK
+}
+
+// idempotentOp marks operations the server may re-execute on a
+// retransmitted compound instead of replaying a cached reply: pure reads
+// of namespace, attributes, data, and layout state.
+var idempotentOp = [maxOpNum + 1]bool{
+	OpNumPutRootFH:  true,
+	OpNumPutFH:      true,
+	OpNumLookup:     true,
+	OpNumGetAttr:    true,
+	OpNumRead:       true,
+	OpNumReadDir:    true,
+	OpNumGetDevList: true,
+	OpNumLayoutGet:  true,
+}
+
+// compoundIdempotent reports whether every op in the list is idempotent.
+func compoundIdempotent(ops []Op) bool {
+	for _, op := range ops {
+		if n := op.Num(); n > maxOpNum || !idempotentOp[n] {
+			return false
+		}
+	}
+	return true
 }
 
 // run executes the op list with a current-filehandle cursor.
@@ -512,20 +549,35 @@ func (b *StoreBackend) Read(ctx *rpc.Ctx, fh uint64, off, n int64, wantReal bool
 	if !wantReal {
 		return payload.Synthetic(n), eof, nil
 	}
-	// Serializing transports copy the payload onto the wire before deferred
-	// hooks run, so the transfer buffer can come from the shared pool; a
-	// reference-passing transport's client would retain it, so allocate.
-	var buf []byte
-	if ctx.Serialized() {
-		buf = rpc.GetBuf(int(n))
+	// Transfer-buffer ownership, in order of preference:
+	//   - serializing transport: the payload is copied onto the wire
+	//     before deferred hooks run, so a Defer returns the pooled buffer;
+	//   - reference-passing transport, reply not retained: the single
+	//     consumer gets a pooled buffer with a Release hook;
+	//   - retained reply (replay cache): fresh allocation, never recycled.
+	switch {
+	case ctx.Serialized():
+		buf := rpc.GetBuf(int(n))
 		ctx.Defer(func() { rpc.PutBuf(buf) })
-	} else {
-		buf = make([]byte, n)
+		if _, err := b.Store.ReadAt(store.FileID(fh), off, buf); err != nil {
+			return payload.Payload{}, false, err
+		}
+		return payload.Real(buf), eof, nil
+	case !ctx.Retained():
+		buf := rpc.GetBuf(int(n))
+		if _, err := b.Store.ReadAt(store.FileID(fh), off, buf); err != nil {
+			rpc.PutBuf(buf)
+			return payload.Payload{}, false, err
+		}
+		rpc.CountCopyAvoided()
+		return payload.RealPooled(buf, func() { rpc.PutBuf(buf) }), eof, nil
+	default:
+		buf := make([]byte, n)
+		if _, err := b.Store.ReadAt(store.FileID(fh), off, buf); err != nil {
+			return payload.Payload{}, false, err
+		}
+		return payload.Real(buf), eof, nil
 	}
-	if _, err := b.Store.ReadAt(store.FileID(fh), off, buf); err != nil {
-		return payload.Payload{}, false, err
-	}
-	return payload.Real(buf), eof, nil
 }
 
 // Write implements Backend.

@@ -12,19 +12,49 @@ package payload
 import (
 	"bytes"
 	"fmt"
+	"sync/atomic"
 
 	"dpnfs/internal/xdr"
 )
 
 // Payload is a byte string of length N.  If Bytes is nil the content is
-// synthetic (all zeros, not materialized).
+// synthetic (all zeros, not materialized).  A payload may carry a release
+// hook (RealPooled, borrow-mode decoding) that returns its backing buffer
+// to a pool; the hook travels with every copy of the struct and fires at
+// most once.
 type Payload struct {
 	N     int64
 	Bytes []byte
+	rel   *releaseCell
+}
+
+// releaseCell is the shared once-only release state behind a pooled
+// payload.  All copies of the Payload struct point at the same cell, so
+// whichever copy Releases first wins and the rest are no-ops.
+type releaseCell struct {
+	released atomic.Bool
+	fn       func()
 }
 
 // Real wraps actual bytes.
 func Real(b []byte) Payload { return Payload{N: int64(len(b)), Bytes: b} }
+
+// RealPooled wraps bytes whose backing buffer should be returned to its
+// owner via release once the (single logical) consumer is done with the
+// content.  Payloads that are never Released simply fall to the garbage
+// collector — a missed pool reuse, not a leak or a correctness bug.
+func RealPooled(b []byte, release func()) Payload {
+	return Payload{N: int64(len(b)), Bytes: b, rel: &releaseCell{fn: release}}
+}
+
+// Release returns the payload's backing buffer to its owner.  It is
+// idempotent across all copies of the payload and a no-op for payloads
+// without a release hook.  The caller must not touch Bytes afterwards.
+func (p Payload) Release() {
+	if p.rel != nil && p.rel.released.CompareAndSwap(false, true) {
+		p.rel.fn()
+	}
+}
 
 // Synthetic describes n bytes of content without materializing them.
 func Synthetic(n int64) Payload { return Payload{N: n} }
@@ -53,18 +83,30 @@ func (p Payload) MarshalXDR(e *xdr.Encoder) {
 	e.Zeros(int(p.N) + (4-int(p.N)%4)%4)
 }
 
-// UnmarshalXDR decodes a variable-length opaque as real bytes.
+// UnmarshalXDR decodes a variable-length opaque as real bytes.  On a
+// borrow-mode decoder (xdr.Decoder.EnableBorrow) the bytes alias the
+// decode buffer: the buffer's owner is retained and released through the
+// payload's Release hook, so the frame stays alive until the consumer is
+// done with the content.
 func (p *Payload) UnmarshalXDR(d *xdr.Decoder) error {
-	b, err := d.Opaque()
+	ref, err := d.OpaqueRef()
 	if err != nil {
 		return err
 	}
-	p.Bytes = b
-	p.N = int64(len(b))
+	p.Bytes = ref.Bytes
+	p.N = int64(len(ref.Bytes))
+	p.rel = nil
+	if ref.Borrowed {
+		o := d.BorrowOwner()
+		o.Retain()
+		p.rel = &releaseCell{fn: o.Release}
+	}
 	return nil
 }
 
 // Slice returns the sub-payload [off, off+n), preserving synthetic-ness.
+// The slice does not carry the parent's release hook: only the holder of
+// the whole payload owns the backing buffer's lifetime.
 func (p Payload) Slice(off, n int64) Payload {
 	if off < 0 || n < 0 || off+n > p.N {
 		panic("payload: slice out of range")

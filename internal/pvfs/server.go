@@ -358,19 +358,23 @@ func (s *StorageServer) Handle(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshale
 		}
 		rep := &IOReadRep{Eof: n < a.Len}
 		if a.WantReal {
-			// Pooled transfer buffer when the transport serializes the
-			// reply; a reference-passing client would retain the bytes.
-			var buf []byte
-			if ctx.Serialized() {
-				buf = rpc.GetBuf(int(n))
-				ctx.Defer(func() { rpc.PutBuf(buf) })
-			} else {
-				buf = make([]byte, n)
-			}
+			// Pooled transfer buffer: Defer-released when the transport
+			// serializes the reply, consumer-released (payload.Release)
+			// when the client gets the buffer by reference.  The PVFS2
+			// protocol has no replay cache, so replies never outlive
+			// their one consumer.
+			buf := rpc.GetBuf(int(n))
 			if _, err := s.store.ReadAt(id, a.Off, buf); err != nil {
+				rpc.PutBuf(buf)
 				return &IOReadRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
 			}
-			rep.Data = payload.Real(buf)
+			if ctx.Serialized() {
+				ctx.Defer(func() { rpc.PutBuf(buf) })
+				rep.Data = payload.Real(buf)
+			} else {
+				rpc.CountCopyAvoided()
+				rep.Data = payload.RealPooled(buf, func() { rpc.PutBuf(buf) })
+			}
 		} else {
 			rep.Data = payload.Synthetic(n)
 		}

@@ -3,6 +3,7 @@ package rpc
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
 )
 
 // Buffer pool for transfer-sized []byte, shared by the TCP transport's frame
@@ -58,6 +59,82 @@ func PutBuf(b []byte) {
 		// poisoning a class with a wrong-sized backing array.
 		return
 	}
+	if poisonOnPut.Load() {
+		full := b[:cap(b)]
+		for i := range full {
+			full[i] = poisonByte
+		}
+	}
 	b = b[:0]
 	bufClasses[c].Put(&b)
+}
+
+// poisonByte overwrites recycled buffers when poison-on-put is enabled, so
+// a borrow that outlives its frame reads a recognizable pattern instead of
+// whatever the next user wrote.
+const poisonByte = 0xA5
+
+var poisonOnPut atomic.Bool
+
+// SetPoisonOnPut enables (or disables) poisoning of every buffer returned
+// to the pool.  Tests and fuzz targets use it to turn a silent
+// use-after-release of a borrowed decode into a deterministic data
+// mismatch.  Returns the previous setting.
+func SetPoisonOnPut(on bool) bool { return poisonOnPut.Swap(on) }
+
+// Buffer-flow counters (docs/METRICS.md): how many opaques were decoded by
+// reference out of pooled frames, and how many payload copies the pooled
+// hot path avoided.  They are package-global (the pool itself is global);
+// BufCounters reads them for metric snapshots.
+var (
+	bufBorrowed      atomic.Uint64
+	bufCopiesAvoided atomic.Uint64
+)
+
+// countBorrowed credits n borrow-decodes to rpc_buf_borrowed_total.
+func countBorrowed(n int) {
+	if n > 0 {
+		bufBorrowed.Add(uint64(n))
+	}
+}
+
+// CountCopyAvoided credits one avoided payload copy (a pooled buffer handed
+// across a layer boundary by reference where the pre-pool code copied) to
+// rpc_buf_copies_avoided_total.  Exported for the client/server layers that
+// hand out pooled payloads.
+func CountCopyAvoided() { bufCopiesAvoided.Add(1) }
+
+// BufCounters returns the cumulative borrow and avoided-copy counts.
+func BufCounters() (borrowed, copiesAvoided uint64) {
+	return bufBorrowed.Load(), bufCopiesAvoided.Load()
+}
+
+// RefBuf is a reference-counted pooled buffer: it implements xdr.Owner so
+// borrow-mode decodes can keep a reply frame alive until the last consumer
+// of a borrowed payload releases it, at which point the frame returns to
+// the pool.  The creator holds the initial reference.
+type RefBuf struct {
+	buf  []byte
+	refs atomic.Int32
+}
+
+// NewRefBuf wraps a pooled buffer with reference count 1.
+func NewRefBuf(b []byte) *RefBuf {
+	r := &RefBuf{buf: b}
+	r.refs.Store(1)
+	return r
+}
+
+// Retain adds a reference.
+func (r *RefBuf) Retain() { r.refs.Add(1) }
+
+// Release drops a reference; the last one returns the buffer to the pool.
+func (r *RefBuf) Release() {
+	if n := r.refs.Add(-1); n == 0 {
+		b := r.buf
+		r.buf = nil
+		PutBuf(b)
+	} else if n < 0 {
+		panic("rpc: RefBuf over-released")
+	}
 }

@@ -67,6 +67,10 @@ type Ctx struct {
 	// copied out by the time Defer hooks run, so backends may hand out
 	// pooled buffers.  Reference-passing transports leave it false.
 	serialized bool
+	// retained is set by Retain: the reply may outlive its first
+	// transmission (replay caches), so no part of it may alias pooled
+	// buffers — neither Defer-released nor consumer-released ones.
+	retained bool
 }
 
 // Serialized reports whether reply payloads are copied onto a wire before
@@ -80,7 +84,15 @@ func (c *Ctx) Serialized() bool { return c.serialized }
 // retransmission would re-marshal it.  Backends must then allocate fresh
 // reply buffers even on a serializing transport, so servers call this
 // before running any compound whose reply they may cache.
-func (c *Ctx) Retain() { c.serialized = false }
+func (c *Ctx) Retain() {
+	c.serialized = false
+	c.retained = true
+}
+
+// Retained reports whether Retain was called.  On a reference-passing
+// transport, a backend may hand the (single) consumer a pooled reply
+// buffer with a Release hook only when the reply is not retained.
+func (c *Ctx) Retained() bool { return c.retained }
 
 // Defer registers fn to run after the server has finished transmitting the
 // reply.  Storage daemons use it to hold transfer buffers until the data has
@@ -127,13 +139,23 @@ type Msg interface {
 	WireSize() int64
 }
 
+// sizeEncPool recycles the scratch encoders behind WireSizeOf's fallback,
+// so sizing a message without a WireSize method costs an encode pass but
+// no allocation in steady state.
+var sizeEncPool = sync.Pool{New: func() any { return xdr.NewEncoder() }}
+
 // WireSizeOf returns m's encoded size, using WireSize when available and
-// falling back to encoding.
+// falling back to encoding into a pooled scratch buffer.
 func WireSizeOf(m xdr.Marshaler) int64 {
 	if s, ok := m.(interface{ WireSize() int64 }); ok {
 		return s.WireSize()
 	}
-	return int64(len(xdr.Marshal(m)))
+	e := sizeEncPool.Get().(*xdr.Encoder)
+	e.Reset()
+	m.MarshalXDR(e)
+	n := int64(e.Len())
+	sizeEncPool.Put(e)
+	return n
 }
 
 // Conn issues calls to one remote service.
@@ -328,13 +350,14 @@ func ServeSim(cfg ServerConfig) {
 	}
 	threads := sim.NewSemaphore(cfg.Node.Name+"/"+cfg.Service+"/threads", cfg.Threads)
 	inbox := cfg.Node.Service(cfg.Service)
+	workerName := cfg.Node.Name + "/" + cfg.Service + "/worker"
 	cfg.Fabric.K.Go(cfg.Node.Name+"/"+cfg.Service+"/dispatch", func(p *sim.Proc) {
 		p.MarkDaemon()
 		for {
 			m := inbox.Recv(p).(simnet.Message)
 			c := m.Payload.(call)
 			threads.Acquire(p, 1)
-			cfg.Fabric.K.Go(cfg.Node.Name+"/"+cfg.Service+"/worker", func(w *sim.Proc) {
+			cfg.Fabric.K.Go(workerName, func(w *sim.Proc) {
 				defer threads.Release(1)
 				hctx := &Ctx{P: w}
 				resp, status := cfg.Handler(hctx, c.proc, c.req)

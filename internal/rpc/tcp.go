@@ -25,9 +25,17 @@ import (
 // what the TCP transport actually writes.
 //
 // Frames are encoded into and decoded from pooled buffers (bufpool.go): a
-// steady-state connection allocates nothing per call.  Decoded bodies may be
-// recycled as soon as the typed message is unmarshaled — xdr.Decoder copies
-// every variable-length field.
+// steady-state connection allocates nothing per call.  Bodies decode in
+// borrow mode (xdr.Decoder.EnableBorrow), so bulk payload fields alias the
+// pooled record instead of copying:
+//
+//   - Requests: the connection loop keeps the frame alive until the handler
+//     returns, so borrows need no reference count — handlers must consume
+//     payload bytes before returning (the same read-only contract the
+//     reference-passing simulated transport imposes).
+//   - Replies: the frame is wrapped in a RefBuf; each borrowed payload
+//     retains it and releases through payload.Payload.Release, so the frame
+//     returns to the pool when the last consumer is done.
 
 const (
 	msgCall  = 0
@@ -91,8 +99,8 @@ func writeFrame(w io.Writer, mu *sync.Mutex, xid, mtype, word uint32, body xdr.M
 }
 
 // readFrame reads one frame into a pooled record buffer.  body aliases rec;
-// the caller must PutBuf(rec) once the body has been decoded (xdr decoding
-// copies all variable-length fields, so nothing outlives the buffer).
+// the caller must keep rec alive until every borrow-decoded field in the
+// body is dead, then PutBuf it (directly, or through a RefBuf).
 func readFrame(r io.Reader) (xid, mtype, word uint32, body, rec []byte, err error) {
 	var lenBuf [4]byte
 	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
@@ -242,14 +250,27 @@ func (c *TCPClient) Call(_ *Ctx, proc uint32, args xdr.Marshaler, rep xdr.Unmars
 		c.mu.Unlock()
 		return err
 	}
-	defer PutBuf(r.rec)
 	if r.status != StatusOK {
+		PutBuf(r.rec)
 		return r.status
 	}
 	if rep == nil {
+		PutBuf(r.rec)
 		return nil
 	}
-	return xdr.Unmarshal(r.body, rep)
+	// Borrow-mode decode: bulk payload fields alias the pooled record,
+	// which stays alive via the RefBuf until the last consumer releases
+	// its payload.  Scalar fields are decoded by value as always.
+	ref := NewRefBuf(r.rec)
+	d := xdr.NewDecoder(r.body)
+	d.EnableBorrow(ref)
+	err = d.Unmarshal(rep)
+	if err == nil && d.Remaining() != 0 {
+		err = fmt.Errorf("rpc: %d trailing bytes after decode of %T", d.Remaining(), rep)
+	}
+	countBorrowed(d.Borrowed())
+	ref.Release()
+	return err
 }
 
 // TCPPool is a Conn backed by a fixed set of pipelined connections to one
@@ -354,18 +375,32 @@ func (p *TCPPool) Close() error {
 	return nil
 }
 
+// frameOwner is the xdr.Owner for server-side request decodes: the
+// connection loop keeps the request frame alive until the handler returns,
+// so borrows need no reference counting.
+type frameOwner struct{}
+
+func (frameOwner) Retain()  {}
+func (frameOwner) Release() {}
+
 // adaptHandler turns a typed Handler plus a Registry into a wire-level
 // handler: decode the call body, dispatch, and hand back the typed reply
-// for the connection writer to encode straight into a frame.
+// for the connection writer to encode straight into a frame.  Bulk payload
+// fields in the request alias the frame (borrow mode); handlers must
+// consume them before returning, exactly as they must treat the simulated
+// transport's by-reference requests as read-only.
 func adaptHandler(reg *Registry, h Handler) func(ctx *Ctx, proc uint32, body []byte) (xdr.Marshaler, Status) {
 	return func(ctx *Ctx, proc uint32, body []byte) (xdr.Marshaler, Status) {
 		req := reg.New(proc)
 		if req == nil {
 			return nil, StatusProcUnavail
 		}
-		if err := xdr.Unmarshal(body, req); err != nil {
+		d := xdr.NewDecoder(body)
+		d.EnableBorrow(frameOwner{})
+		if err := d.Unmarshal(req); err != nil || d.Remaining() != 0 {
 			return nil, StatusGarbageArgs
 		}
+		countBorrowed(d.Borrowed())
 		resp, status := h(ctx, proc, req)
 		if status != StatusOK {
 			return nil, status

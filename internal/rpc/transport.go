@@ -38,6 +38,14 @@ type FabricTransport struct {
 	// Metrics, when set, instruments every conn and served handler
 	// (docs/METRICS.md).  Latencies are virtual time.
 	Metrics *metrics.Registry
+
+	// connMu guards conns, the (src, dst, service) → SimTransport cache.
+	// Conns are stateless beyond their shared stats bundle, so every
+	// re-dial of the same edge (a client re-mounting per benchmark run
+	// re-dials each data server) reuses one conn instead of rebuilding
+	// its metric instruments.
+	connMu sync.Mutex
+	conns  map[string]*SimTransport
 }
 
 // Serve implements Transport via ServeSim.
@@ -52,15 +60,27 @@ func (t *FabricTransport) Serve(node, service string, _ *Registry, h Handler, th
 	return node, nil
 }
 
-// Dial implements Transport with a fabric conn between the two nodes.
+// Dial implements Transport with a fabric conn between the two nodes,
+// shared across repeat dials of the same (from, node, service) edge.
 func (t *FabricTransport) Dial(from, node, service string) (Conn, error) {
-	return &SimTransport{
+	key := from + "\x00" + node + "\x00" + service
+	t.connMu.Lock()
+	defer t.connMu.Unlock()
+	if c, ok := t.conns[key]; ok {
+		return c, nil
+	}
+	c := &SimTransport{
 		Fabric:  t.Fabric,
 		Src:     t.Fabric.Node(from),
 		Dst:     t.Fabric.Node(node),
 		Service: service,
 		stats:   newConnStats(t.Metrics, "sim", service),
-	}, nil
+	}
+	if t.conns == nil {
+		t.conns = make(map[string]*SimTransport)
+	}
+	t.conns[key] = c
+	return c, nil
 }
 
 // Close implements Transport; the simulation kernel owns process teardown.

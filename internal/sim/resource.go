@@ -105,9 +105,13 @@ func (s *KServer) BusyTime() Duration { return Duration(s.busy) }
 // kernel⇄daemon transfer-buffer pool).
 type Semaphore struct {
 	name    string
+	reason  string // park reason, precomputed
 	avail   int
 	cap     int
-	waiters []*semWaiter
+	// waiters is a head-indexed FIFO: popping advances head instead of
+	// re-slicing, so append keeps reusing the same backing array.
+	waiters []semWaiter
+	whead   int
 }
 
 type semWaiter struct {
@@ -121,7 +125,7 @@ func NewSemaphore(name string, capacity int) *Semaphore {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("sim: semaphore %s: capacity must be positive, got %d", name, capacity))
 	}
-	return &Semaphore{name: name, avail: capacity, cap: capacity}
+	return &Semaphore{name: name, reason: "semaphore " + name, avail: capacity, cap: capacity}
 }
 
 // Acquire blocks p until n units are available and takes them.  Waiters are
@@ -132,12 +136,12 @@ func (s *Semaphore) Acquire(p *Proc, n int) {
 	if n <= 0 || n > s.cap {
 		panic(fmt.Sprintf("sim: semaphore %s: invalid acquire %d (cap %d)", s.name, n, s.cap))
 	}
-	if len(s.waiters) == 0 && s.avail >= n {
+	if s.whead == len(s.waiters) && s.avail >= n {
 		s.avail -= n
 		return
 	}
-	s.waiters = append(s.waiters, &semWaiter{p: p, n: n})
-	p.park("semaphore " + s.name)
+	s.waiters = append(s.waiters, semWaiter{p: p, n: n})
+	p.park(s.reason)
 }
 
 // Release returns n units and wakes waiters whose requests now fit.
@@ -146,9 +150,14 @@ func (s *Semaphore) Release(n int) {
 	if s.avail > s.cap {
 		panic(fmt.Sprintf("sim: semaphore %s: release overflow (%d > cap %d)", s.name, s.avail, s.cap))
 	}
-	for len(s.waiters) > 0 && s.avail >= s.waiters[0].n {
-		w := s.waiters[0]
-		s.waiters = s.waiters[1:]
+	for s.whead < len(s.waiters) && s.avail >= s.waiters[s.whead].n {
+		w := s.waiters[s.whead]
+		s.waiters[s.whead] = semWaiter{}
+		s.whead++
+		if s.whead == len(s.waiters) {
+			s.waiters = s.waiters[:0]
+			s.whead = 0
+		}
 		s.avail -= w.n
 		w.p.k.ready(w.p)
 	}
@@ -160,50 +169,67 @@ func (s *Semaphore) Available() int { return s.avail }
 // Chan is an unbounded FIFO message channel between simulated processes.
 // Send never blocks; Recv blocks until a message is available.
 type Chan struct {
-	name    string
+	name   string
+	reason string // park reason, precomputed
+	// queue and waiters are head-indexed FIFOs: popping advances the head
+	// instead of re-slicing, so append keeps reusing the backing array.
 	queue   []any
+	qhead   int
 	waiters []*Proc
+	whead   int
 }
 
 // NewChan returns a named simulated channel.
 func NewChan(name string) *Chan {
-	return &Chan{name: name}
+	return &Chan{name: name, reason: "chan " + name}
 }
 
 // Send enqueues v and wakes one receiver if any is waiting.  The receiver
 // resumes at the current virtual time.
 func (c *Chan) Send(v any) {
 	c.queue = append(c.queue, v)
-	if len(c.waiters) > 0 {
-		p := c.waiters[0]
-		c.waiters = c.waiters[1:]
+	if c.whead < len(c.waiters) {
+		p := c.waiters[c.whead]
+		c.waiters[c.whead] = nil
+		c.whead++
+		if c.whead == len(c.waiters) {
+			c.waiters = c.waiters[:0]
+			c.whead = 0
+		}
 		p.k.ready(p)
 	}
 }
 
 // Recv blocks p until a message is available and returns it.
 func (c *Chan) Recv(p *Proc) any {
-	for len(c.queue) == 0 {
+	for c.qhead == len(c.queue) {
 		c.waiters = append(c.waiters, p)
-		p.park("chan " + c.name)
+		p.park(c.reason)
 	}
-	v := c.queue[0]
-	c.queue = c.queue[1:]
+	return c.pop()
+}
+
+func (c *Chan) pop() any {
+	v := c.queue[c.qhead]
+	c.queue[c.qhead] = nil
+	c.qhead++
+	if c.qhead == len(c.queue) {
+		c.queue = c.queue[:0]
+		c.qhead = 0
+	}
 	return v
 }
 
 // TryRecv returns the next message without blocking, or (nil, false).
 func (c *Chan) TryRecv() (any, bool) {
-	if len(c.queue) == 0 {
+	if c.qhead == len(c.queue) {
 		return nil, false
 	}
-	v := c.queue[0]
-	c.queue = c.queue[1:]
-	return v, true
+	return c.pop(), true
 }
 
 // Len reports the number of queued messages.
-func (c *Chan) Len() int { return len(c.queue) }
+func (c *Chan) Len() int { return len(c.queue) - c.qhead }
 
 // WaitGroup tracks completion of a set of simulated processes.
 type WaitGroup struct {

@@ -88,6 +88,12 @@ type Kernel struct {
 	parked  map[*Proc]string // processes blocked on a primitive, with reason
 	nextID  int
 
+	// free recycles fired events.  Nothing retains an *event past its
+	// dispatch (schedule's return value is never stored), and the kernel is
+	// cooperatively single-threaded, so a plain freelist is safe.  Its high
+	// water mark is the maximum number of simultaneously scheduled events.
+	free []*event
+
 	// Stats
 	eventsFired uint64
 }
@@ -166,9 +172,22 @@ func (k *Kernel) schedule(p *Proc, at Time) *event {
 		panic(fmt.Sprintf("sim: scheduling event in the past: %d < %d", at, k.now))
 	}
 	k.seq++
-	ev := &event{at: at, seq: k.seq, p: p}
+	var ev *event
+	if n := len(k.free); n > 0 {
+		ev = k.free[n-1]
+		k.free = k.free[:n-1]
+		*ev = event{at: at, seq: k.seq, p: p}
+	} else {
+		ev = &event{at: at, seq: k.seq, p: p}
+	}
 	heap.Push(&k.events, ev)
 	return ev
+}
+
+// recycle returns a fired event to the freelist.
+func (k *Kernel) recycle(ev *event) {
+	ev.p = nil
+	k.free = append(k.free, ev)
 }
 
 // ready makes a parked process runnable at the current virtual time.
@@ -242,12 +261,15 @@ func (k *Kernel) Run() error {
 	for k.events.Len() > 0 {
 		ev := heap.Pop(&k.events).(*event)
 		if ev.dead {
+			k.recycle(ev)
 			continue
 		}
 		k.now = ev.at
 		k.eventsFired++
-		delete(k.parked, ev.p)
-		ev.p.wake <- struct{}{}
+		p := ev.p
+		k.recycle(ev)
+		delete(k.parked, p)
+		p.wake <- struct{}{}
 		<-k.yield
 	}
 	stuck := make(map[string]string)

@@ -444,6 +444,25 @@ func (s *Store) SetSize(id store.FileID, size int64) error {
 // store.Content so servers can call Sync unconditionally.
 func (s *Store) Sync(p *sim.Proc) error { return nil }
 
+// Discard returns every chunk in the store to the chunk pool.  The caller
+// asserts the store will never be read again — a dropped client page cache,
+// not a server backend (durable backends checkpoint through Extents, which
+// must keep its chunks).
+func (s *Store) Discard() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, n := range s.byID {
+		if n.data == nil {
+			continue
+		}
+		for ci, c := range n.data.chunks {
+			delete(n.data.chunks, ci)
+			putChunk(c)
+		}
+		n.size = 0
+	}
+}
+
 // Stats reports the number of live (namespace-reachable) inodes.
 func (s *Store) Stats() (inodes int) {
 	s.mu.RLock()
@@ -542,6 +561,48 @@ type sparse struct {
 
 const chunkSize = 64 << 10
 
+// chunkFree recycles chunk slabs across files and stores.  Client page
+// caches are dropped and rebuilt wholesale (DropCaches, close-to-open
+// revalidation); without the freelist every rebuild allocates its working
+// set chunk by chunk.  A plain guarded slice, not a sync.Pool: Put(&c)
+// would box the slice header and cost the very alloc the pool is here to
+// save.  maxFreeChunks bounds retention (64 MiB); overflow falls to GC.
+var chunkFree struct {
+	sync.Mutex
+	free [][]byte
+}
+
+const maxFreeChunks = 1024
+
+// getChunk returns a chunk slab, zeroed unless the caller is about to
+// overwrite all of it (recycled slabs come back holding old bytes, and
+// holes must read as zeros).
+func getChunk(zero bool) []byte {
+	chunkFree.Lock()
+	var c []byte
+	if n := len(chunkFree.free); n > 0 {
+		c = chunkFree.free[n-1]
+		chunkFree.free[n-1] = nil
+		chunkFree.free = chunkFree.free[:n-1]
+	}
+	chunkFree.Unlock()
+	if c == nil {
+		return make([]byte, chunkSize)
+	}
+	if zero {
+		clear(c)
+	}
+	return c
+}
+
+func putChunk(c []byte) {
+	chunkFree.Lock()
+	if len(chunkFree.free) < maxFreeChunks {
+		chunkFree.free = append(chunkFree.free, c)
+	}
+	chunkFree.Unlock()
+}
+
 func newSparse() *sparse { return &sparse{chunks: make(map[int64][]byte)} }
 
 func (sp *sparse) writeAt(off int64, b []byte) {
@@ -550,7 +611,7 @@ func (sp *sparse) writeAt(off int64, b []byte) {
 		co := off % chunkSize
 		c, ok := sp.chunks[ci]
 		if !ok {
-			c = make([]byte, chunkSize)
+			c = getChunk(co != 0 || int64(len(b)) < chunkSize)
 			sp.chunks[ci] = c
 		}
 		n := copy(c[co:], b)
@@ -585,6 +646,7 @@ func (sp *sparse) truncate(size int64) {
 		switch {
 		case ci > lastChunk:
 			delete(sp.chunks, ci)
+			putChunk(c)
 		case ci == lastChunk:
 			keep := size % chunkSize
 			for i := keep; i < chunkSize; i++ {

@@ -66,6 +66,11 @@ type Store struct {
 	pendingSz  int64
 	// logOff is the journal's append position on the disk.
 	logOff int64
+	// scratch is reused by journalling paths that read image bytes before
+	// encoding (JournalWriteAt, checkpoint extents): every record is
+	// XDR-encoded — which copies the data — before the call returns, so the
+	// buffer never escapes.  Guarded by mu.
+	scratch []byte
 
 	records   *metrics.Counter
 	replays   *metrics.Counter
@@ -109,6 +114,15 @@ func (s *Store) appendLocked(r *record) {
 
 // Root returns the root directory's id.
 func (s *Store) Root() store.FileID { return 1 }
+
+// scratchBuf returns the store's scratch buffer grown to n bytes.  Caller
+// holds s.mu and must not retain the slice past the next append.
+func (s *Store) scratchBuf(n int64) []byte {
+	if int64(cap(s.scratch)) < n {
+		s.scratch = make([]byte, n)
+	}
+	return s.scratch[:n]
+}
 
 func (s *Store) image() (*mem.Store, error) {
 	s.mu.Lock()
@@ -271,8 +285,9 @@ func (s *Store) WriteAt(id store.FileID, off int64, b []byte) (int64, error) {
 	if err != nil {
 		return size, err
 	}
-	data := append([]byte(nil), b...) // the log owns its copy
-	s.appendLocked(&record{op: opWrite, id: id, off: off, data: data})
+	// No defensive copy: appendLocked XDR-encodes the record — copying the
+	// bytes — before we return, so the log never aliases the caller's buffer.
+	s.appendLocked(&record{op: opWrite, id: id, off: off, data: b})
 	return size, nil
 }
 
@@ -320,7 +335,7 @@ func (s *Store) JournalWriteAt(id store.FileID, off, n int64) error {
 	if s.img == nil {
 		return store.ErrUnavailable
 	}
-	buf := make([]byte, n)
+	buf := s.scratchBuf(n)
 	rn, err := s.img.ReadAt(id, off, buf)
 	if err != nil {
 		return err
@@ -411,7 +426,7 @@ func (s *Store) checkpointLocked() int64 {
 			return err
 		}
 		for _, e := range exts {
-			buf := make([]byte, e.Len)
+			buf := s.scratchBuf(e.Len)
 			if _, err := s.img.ReadAt(at.ID, e.Off, buf); err != nil {
 				return err
 			}

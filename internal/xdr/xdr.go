@@ -122,14 +122,50 @@ func (e *Encoder) String(s string) { e.Opaque([]byte(s)) }
 // Marshal appends m's encoding.
 func (e *Encoder) Marshal(m Marshaler) { m.MarshalXDR(e) }
 
+// Owner tracks the lifetime of a decode buffer that borrow-mode decodes
+// alias.  A consumer that lets a borrowed reference escape the decode call
+// must Retain the owner first and Release it once the reference is dead;
+// the owner frees (or recycles) the underlying buffer when the last
+// reference drops.
+type Owner interface {
+	Retain()
+	Release()
+}
+
 // Decoder consumes XDR-encoded data from a buffer.
 type Decoder struct {
-	buf []byte
-	off int
+	buf      []byte
+	off      int
+	owner    Owner
+	borrowed int
 }
 
 // NewDecoder returns a decoder over b (which is not copied).
 func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// EnableBorrow switches the decoder into borrow mode: OpaqueRef (and any
+// Unmarshaler built on it, like payload.Payload) returns slices aliasing
+// the decode buffer instead of copies.  o owns that buffer; it must not be
+// recycled until every retained borrow has been released.
+//
+// Lifetime rules:
+//
+//   - A borrowed slice is valid only while the decode buffer is alive.
+//   - Decoding a message does not itself retain o; each borrow that
+//     escapes the decode (is stored in the message rather than consumed
+//     on the spot) must Retain o and Release it exactly once when done.
+//   - After the last Release, reading a borrowed slice is a
+//     use-after-free of pooled memory (tests catch this with the buffer
+//     pool's poison-on-put hook).
+func (d *Decoder) EnableBorrow(o Owner) { d.owner = o }
+
+// BorrowOwner returns the owner installed by EnableBorrow, or nil when the
+// decoder copies (the default).
+func (d *Decoder) BorrowOwner() Owner { return d.owner }
+
+// Borrowed reports how many opaques were decoded by reference (borrow mode
+// only); transports feed it into the rpc_buf_borrowed_total counter.
+func (d *Decoder) Borrowed() int { return d.borrowed }
 
 // Remaining reports the number of unconsumed bytes.
 func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
@@ -197,6 +233,42 @@ func (d *Decoder) Opaque() ([]byte, error) {
 		return nil, ErrTooLong
 	}
 	return d.FixedOpaque(int(n))
+}
+
+// OpaqueRef is a decoded variable-length opaque.  When Borrowed is set,
+// Bytes aliases the decoder's buffer and is subject to the lifetime rules
+// documented on EnableBorrow; otherwise Bytes is an ordinary copy.
+type OpaqueRef struct {
+	Bytes    []byte
+	Borrowed bool
+}
+
+// OpaqueRef decodes a variable-length opaque without copying when borrow
+// mode is enabled (EnableBorrow); outside borrow mode it behaves exactly
+// like Opaque.  The returned slice's capacity is clipped to its length so
+// appends by a careless consumer cannot scribble over the rest of the
+// frame.
+func (d *Decoder) OpaqueRef() (OpaqueRef, error) {
+	if d.owner == nil {
+		b, err := d.Opaque()
+		return OpaqueRef{Bytes: b}, err
+	}
+	n32, err := d.Uint32()
+	if err != nil {
+		return OpaqueRef{}, err
+	}
+	if n32 > MaxOpaque {
+		return OpaqueRef{}, ErrTooLong
+	}
+	n := int(n32)
+	padded := n + (4-n%4)%4
+	if d.Remaining() < padded {
+		return OpaqueRef{}, ErrShortBuffer
+	}
+	b := d.buf[d.off : d.off+n : d.off+n]
+	d.off += padded
+	d.borrowed++
+	return OpaqueRef{Bytes: b, Borrowed: true}, nil
 }
 
 // String decodes an XDR string.
