@@ -12,6 +12,7 @@
 //	dpnfs-bench -fig tail               # read-latency percentiles, hedged vs not
 //	dpnfs-bench -fig rebalance          # foreground writes under a node join
 //	dpnfs-bench -fig sweep              # open-loop scaling, 64 → 10k clients
+//	dpnfs-bench -fig integrity          # verified reads under bit rot + scrub
 //	dpnfs-bench -fig 6a -scale 0.01 -transport tcp   # real loopback sockets
 //	dpnfs-bench -fig 6a -scale 0.1 -report BENCH_6a.json
 //
@@ -43,7 +44,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure id (6a..6e, 7a..7d, 8a..8d, ssh, degraded, recovery, window, tail, rebalance, sweep) or 'all'")
+	fig := flag.String("fig", "all", "figure id (6a..6e, 7a..7d, 8a..8d, ssh, degraded, recovery, window, tail, rebalance, sweep, integrity) or 'all'")
 	scale := flag.Float64("scale", 1.0, "data-size scale factor (1.0 = paper sizes)")
 	clients := flag.String("clients", "", "comma-separated client counts (default: per figure)")
 	transport := flag.String("transport", "sim", "cluster wiring: sim (virtual time) or tcp (real loopback sockets)")
@@ -81,7 +82,7 @@ func main() {
 			// whole sweep.
 			kept := ids[:0:0]
 			for _, id := range ids {
-				if id == "degraded" || id == "recovery" || id == "tail" || id == "rebalance" || id == "sweep" {
+				if id == "degraded" || id == "recovery" || id == "tail" || id == "rebalance" || id == "sweep" || id == "integrity" {
 					fmt.Fprintf(os.Stderr, "skipping %s: sim transport only\n", id)
 					continue
 				}

@@ -94,8 +94,8 @@ func TestFigureRegistryThroughPublicAPI(t *testing.T) {
 	// 14 paper figures plus the repository's degraded-mode,
 	// crash-recovery, window-sweep, tail-latency, rebalance, and
 	// open-loop-sweep figures.
-	if len(directpnfs.FigureIDs) != 20 {
-		t.Fatalf("expected 20 figures, got %d", len(directpnfs.FigureIDs))
+	if len(directpnfs.FigureIDs) != 21 {
+		t.Fatalf("expected 21 figures, got %d", len(directpnfs.FigureIDs))
 	}
 	fig, err := directpnfs.Figures["6a"](directpnfs.FigureOptions{
 		Scale:   0.002,

@@ -555,11 +555,11 @@ var All = map[string]func(Options) (Figure, error){
 	"7a": Fig7a, "7b": Fig7b, "7c": Fig7c, "7d": Fig7d,
 	"8a": Fig8a, "8b": Fig8b, "8c": Fig8c, "8d": Fig8d,
 	"ssh": SSHBuild, "degraded": Degraded, "recovery": Recovery, "window": WindowSweep,
-	"tail": Tail, "rebalance": Rebalance, "sweep": Sweep,
+	"tail": Tail, "rebalance": Rebalance, "sweep": Sweep, "integrity": Integrity,
 }
 
 // IDs lists figure IDs in presentation order.
-var IDs = []string{"6a", "6b", "6c", "6d", "6e", "7a", "7b", "7c", "7d", "8a", "8b", "8c", "8d", "ssh", "degraded", "recovery", "window", "tail", "rebalance", "sweep"}
+var IDs = []string{"6a", "6b", "6c", "6d", "6e", "7a", "7b", "7c", "7d", "8a", "8b", "8c", "8d", "ssh", "degraded", "recovery", "window", "tail", "rebalance", "sweep", "integrity"}
 
 // Elapsed wraps a duration for table rendering.
 func Elapsed(d time.Duration) float64 { return d.Seconds() }

@@ -182,3 +182,50 @@ func TestTailFigureDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestIntegrityFigureDeterminism extends the same-seed rule to the
+// data-integrity figure: two runs produce identical series and identical
+// corruption/repair counters, and the run is non-vacuous — rot was injected,
+// foreground reads repaired at least one extent, and the background scrub
+// scanned the stores.  (The workload itself verifies every delivered byte,
+// so a figure that returns at all delivered zero corrupt bytes.)
+func TestIntegrityFigureDeterminism(t *testing.T) {
+	archs := []cluster.Arch{cluster.ArchDirectPNFS, cluster.ArchPVFS2}
+	run := func() (Figure, []float64) {
+		reg := metrics.NewRegistry()
+		fig, err := Integrity(Options{Scale: 0.05, Archs: archs, Metrics: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fig, []float64{
+			counterSum(reg, "faults_injected_total"),
+			counterSum(reg, "nfs_client_corrupt_reads_total") + counterSum(reg, "pvfs_client_corrupt_reads_total"),
+			counterSum(reg, "nfs_client_read_repairs_total") + counterSum(reg, "pvfs_client_read_repairs_total"),
+			counterSum(reg, "scrub_extents_total"),
+			counterSum(reg, "scrub_errors_found_total"),
+			counterSum(reg, "scrub_repaired_total"),
+		}
+	}
+	fig1, c1 := run()
+	fig2, c2 := run()
+	if !reflect.DeepEqual(fig1, fig2) {
+		t.Errorf("Integrity figure not deterministic:\n%v\nvs\n%v", fig1, fig2)
+	}
+	if !reflect.DeepEqual(c1, c2) {
+		t.Errorf("integrity counters not deterministic: %v vs %v", c1, c2)
+	}
+	if c1[0] < 1 || c1[2] < 1 || c1[3] < 1 {
+		t.Errorf("vacuous run: injected=%v repairs=%v scanned=%v", c1[0], c1[2], c1[3])
+	}
+	// Detection reconciles: every found corruption was repaired by someone.
+	if c1[1] < c1[2] {
+		t.Errorf("more repairs than detections: detected=%v repaired=%v", c1[1], c1[2])
+	}
+	for _, s := range fig1.Series {
+		for _, p := range s.Points {
+			if p.Y <= 0 {
+				t.Errorf("%s: vacuous phase %d", s.Label, p.X)
+			}
+		}
+	}
+}

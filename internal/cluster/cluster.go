@@ -27,6 +27,7 @@ import (
 	"dpnfs/internal/pnfs"
 	"dpnfs/internal/pvfs"
 	"dpnfs/internal/rpc"
+	"dpnfs/internal/scrub"
 	"dpnfs/internal/sim"
 	"dpnfs/internal/simdisk"
 	"dpnfs/internal/simnet"
@@ -134,6 +135,16 @@ type Config struct {
 	// Direct-pNFS (paper §4.3 pluggable drivers).  Empty means round-robin.
 	Aggregation string
 	AggParams   []int64
+
+	// WireChecksums makes servers attach a CRC32C to each READ payload and
+	// clients verify it, closing the window between the store's block
+	// checksum verification and the bytes landing in the client's cache.
+	WireChecksums bool
+
+	// ScrubRateBPS bounds each node's background scrubber to this many
+	// verified bytes per virtual second (0 = unpaced).  Scrub passes only
+	// run when scheduled (ScheduleScrub) or driven explicitly (ScrubPass).
+	ScrubRateBPS int64
 
 	// Metrics is the cluster's observability registry, threaded through
 	// every layer (rpc, nfs, pvfs — see docs/METRICS.md).  Nil gets a fresh
@@ -263,6 +274,14 @@ type Cluster struct {
 	directMDS  *directMDSBackend
 	blind      *blindLayouts
 	nodeByName map[string]*simnet.Node
+
+	// Background-scrubber state (scrub.go): one scanner per storage node,
+	// built on first use; scheduled pass times queued for the next Run.
+	scrubOnce    sync.Once
+	scrubbers    []*scrub.Scrubber
+	scrubMu      sync.Mutex
+	scrubTimes   []time.Duration
+	scrubResults []ScrubOutcome
 }
 
 // pvClientRef remembers which node a PVFS2 client library lives on, so a
@@ -388,12 +407,33 @@ func (cl *Cluster) buildBackend(nodes int, diskScale float64) {
 	}
 	cl.PVFSMeta = pvfs.NewMetaServer(pvfs.MetaConfig{
 		Transport: cl.tr, Node: cl.mdsNode, Costs: cfg.PVFSCosts,
-		Dist:    pvfs.DistParams{StripeSize: cfg.StripeSize, NumServers: uint32(len(cl.storageNodes))},
+		Dist: pvfs.DistParams{
+			StripeSize: cfg.StripeSize,
+			NumServers: uint32(len(cl.storageNodes)),
+			Copies:     cl.distCopies(len(cl.storageNodes)),
+		},
 		IOConns: ioConnsFromMDS,
 		Metrics: cfg.Metrics,
 		Store:   cfg.MetadataBackend("mds", cl.diskByNode[cl.mdsNode.Name], cfg.Metrics),
 	})
 	cl.updateMemberGauges()
+}
+
+// distCopies resolves the replication factor the physical PVFS2 substrate
+// stores under: the replicated aggregation's copy count, on every
+// architecture.  Replicating the substrate itself (not just the Direct-pNFS
+// layout) is what gives every client stack a live copy to read-repair
+// corrupt blocks from.  Geometry the copy count cannot divide leaves the
+// substrate unreplicated — the layout driver rejects it loudly on first
+// use (pnfs.AggReplicated registration).
+func (cl *Cluster) distCopies(nodes int) uint32 {
+	if cl.Cfg.Aggregation != pnfs.AggReplicated || len(cl.Cfg.AggParams) < 1 {
+		return 0
+	}
+	if c := cl.Cfg.AggParams[0]; c > 1 && nodes%int(c) == 0 {
+		return uint32(c)
+	}
+	return 0
 }
 
 // addStorageSubstrate attaches a disk, an object store (via the configured
@@ -414,8 +454,9 @@ func (cl *Cluster) addStorageSubstrate(n *simnet.Node, diskScale float64) *pvfs.
 	cl.diskByNode[n.Name] = disk
 	ss := pvfs.NewStorageServer(pvfs.StorageConfig{
 		Transport: cl.tr, Node: n, Disk: disk, Costs: cfg.PVFSCosts,
-		Metrics: cfg.Metrics,
-		Store:   cfg.ContentBackend(n.Name, disk, cfg.Metrics),
+		Metrics:       cfg.Metrics,
+		Store:         cfg.ContentBackend(n.Name, disk, cfg.Metrics),
+		WireChecksums: cfg.WireChecksums,
 	})
 	cl.Storage = append(cl.Storage, ss)
 	cl.storageByNode[n.Name] = ss
@@ -643,6 +684,7 @@ func nfsServeOn(cl *Cluster, n *simnet.Node, service string, b nfs.Backend) {
 	nfs.NewServer(nfs.ServerConfig{
 		Backend: b, Costs: cl.Cfg.NFSCosts, Node: n, Threads: cl.Cfg.Threads,
 		Transport: cl.tr, Service: service, Metrics: cl.Cfg.Metrics,
+		WireChecksums: cl.Cfg.WireChecksums,
 	})
 }
 
@@ -805,6 +847,20 @@ func (cl *Cluster) runSubsetInner(mounts []*Mount, fn func(ctx *rpc.Ctx, m *Moun
 					cl.reconcileErr = err
 					cl.memberMu.Unlock()
 				}
+			}
+		})
+	}
+	if times := cl.takeScrubTimes(); len(times) > 0 {
+		// The scrub driver mirrors the fault driver: a finite schedule of
+		// pass times replayed relative to this run's start, so the kernel
+		// still drains and every scheduled pass runs even if the
+		// applications finish first.  Scan failures are recorded in the
+		// pass outcomes, not surfaced as run errors.
+		cl.K.Go("scrub-driver", func(p *sim.Proc) {
+			ctx := &rpc.Ctx{P: p}
+			for _, at := range times {
+				p.SleepUntilTime(start + sim.Time(at))
+				cl.scrubPassCtx(ctx, at)
 			}
 		})
 	}

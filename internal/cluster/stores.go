@@ -63,6 +63,45 @@ func (cl *Cluster) CrashVolatile(node string) {
 	}
 }
 
+// CorruptData implements faults.CorruptionTarget: flips one stored byte on
+// the node's store, deterministically from seed, without resealing its
+// block checksum.  Nodes whose store has nothing materialized (synthetic
+// payloads, empty stores) are counted no-ops, like any untargetable fault.
+func (cl *Cluster) CorruptData(node string, seed int64) {
+	if !cl.faultTargetable("bit-rot", node) {
+		return
+	}
+	ss, ok := cl.storageByNode[node]
+	if !ok || !ss.CorruptData(seed) {
+		cl.skippedFaults.With("bit-rot", node).Inc()
+	}
+}
+
+// MisdirectRead implements faults.CorruptionTarget: arms a one-shot
+// wrong-block read on the node's store.
+func (cl *Cluster) MisdirectRead(node string, seed int64) {
+	if !cl.faultTargetable("misdirected-read", node) {
+		return
+	}
+	ss, ok := cl.storageByNode[node]
+	if !ok || !ss.MisdirectRead(seed) {
+		cl.skippedFaults.With("misdirected-read", node).Inc()
+	}
+}
+
+// ArmTornWrite implements faults.CorruptionTarget: the node's next crash
+// persists only a prefix of its final journal record.  A no-op (counted)
+// for non-journaling backends.
+func (cl *Cluster) ArmTornWrite(node string) {
+	if !cl.faultTargetable("torn-write", node) {
+		return
+	}
+	ss, ok := cl.storageByNode[node]
+	if !ok || !ss.ArmTornWrite() {
+		cl.skippedFaults.With("torn-write", node).Inc()
+	}
+}
+
 // RestartVolatile implements faults.VolatileTarget: replays the node's
 // durable log into a fresh image before the node rejoins.  Replay time is
 // deliberately not charged to the simulation — recovery happens inside the

@@ -62,6 +62,26 @@ type VolatileTarget interface {
 	RestartVolatile(node string)
 }
 
+// CorruptionTarget is the optional extension a Target implements when data
+// integrity faults — silent corruption of stored bytes, not node loss — can
+// be injected into a node's store (docs/FAULTS.md "Corruption").  Every hook
+// is deterministic in (node, seed), so a corruption plan replays exactly.
+// Targets without checksummed stores simply do not implement it and the
+// corruption events become counted no-ops.
+type CorruptionTarget interface {
+	// CorruptData flips one stored byte on node's store, chosen
+	// deterministically from seed, without updating its block checksum —
+	// bit rot on the media.
+	CorruptData(node string, seed int64)
+	// MisdirectRead arms a one-shot wrong-block read on node's store: the
+	// next read of the victim block is served the bytes of a different
+	// block, modelling a firmware- or driver-level misdirected I/O.
+	MisdirectRead(node string, seed int64)
+	// ArmTornWrite makes node's next crash persist only a prefix of the
+	// final acknowledged journal record, so recovery sees a torn write.
+	ArmTornWrite(node string)
+}
+
 // Event is one scheduled injection.  Concrete events are the exported
 // structs below; At is relative to the start of the run the plan is armed
 // for.
@@ -152,6 +172,63 @@ func (e SlowDisk) Kind() string        { return "slow-disk" }
 func (e SlowDisk) Target() string      { return e.Node }
 func (e SlowDisk) Apply(tg Target)     { tg.SetDiskSlow(e.Node, e.Factor) }
 
+// BitRot silently flips one stored byte on Node at At, leaving the block's
+// checksum stale.  Which byte is a pure function of (the store's contents,
+// Seed).  The corruption is *silent*: nothing fails until a read or scrub
+// touches the block and its checksum disagrees.
+type BitRot struct {
+	At   time.Duration
+	Node string
+	Seed int64
+}
+
+func (e BitRot) When() time.Duration { return e.At }
+func (e BitRot) Kind() string        { return "bit-rot" }
+func (e BitRot) Target() string      { return e.Node }
+func (e BitRot) Apply(tg Target) {
+	if ct, ok := tg.(CorruptionTarget); ok {
+		ct.CorruptData(e.Node, e.Seed)
+	}
+}
+
+// MisdirectedRead arms a one-shot wrong-block read on Node at At: the next
+// read of a victim block (chosen deterministically from Seed) is served
+// another block's bytes.  Location-salted checksums catch it — the stray
+// block carries a valid sum for the wrong address.
+type MisdirectedRead struct {
+	At   time.Duration
+	Node string
+	Seed int64
+}
+
+func (e MisdirectedRead) When() time.Duration { return e.At }
+func (e MisdirectedRead) Kind() string        { return "misdirected-read" }
+func (e MisdirectedRead) Target() string      { return e.Node }
+func (e MisdirectedRead) Apply(tg Target) {
+	if ct, ok := tg.(CorruptionTarget); ok {
+		ct.MisdirectRead(e.Node, e.Seed)
+	}
+}
+
+// TornWrite arms Node so that its next crash persists only a prefix of the
+// final acknowledged journal record.  Meaningful only when paired with a
+// later StorageNodeCrash on the same node and a journaling backend; the
+// record checksum catches the tear at recovery, which drops the record and
+// counts it (store_wal_torn_writes_total).
+type TornWrite struct {
+	At   time.Duration
+	Node string
+}
+
+func (e TornWrite) When() time.Duration { return e.At }
+func (e TornWrite) Kind() string        { return "torn-write" }
+func (e TornWrite) Target() string      { return e.Node }
+func (e TornWrite) Apply(tg Target) {
+	if ct, ok := tg.(CorruptionTarget); ok {
+		ct.ArmTornWrite(e.Node)
+	}
+}
+
 // Plan is a schedule of fault events.  A cluster built with
 // cluster.Config.Faults re-arms the plan relative to the start of every
 // workload run (Run/RunClient) while faults are armed; pair every crash
@@ -228,12 +305,31 @@ func (in *Injector) Apply(ev Event) {
 	}
 }
 
+// PlanOpts selects optional event families for RandomPlanWith.
+type PlanOpts struct {
+	// Corruption adds data-integrity events to the plan: one or two bit-rot
+	// flips, (half the time) an armed misdirected read, and (half the time)
+	// a torn write armed shortly before the crash.  Opt-in because
+	// corruption events are only meaningful against checksummed stores with
+	// real (non-synthetic) payloads; the default plans stay availability-
+	// only so existing figures are unchanged.
+	Corruption bool
+}
+
 // RandomPlan derives a reproducible plan from seed alone: one crash/restart
 // pair on one of nodes, plus (half the time each) a degraded link and a
 // slow disk, all within horizon.  The crash lands in the first fifth of the
 // horizon and heals before 0.8·horizon, so a workload paced across the
 // horizon always overlaps the outage.
 func RandomPlan(seed int64, nodes []string, horizon time.Duration) *Plan {
+	return RandomPlanWith(seed, nodes, horizon, PlanOpts{})
+}
+
+// RandomPlanWith is RandomPlan with optional event families.  For any opts,
+// the base schedule is identical to RandomPlan's for the same seed: optional
+// draws happen after all base draws, so enabling an option extends a plan
+// without perturbing it.
+func RandomPlanWith(seed int64, nodes []string, horizon time.Duration, opts PlanOpts) *Plan {
 	if len(nodes) == 0 {
 		panic("faults: RandomPlan needs at least one node")
 	}
@@ -264,6 +360,24 @@ func RandomPlan(seed int64, nodes []string, horizon time.Duration) *Plan {
 			SlowDisk{At: at(0, 0.3), Node: n, Factor: 2 + rng.Float64()*6},
 			SlowDisk{At: at(0.6, 0.85), Node: n, Factor: 1},
 		)
+	}
+	if opts.Corruption {
+		// Rot lands after the restart window so the victim's store is live
+		// when the flip applies, and before 0.9·horizon so a workload paced
+		// across the horizon still reads (and can repair) the bad block.
+		for i, flips := 0, 1+rng.Intn(2); i < flips; i++ {
+			n := nodes[rng.Intn(len(nodes))]
+			p.Events = append(p.Events, BitRot{At: at(0.55, 0.9), Node: n, Seed: rng.Int63()})
+		}
+		if rng.Float64() < 0.5 {
+			n := nodes[rng.Intn(len(nodes))]
+			p.Events = append(p.Events, MisdirectedRead{At: at(0.55, 0.9), Node: n, Seed: rng.Int63()})
+		}
+		if rng.Float64() < 0.5 {
+			// Armed just before the crash: the tear is in the flush the
+			// crash interrupts.
+			p.Events = append(p.Events, TornWrite{At: crash - crash/10, Node: victim})
+		}
 	}
 	return p
 }

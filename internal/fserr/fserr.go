@@ -28,6 +28,12 @@ const (
 	Inval
 	Stale // handle no longer valid
 	IO
+	// Corrupt reports a data integrity failure: the server (or the client's
+	// own wire-checksum verification) detected a block whose checksum does
+	// not match its content.  Unlike IO it is known to be a property of one
+	// stored copy, so clients retry briefly and then repair from a replica
+	// rather than retrying forever (docs/FAULTS.md "Corruption").
+	Corrupt
 )
 
 // ToErrno converts a store (or nil) error into a wire code.
@@ -47,6 +53,8 @@ func ToErrno(err error) Errno {
 		return NotEmpty
 	case store.ErrInval:
 		return Inval
+	case store.ErrCorrupt:
+		return Corrupt
 	default:
 		return IO
 	}
@@ -71,6 +79,8 @@ func (e Errno) Err() error {
 		return store.ErrInval
 	case Stale:
 		return ErrStale
+	case Corrupt:
+		return store.ErrCorrupt
 	default:
 		return ErrIO
 	}

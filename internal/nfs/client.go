@@ -15,7 +15,9 @@ import (
 	"dpnfs/internal/rpc"
 	"dpnfs/internal/sim"
 	"dpnfs/internal/simnet"
+	"dpnfs/internal/store"
 	"dpnfs/internal/stripe"
+	"dpnfs/internal/xdr"
 )
 
 // ClientConfig wires an NFSv4.1 client (one mount) to its node and servers.
@@ -148,6 +150,25 @@ type Client struct {
 	layoutEvicts *metrics.Counter
 	layoutRefch  *metrics.Counter
 	mdsFallbacks *metrics.Counter
+
+	// Integrity observability (docs/FAULTS.md "Corruption"): corrupt reads
+	// detected by block/wire checksums, bounded same-source re-reads, and
+	// replica read-repairs that rewrote the bad copy.
+	corruptReads *metrics.Counter
+	readRepairs  *metrics.Counter
+
+	// repairedMu/repaired make read-repair exactly-once per extent: the
+	// first corrupt read of an extent rewrites the bad copy, concurrent and
+	// later corrupt reads of the same extent only re-serve good bytes.
+	repairedMu sync.Mutex
+	repaired   map[repairKey]bool
+}
+
+// repairKey identifies one repaired device extent.
+type repairKey struct {
+	fh     uint64
+	dev    int
+	devOff int64
 }
 
 // Metrics returns the mount's per-operation latency/volume table.
@@ -206,6 +227,11 @@ func NewClient(cfg ClientConfig) *Client {
 			"Layouts re-fetched (GETDEVICELIST + LAYOUTGET) after eviction."),
 		mdsFallbacks: reg.Counter("nfs_client_mds_fallbacks_total",
 			"Extents proxied through the MDS after data-server recovery failed."),
+		corruptReads: reg.Counter("nfs_client_corrupt_reads_total",
+			"READs that returned a data-integrity error (block or wire checksum mismatch)."),
+		readRepairs: reg.Counter("nfs_client_read_repairs_total",
+			"Corrupt extents rewritten with good bytes fetched from a replica."),
+		repaired: make(map[repairKey]bool),
 	}
 	c.slotSem = sim.NewSemaphore(cfg.Name+"/slots", int(cfg.Slots))
 	c.rtSlots = make(chan struct{}, cfg.Slots)
@@ -313,6 +339,20 @@ func (c *Client) call(ctx *rpc.Ctx, conn rpc.Conn, sessioned bool, ops ...Op) (*
 	}
 	if rep.Status != 0 {
 		return &rep, rep.Status.Err()
+	}
+	// Wire payload verification: the server attached a CRC32C of each READ
+	// payload; a mismatch means the bytes were damaged after the server's
+	// block-checksum verification, so it feeds the same integrity ladder.
+	for _, r := range rep.Results {
+		rr, ok := r.(*ResRead)
+		if !ok || !rr.HasSum || rr.Data.Bytes == nil {
+			continue
+		}
+		if xdr.Checksum(rr.Data.Bytes) != rr.Sum {
+			rr.Data.Release()
+			rr.Data = payload.Payload{}
+			return &rep, store.ErrCorrupt
+		}
 	}
 	return &rep, nil
 }
@@ -1155,6 +1195,17 @@ func (c *Client) readChunks(ctx *rpc.Ctx, f *File, chunks []extent, opts ioengin
 	}
 	primary := func(ctx *rpc.Ctx, e stripe.Extent) error {
 		rep, err := c.dsRead(ctx, f, layout, e, want)
+		// A checksum mismatch gets a bounded number of same-source re-reads
+		// before the failure ladder engages: a misdirected read is one-shot,
+		// so the next read of the same block is clean, while persistent rot
+		// escalates to replica read-repair below (rpc.IntegrityRetries).
+		for attempt := 0; rpc.RetryableIntegrity(err); attempt++ {
+			c.corruptReads.Inc()
+			if attempt >= rpc.IntegrityRetries {
+				break
+			}
+			rep, err = c.dsRead(ctx, f, layout, e, want)
+		}
 		if err != nil {
 			return err
 		}
@@ -1208,12 +1259,20 @@ func (c *Client) readChunks(ctx *rpc.Ctx, f *File, chunks []extent, opts ioengin
 			return dev >= 0 && dev < len(layout.Devices) && c.deviceActive(layout.Devices[dev])
 		}
 		replicaFB := ioengine.WithFallback(func(ctx *rpc.Ctx, e stripe.Extent, err error) error {
+			corrupt := rpc.RetryableIntegrity(err)
 			for _, alt := range rm.AlternatesLive(e, live) {
 				rep, err2 := c.dsRead(ctx, f, layout, alt, want)
 				if err2 != nil {
 					continue
 				}
-				fillRelease(f, alt.Off, rep.Results[1].(*ResRead).Data)
+				data := rep.Results[1].(*ResRead).Data
+				if corrupt {
+					// The extent failed its checksum, not its transport:
+					// rewrite the bad copy with the replica's good bytes
+					// before serving them (read-repair).
+					c.readRepair(ctx, f, layout, e, data)
+				}
+				fillRelease(f, alt.Off, data)
 				return nil
 			}
 			return err
@@ -1221,6 +1280,33 @@ func (c *Client) readChunks(ctx *rpc.Ctx, f *File, chunks []extent, opts ioengin
 		policies = append(policies, replicaFB)
 	}
 	return c.engine.RunWith(ctx, opts, c.engine.Prepare(extents), primary, policies...)
+}
+
+// readRepair rewrites a corrupt extent with good bytes just read from a
+// replica, exactly once per (file, device, device-offset): the first corrupt
+// read repairs the copy, concurrent and later corrupt reads of the same
+// extent only re-serve good bytes.  The rewrite is best-effort — the caller
+// already holds good data, and the background scrubber sweeps up copies the
+// client never rewrites — so a failed repair only releases the exactly-once
+// claim for a later attempt.
+func (c *Client) readRepair(ctx *rpc.Ctx, f *File, l *pnfs.FileLayout, e stripe.Extent, good payload.Payload) {
+	key := repairKey{fh: f.fh, dev: e.Dev, devOff: e.DevOff}
+	c.repairedMu.Lock()
+	claimed := !c.repaired[key]
+	if claimed {
+		c.repaired[key] = true
+	}
+	c.repairedMu.Unlock()
+	if !claimed {
+		return
+	}
+	if _, err := c.dsWrite(ctx, f, l, e, good); err != nil {
+		c.repairedMu.Lock()
+		delete(c.repaired, key)
+		c.repairedMu.Unlock()
+		return
+	}
+	c.readRepairs.Inc()
 }
 
 // dsRead sends one extent's READ to its data server under layout l.

@@ -95,6 +95,10 @@ type ServerConfig struct {
 	// Metrics is the shared observability registry (docs/METRICS.md).
 	// Nil disables server-side metrics.
 	Metrics *metrics.Registry
+	// WireChecksums attaches a CRC32C of each READ payload to the reply so
+	// clients can detect corruption introduced after the block checksum was
+	// verified (buffer management bugs, transport scribbles).
+	WireChecksums bool
 }
 
 // Server is an NFSv4.1 server instance (metadata or data role is determined
@@ -367,7 +371,11 @@ func (s *Server) run(ctx *rpc.Ctx, cpu *sim.KServer, args *CompoundArgs) *Compou
 			if n := data.Len(); n > 0 {
 				s.bytesRead.Add(uint64(n))
 			}
-			rep.Results = append(rep.Results, &ResRead{Eof: eof, Data: data})
+			res := &ResRead{Eof: eof, Data: data}
+			if s.cfg.WireChecksums && data.Bytes != nil {
+				res.Sum, res.HasSum = xdr.Checksum(data.Bytes), true
+			}
+			rep.Results = append(rep.Results, res)
 
 		case *OpWrite:
 			ctx.UseCPU(cpu, perMB(s.cfg.Costs.ServerPerMB, o.Data.Len()))

@@ -462,6 +462,11 @@ type ResRead struct {
 	Errno fserr.Errno
 	Eof   bool
 	Data  payload.Payload
+	// Sum is an optional CRC32C over the payload bytes (HasSum gates it),
+	// computed by servers with wire checksums enabled so clients can verify
+	// the payload end to end (docs/BACKENDS.md "Block checksums").
+	Sum    uint32
+	HasSum bool
 }
 
 func (r *ResRead) Status() fserr.Errno { return r.Errno }
@@ -469,6 +474,8 @@ func (r *ResRead) MarshalXDR(e *xdr.Encoder) {
 	e.Uint32(uint32(r.Errno))
 	e.Bool(r.Eof)
 	r.Data.MarshalXDR(e)
+	e.Uint32(r.Sum)
+	e.Bool(r.HasSum)
 }
 func (r *ResRead) UnmarshalXDR(d *xdr.Decoder) error {
 	v, err := d.Uint32()
@@ -479,12 +486,19 @@ func (r *ResRead) UnmarshalXDR(d *xdr.Decoder) error {
 	if r.Eof, err = d.Bool(); err != nil {
 		return err
 	}
-	return r.Data.UnmarshalXDR(d)
+	if err = r.Data.UnmarshalXDR(d); err != nil {
+		return err
+	}
+	if r.Sum, err = d.Uint32(); err != nil {
+		return err
+	}
+	r.HasSum, err = d.Bool()
+	return err
 }
 
 // WireSize avoids materializing bulk read payloads under simulation.
 func (r *ResRead) WireSize() int64 {
-	return xdr.SizeUint32 + xdr.SizeBool + r.Data.WireSize()
+	return xdr.SizeUint32 + xdr.SizeBool + r.Data.WireSize() + xdr.SizeUint32 + xdr.SizeBool
 }
 
 // ResWrite is the WRITE result.

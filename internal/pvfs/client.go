@@ -5,13 +5,16 @@ import (
 	"sync"
 	"time"
 
+	"dpnfs/internal/fserr"
 	"dpnfs/internal/ioengine"
 	"dpnfs/internal/metrics"
 	"dpnfs/internal/payload"
 	"dpnfs/internal/rpc"
 	"dpnfs/internal/sim"
 	"dpnfs/internal/simnet"
+	"dpnfs/internal/store"
 	"dpnfs/internal/stripe"
+	"dpnfs/internal/xdr"
 )
 
 // ClientConfig describes one PVFS2 client library instance.
@@ -84,6 +87,19 @@ type Client struct {
 	// not ride the engine.
 	io     map[uint32]rpc.Conn
 	ioSync map[uint32]rpc.Conn
+	// repaired records extents this client already read-repaired, keyed by
+	// (data handle, device, device offset): repair is exactly-once per
+	// extent per client, so a rewrite that does not take (the replica is
+	// also failing) cannot loop.
+	repairedMu sync.Mutex
+	repaired   map[repairKey]bool
+}
+
+// repairKey identifies one repaired device extent.
+type repairKey struct {
+	data   Handle
+	dev    int
+	devOff int64
 }
 
 // NewClient returns a client with defaults applied.  Striped reads and
@@ -106,7 +122,7 @@ func NewClient(cfg ClientConfig) *Client {
 	if issuer == "" {
 		issuer = "pvfs"
 	}
-	c := &Client{cfg: cfg, stats: stats}
+	c := &Client{cfg: cfg, stats: stats, repaired: make(map[repairKey]bool)}
 	c.engine = ioengine.New(ioengine.Config{
 		Name:            name,
 		Issuer:          issuer,
@@ -152,7 +168,7 @@ type File struct {
 	Handle Handle
 	Data   Handle
 	Dist   DistParams
-	mapper *stripe.RoundRobin
+	mapper stripe.Mapper
 	io     []rpc.Conn
 	ioSync []rpc.Conn
 }
@@ -174,7 +190,7 @@ func (c *Client) newFile(h, data Handle, dist DistParams) *File {
 		Handle: h,
 		Data:   data,
 		Dist:   dist,
-		mapper: stripe.NewRoundRobin(dist.StripeSize, len(ids)),
+		mapper: dist.Mapper(),
 		io:     make([]rpc.Conn, len(ids)),
 		ioSync: make([]rpc.Conn, len(ids)),
 	}
@@ -260,7 +276,7 @@ func (c *Client) Write(ctx *rpc.Ctx, f *File, off int64, data payload.Payload, s
 			return rep.Errno.Err()
 		}
 		mu.Lock()
-		if end := f.mapper.LogicalEnd(r.Dev, rep.ObjSize); end > logical {
+		if end := logicalEnd(f.mapper, r.Dev, rep.ObjSize); end > logical {
 			logical = end
 		}
 		mu.Unlock()
@@ -288,17 +304,16 @@ func (c *Client) Read(ctx *rpc.Ctx, f *File, off, n int64, wantReal bool) (paylo
 	// eligible for hedged duplicates when the engine has hedging enabled
 	// (reads are idempotent).
 	err := c.engine.RunWith(ctx, ioengine.RunOpts{Class: c.cfg.Class, Hedge: true}, reqs, func(ctx *rpc.Ctx, r stripe.Extent) error {
-		conn, err := f.conn(r.Dev)
+		rep, err := c.readExtent(ctx, f, r, wantReal)
+		if err != nil {
+			// Replica ladder: a dead device or a corrupt block is retried
+			// on each surviving copy; corruption additionally rewrites the
+			// bad copy with the good bytes (read-repair, exactly once per
+			// extent).
+			rep, err = c.readAlternates(ctx, f, r, wantReal, err)
+		}
 		if err != nil {
 			return err
-		}
-		var rep IOReadRep
-		args := &IOReadArgs{Handle: f.Data, Off: r.DevOff, Len: r.Len, WantReal: wantReal}
-		if err := conn.Call(ctx, ProcIORead, args, &rep); err != nil {
-			return err
-		}
-		if rep.Errno != 0 {
-			return rep.Errno.Err()
 		}
 		got := rep.Data.Len()
 		if got > 0 {
@@ -329,6 +344,94 @@ func (c *Client) Read(ctx *rpc.Ctx, f *File, off, n int64, wantReal bool) (paylo
 		return payload.Real(buf[:valid]), valid, nil
 	}
 	return payload.Synthetic(valid), valid, nil
+}
+
+// readExtent issues one extent read to its device's daemon and verifies the
+// reply (errno mapping plus the optional wire checksum).
+func (c *Client) readExtent(ctx *rpc.Ctx, f *File, r stripe.Extent, wantReal bool) (IOReadRep, error) {
+	conn, err := f.conn(r.Dev)
+	if err != nil {
+		return IOReadRep{}, err
+	}
+	var rep IOReadRep
+	args := &IOReadArgs{Handle: f.Data, Off: r.DevOff, Len: r.Len, WantReal: wantReal}
+	if err := conn.Call(ctx, ProcIORead, args, &rep); err != nil {
+		return IOReadRep{}, err
+	}
+	if rep.Errno != 0 {
+		if rep.Errno == fserr.Corrupt {
+			c.stats.corruptReads.Inc()
+		}
+		return IOReadRep{}, rep.Errno.Err()
+	}
+	if rep.HasSum && rep.Data.Bytes != nil && xdr.Checksum(rep.Data.Bytes) != rep.Sum {
+		// The payload was damaged after the daemon read it (or on the
+		// wire): surface it as the same bounded-retry integrity error a
+		// block-checksum mismatch produces.
+		c.stats.corruptReads.Inc()
+		rep.Data.Release()
+		return IOReadRep{}, store.ErrCorrupt
+	}
+	return rep, nil
+}
+
+// readAlternates re-drives a failed extent read on each surviving replica.
+// Only the two laddered failure kinds are eligible — a down device and a
+// data-integrity error; anything else (bad handle, wiring bug) propagates
+// unchanged.  An integrity failure that a replica absorbs also rewrites the
+// bad copy with the replica's bytes.
+func (c *Client) readAlternates(ctx *rpc.Ctx, f *File, r stripe.Extent, wantReal bool, cause error) (IOReadRep, error) {
+	rm, ok := f.mapper.(*stripe.Replicated)
+	if !ok || (!rpc.Retryable(cause) && !rpc.RetryableIntegrity(cause)) {
+		return IOReadRep{}, cause
+	}
+	corrupt := rpc.RetryableIntegrity(cause)
+	for _, alt := range rm.Alternates(r) {
+		// Repair needs real bytes even when the caller wanted a synthetic
+		// read (it rewrites stored content, not sizes).
+		rep, err := c.readExtent(ctx, f, alt, wantReal || corrupt)
+		if err != nil {
+			continue
+		}
+		if corrupt {
+			c.readRepair(ctx, f, r, rep.Data)
+		}
+		return rep, nil
+	}
+	return IOReadRep{}, cause
+}
+
+// readRepair rewrites the corrupt extent on its original device with the
+// good bytes just fetched from a replica, at most once per extent per
+// client.  The write reseals the block checksums; failure releases the
+// claim so a later read can try again.
+func (c *Client) readRepair(ctx *rpc.Ctx, f *File, r stripe.Extent, good payload.Payload) {
+	if good.Bytes == nil || good.Len() == 0 {
+		return
+	}
+	key := repairKey{data: f.Data, dev: r.Dev, devOff: r.DevOff}
+	c.repairedMu.Lock()
+	claimed := !c.repaired[key]
+	if claimed {
+		c.repaired[key] = true
+	}
+	c.repairedMu.Unlock()
+	if !claimed {
+		return
+	}
+	conn, err := f.conn(r.Dev)
+	if err != nil {
+		return
+	}
+	var rep IOWriteRep
+	args := &IOWriteArgs{Handle: f.Data, Off: r.DevOff, Data: good}
+	if err := conn.Call(ctx, ProcIOWrite, args, &rep); err != nil || rep.Errno != 0 {
+		c.repairedMu.Lock()
+		delete(c.repaired, key)
+		c.repairedMu.Unlock()
+		return
+	}
+	c.stats.readRepairs.Inc()
 }
 
 // Sync flushes the file's buffered data on each storage daemon holding one

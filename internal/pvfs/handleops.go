@@ -331,4 +331,4 @@ func (c *Client) TruncateH(ctx *rpc.Ctx, h Handle, size int64) error {
 
 // Mapper exposes the file's stripe mapper (used by layout translation
 // tests).
-func (f *File) Mapper() *stripe.RoundRobin { return f.mapper }
+func (f *File) Mapper() stripe.Mapper { return f.mapper }

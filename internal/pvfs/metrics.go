@@ -99,10 +99,12 @@ func newMetaStats(reg *metrics.Registry) *metaStats {
 // bytes moved, the raw material for the paper's small-I/O analysis (§6.4.1:
 // cacheless clients pass every application request straight through).
 type clientStats struct {
-	ioRequests *metrics.Counter
-	ioRetries  *metrics.Counter
-	bytesRead  *metrics.Counter
-	bytesWrite *metrics.Counter
+	ioRequests   *metrics.Counter
+	ioRetries    *metrics.Counter
+	bytesRead    *metrics.Counter
+	bytesWrite   *metrics.Counter
+	corruptReads *metrics.Counter
+	readRepairs  *metrics.Counter
 }
 
 func newClientStats(reg *metrics.Registry) *clientStats {
@@ -115,5 +117,9 @@ func newClientStats(reg *metrics.Registry) *clientStats {
 			"Logical bytes read by the client library."),
 		bytesWrite: reg.Counter("pvfs_client_bytes_written_total",
 			"Logical bytes written by the client library."),
+		corruptReads: reg.Counter("pvfs_client_corrupt_reads_total",
+			"Reads that returned a data-integrity error (block or wire checksum mismatch)."),
+		readRepairs: reg.Counter("pvfs_client_read_repairs_total",
+			"Corrupt extents rewritten with good bytes fetched from a replica."),
 	}
 }

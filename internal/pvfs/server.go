@@ -64,6 +64,9 @@ type StorageConfig struct {
 	// abstraction (simulated fabric or real TCP) under Node's name instead
 	// of the legacy Fabric path.
 	Transport rpc.Transport
+	// WireChecksums makes real read replies carry a CRC32C over the payload
+	// so clients can verify it end to end (docs/BACKENDS.md).
+	WireChecksums bool
 	// Metrics is the shared observability registry (docs/METRICS.md); nil
 	// discards.
 	Metrics *metrics.Registry
@@ -132,6 +135,23 @@ func (s *StorageServer) object(h Handle) (store.FileID, bool) {
 	return id, ok
 }
 
+// HandleFor reverse-maps a store file back to its datafile handle — the
+// scrubber walks the store by FileID but replicas are addressed over the
+// wire by Handle.
+func (s *StorageServer) HandleFor(id store.FileID) (Handle, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for h, fid := range s.objects {
+		if fid == id {
+			return h, true
+		}
+	}
+	return 0, false
+}
+
+// Store exposes the daemon's content store (scrub wiring, tests).
+func (s *StorageServer) Store() store.Store { return s.store }
+
 // ObjectSize reports the datafile object size for handle (0 if absent) —
 // used by cache warming and tests.
 func (s *StorageServer) ObjectSize(h Handle) int64 {
@@ -160,6 +180,39 @@ func (s *StorageServer) CrashVolatile() {
 	s.objects = make(map[Handle]store.FileID)
 	s.mu.Unlock()
 	rec.Crash()
+}
+
+// CorruptData flips one stored byte in the daemon's store, chosen
+// deterministically from seed, leaving the block checksum stale.  It
+// reports whether any materialized block was eligible (false also when the
+// backend has no corruption hooks).
+func (s *StorageServer) CorruptData(seed int64) bool {
+	c, ok := s.store.(store.Corruptible)
+	if !ok {
+		return false
+	}
+	return c.CorruptChunk(seed)
+}
+
+// MisdirectRead arms a one-shot wrong-block read in the daemon's store,
+// reporting whether a victim was found.
+func (s *StorageServer) MisdirectRead(seed int64) bool {
+	c, ok := s.store.(store.Corruptible)
+	if !ok {
+		return false
+	}
+	return c.MisdirectNextRead(seed)
+}
+
+// ArmTornWrite arms the daemon's store so its next crash tears the final
+// journal record; false when the backend does not journal.
+func (s *StorageServer) ArmTornWrite() bool {
+	tw, ok := s.store.(store.TornWriter)
+	if !ok {
+		return false
+	}
+	tw.ArmTornWrite()
+	return true
 }
 
 // RecoverVolatile replays the durable log after a restart and rebuilds the
@@ -367,6 +420,9 @@ func (s *StorageServer) Handle(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshale
 			if _, err := s.store.ReadAt(id, a.Off, buf); err != nil {
 				rpc.PutBuf(buf)
 				return &IOReadRep{Errno: fserr.ToErrno(err)}, rpc.StatusOK
+			}
+			if s.cfg.WireChecksums {
+				rep.Sum, rep.HasSum = xdr.Checksum(buf), true
 			}
 			if ctx.Serialized() {
 				ctx.Defer(func() { rpc.PutBuf(buf) })
@@ -748,7 +804,7 @@ func (m *MetaServer) Handle(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshaler, 
 		// placement servers (decentralized metadata, paper §6.4.3).
 		place := m.PlacementOf(a.Handle)
 		ids := place.Dist.ServerIDs()
-		mapper := stripe.NewRoundRobin(place.Dist.StripeSize, len(ids))
+		mapper := place.Dist.Mapper()
 		sizes := make([]int64, len(ids))
 		changes := make([]uint64, len(ids))
 		ferr := m.fanoutConns(ctx, m.connsFor(ids), func(ctx *rpc.Ctx, dev int, conn rpc.Conn) error {
@@ -769,7 +825,7 @@ func (m *MetaServer) Handle(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshaler, 
 		var size int64
 		var change uint64
 		for dev, s := range sizes {
-			if end := mapper.LogicalEnd(dev, s); end > size {
+			if end := logicalEnd(mapper, dev, s); end > size {
 				size = end
 			}
 			change += changes[dev]
@@ -787,7 +843,7 @@ func (m *MetaServer) Handle(ctx *rpc.Ctx, proc uint32, req any) (xdr.Marshaler, 
 		}
 		place := m.PlacementOf(a.Handle)
 		ids := place.Dist.ServerIDs()
-		sizes := objSizes(stripe.NewRoundRobin(place.Dist.StripeSize, len(ids)), len(ids), a.Size)
+		sizes := objSizes(place.Dist.Mapper(), len(ids), a.Size)
 		ferr := m.fanoutConns(ctx, m.connsFor(ids), func(ctx *rpc.Ctx, dev int, conn rpc.Conn) error {
 			var rep IOTruncateRep
 			return conn.Call(ctx, ProcIOTruncate,

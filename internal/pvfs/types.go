@@ -20,6 +20,7 @@ import (
 	"dpnfs/internal/fserr"
 	"dpnfs/internal/payload"
 	"dpnfs/internal/rpc"
+	"dpnfs/internal/stripe"
 	"dpnfs/internal/xdr"
 )
 
@@ -80,6 +81,41 @@ type DistParams struct {
 	// the encoding every pre-membership peer produced.  When set,
 	// len(Servers) == NumServers.
 	Servers []uint32
+	// Copies stores this many full replicas of the stripe, the server list
+	// partitioned per replica exactly like stripe.Replicated: replica r
+	// owns servers [r*n/Copies, (r+1)*n/Copies).  0 and 1 both mean
+	// unreplicated.  Replication at the distribution level is what lets
+	// every architecture's pvfs substrate read-repair corrupt blocks from
+	// a surviving copy.
+	Copies uint32
+}
+
+// Mapper instantiates the distribution's aggregation driver.  Geometry the
+// replication factor cannot divide falls back to plain round-robin — a
+// misconfiguration surfaced loudly by the cluster layer, never here on the
+// I/O path.
+func (p DistParams) Mapper() stripe.Mapper {
+	n := max(len(p.ServerIDs()), 1)
+	if p.Copies > 1 && n%int(p.Copies) == 0 {
+		return stripe.NewReplicated(
+			stripe.NewRoundRobin(p.StripeSize, n/int(p.Copies)), int(p.Copies))
+	}
+	return stripe.NewRoundRobin(p.StripeSize, n)
+}
+
+// logicalEnd reconstructs the logical file end implied by a stripe object
+// of objSize bytes on dev, for mappers that support size reconstruction
+// (round-robin and replicated round-robin — every mapper a DistParams can
+// produce).
+func logicalEnd(m stripe.Mapper, dev int, objSize int64) int64 {
+	type ender interface {
+		LogicalEnd(dev int, objSize int64) int64
+	}
+	e, ok := m.(ender)
+	if !ok {
+		return 0
+	}
+	return e.LogicalEnd(dev, objSize)
 }
 
 // ServerIDs returns the stripe-order server IDs, materializing the legacy
@@ -172,6 +208,11 @@ type IOReadRep struct {
 	Data  payload.Payload
 	// Eof reports a short read at end of object.
 	Eof bool
+	// Sum is an optional CRC32C over the payload bytes (HasSum gates it),
+	// computed by daemons with wire checksums enabled so clients can verify
+	// the payload end to end (docs/BACKENDS.md "Block checksums").
+	Sum    uint32
+	HasSum bool
 }
 
 // IOWriteArgs writes to a datafile (device-space offset).
@@ -276,6 +317,7 @@ func (p *DistParams) MarshalXDR(e *xdr.Encoder) {
 	for _, id := range p.Servers {
 		e.Uint32(id)
 	}
+	e.Uint32(p.Copies)
 }
 
 func (p *DistParams) UnmarshalXDR(d *xdr.Decoder) error {
@@ -302,7 +344,8 @@ func (p *DistParams) UnmarshalXDR(d *xdr.Decoder) error {
 			}
 		}
 	}
-	return nil
+	p.Copies, err = d.Uint32()
+	return err
 }
 
 func (a *CreateArgs) MarshalXDR(e *xdr.Encoder) { e.String(a.Path) }
@@ -495,6 +538,8 @@ func (r *IOReadRep) MarshalXDR(e *xdr.Encoder) {
 	e.Uint32(uint32(r.Errno))
 	r.Data.MarshalXDR(e)
 	e.Bool(r.Eof)
+	e.Uint32(r.Sum)
+	e.Bool(r.HasSum)
 }
 
 func (r *IOReadRep) UnmarshalXDR(d *xdr.Decoder) error {
@@ -506,14 +551,20 @@ func (r *IOReadRep) UnmarshalXDR(d *xdr.Decoder) error {
 	if err = r.Data.UnmarshalXDR(d); err != nil {
 		return err
 	}
-	r.Eof, err = d.Bool()
+	if r.Eof, err = d.Bool(); err != nil {
+		return err
+	}
+	if r.Sum, err = d.Uint32(); err != nil {
+		return err
+	}
+	r.HasSum, err = d.Bool()
 	return err
 }
 
 // WireSize lets bulk read replies cross the simulated NIC without
 // materializing payload bytes.
 func (r *IOReadRep) WireSize() int64 {
-	return xdr.SizeUint32 + r.Data.WireSize() + xdr.SizeBool
+	return xdr.SizeUint32 + r.Data.WireSize() + xdr.SizeBool + xdr.SizeUint32 + xdr.SizeBool
 }
 
 func (a *IOWriteArgs) MarshalXDR(e *xdr.Encoder) {

@@ -37,6 +37,28 @@ func TestAllMessageTypesRoundTrip(t *testing.T) {
 		}
 	}
 	{
+		// DistParams.Copies rides at the end of the encoding; a dropped or
+		// reordered field would silently flatten every replicated layout.
+		var out CreateRep
+		roundTrip(t, &CreateRep{Handle: 11, Dist: DistParams{
+			StripeSize: 64 << 10, NumServers: 6, Copies: 2}}, &out)
+		if out.Dist.Copies != 2 || out.Dist.NumServers != 6 {
+			t.Fatalf("CreateRep with Copies: %+v", out)
+		}
+	}
+	{
+		// The optional payload checksum survives the wire in both states.
+		var out IOReadRep
+		roundTrip(t, &IOReadRep{Data: payload.Real([]byte("abc")), Sum: 0xDEADBEEF, HasSum: true}, &out)
+		if out.Sum != 0xDEADBEEF || !out.HasSum {
+			t.Fatalf("IOReadRep checksum: %+v", out)
+		}
+		roundTrip(t, &IOReadRep{Data: payload.Real([]byte("abc"))}, &out)
+		if out.HasSum {
+			t.Fatalf("IOReadRep phantom checksum: %+v", out)
+		}
+	}
+	{
 		var out ReadDirRep
 		roundTrip(t, &ReadDirRep{Names: []string{"a", "bb", "ccc"}}, &out)
 		if len(out.Names) != 3 || out.Names[2] != "ccc" {

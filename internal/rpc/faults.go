@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"dpnfs/internal/store"
 	"dpnfs/internal/xdr"
 )
 
@@ -34,6 +35,20 @@ func (e *DownError) Error() string {
 func Retryable(err error) bool {
 	var de *DownError
 	return errors.As(err, &de)
+}
+
+// IntegrityRetries bounds re-reads of data that failed checksum
+// verification.  A misdirected read is transient — the next read of the
+// same block returns the right bytes — but media rot is not, so after this
+// many same-source retries the error escalates to the caller's fallback
+// ladder (read-repair from a replica, layout refetch, MDS proxy).
+const IntegrityRetries = 2
+
+// RetryableIntegrity reports whether err is a data-integrity failure
+// (store.ErrCorrupt, fserr.Corrupt on the wire) that a client may re-read a
+// bounded number of times before escalating.
+func RetryableIntegrity(err error) bool {
+	return errors.Is(err, store.ErrCorrupt)
 }
 
 // RetryPolicy bounds a retry loop: Max attempts total, exponential backoff
@@ -73,9 +88,15 @@ func (p RetryPolicy) WithDefaults() RetryPolicy {
 // onRetry, when non-nil, is invoked before each retry — callers hook their
 // retry counters here.  This is the single retry loop behind both WithRetry
 // conns and the I/O engine's retry policy.
+//
+// Integrity failures (RetryableIntegrity) are retried too, but under their
+// own tighter bound of IntegrityRetries regardless of Max: one retry heals
+// a misdirected read, while persistent rot escalates quickly to whatever
+// fallback ladder wraps this loop.
 func (p RetryPolicy) Do(ctx *Ctx, onRetry func(), op func() error) error {
 	p = p.WithDefaults()
 	backoff := p.Base
+	integrity := 0
 	var err error
 	for attempt := 0; attempt < p.Max; attempt++ {
 		if attempt > 0 {
@@ -89,7 +110,16 @@ func (p RetryPolicy) Do(ctx *Ctx, onRetry func(), op func() error) error {
 			}
 		}
 		err = op()
-		if err == nil || !Retryable(err) {
+		if err == nil {
+			return nil
+		}
+		if RetryableIntegrity(err) {
+			if integrity++; integrity > IntegrityRetries {
+				return err
+			}
+			continue
+		}
+		if !Retryable(err) {
 			return err
 		}
 	}

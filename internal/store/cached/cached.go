@@ -37,6 +37,11 @@ type dirtyFile struct {
 var (
 	_ store.Store       = (*Store)(nil)
 	_ store.Recoverable = (*Store)(nil)
+	// Corruption hooks and torn-write arming promote from the embedded WAL:
+	// rot lands on the shared materialized image, which both the cached
+	// front and the journal's checkpoints read through.
+	_ store.Corruptible = (*Store)(nil)
+	_ store.TornWriter  = (*Store)(nil)
 )
 
 // New returns a cached store over a fresh WAL built from cfg.

@@ -16,6 +16,10 @@ func TestRecoverable(t *testing.T) {
 	storetest.RunRecoverable(t, func(t *testing.T) store.Store { return New(wal.Config{Name: "test"}) })
 }
 
+func TestCorruptible(t *testing.T) {
+	storetest.RunCorruptible(t, func(t *testing.T) store.Store { return New(wal.Config{Name: "test"}) })
+}
+
 // The write-back contract: data writes stage volatile and journal only at
 // Sync, while namespace mutations journal immediately (and become durable
 // at the next Sync even when no data was dirty).

@@ -11,3 +11,7 @@ import (
 func TestConformance(t *testing.T) {
 	storetest.Run(t, func(t *testing.T) store.Store { return mem.New() })
 }
+
+func TestCorruptible(t *testing.T) {
+	storetest.RunCorruptible(t, func(t *testing.T) store.Store { return mem.New() })
+}

@@ -23,6 +23,7 @@ package mem
 
 import (
 	"fmt"
+	"math/rand"
 	"path"
 	"sort"
 	"strings"
@@ -30,6 +31,7 @@ import (
 
 	"dpnfs/internal/sim"
 	"dpnfs/internal/store"
+	"dpnfs/internal/xdr"
 )
 
 type node struct {
@@ -52,9 +54,17 @@ type Store struct {
 	byID   map[store.FileID]*node
 	nextID store.FileID
 	linked int // namespace-reachable inodes (Stats)
+	// misdirect is the file armed for a one-shot wrong-block read
+	// (MisdirectNextRead); 0 means none.  Guarded by misMu, not mu:
+	// ReadAt consumes it under the read lock.
+	misMu     sync.Mutex
+	misdirect store.FileID
 }
 
-var _ store.Store = (*Store)(nil)
+var (
+	_ store.Store       = (*Store)(nil)
+	_ store.Corruptible = (*Store)(nil)
+)
 
 // New returns an empty store with a root directory (FileID 1).
 func New() *Store {
@@ -73,7 +83,7 @@ func (s *Store) alloc(isDir bool) *node {
 	if isDir {
 		n.children = make(map[string]*node)
 	} else {
-		n.data = newSparse()
+		n.data = newSparse(n.id)
 	}
 	s.byID[n.id] = n
 	return n
@@ -215,7 +225,7 @@ func (s *Store) Restore(dir store.FileID, name string, id store.FileID, isDir bo
 	if isDir {
 		n.children = make(map[string]*node)
 	} else {
-		n.data = newSparse()
+		n.data = newSparse(id)
 	}
 	s.byID[id] = n
 	if id > s.nextID {
@@ -401,8 +411,35 @@ func (s *Store) ReadAt(id store.FileID, off int64, b []byte) (int, error) {
 	if int64(len(b)) > avail {
 		b = b[:avail]
 	}
-	n.data.readAt(off, b)
+	misdirect := s.takeMisdirect(id)
+	fired, err := n.data.readAt(off, b, misdirect)
+	if misdirect && !fired {
+		// The read touched no materialized chunk with a donor; the wrong
+		// block is still waiting to be served.
+		s.armMisdirect(id)
+	}
+	if err != nil {
+		return 0, err
+	}
 	return len(b), nil
+}
+
+// takeMisdirect consumes the one-shot misdirect arm if it targets id.
+func (s *Store) takeMisdirect(id store.FileID) bool {
+	s.misMu.Lock()
+	defer s.misMu.Unlock()
+	if s.misdirect != id {
+		return false
+	}
+	s.misdirect = 0
+	return true
+}
+
+// armMisdirect arms (or re-arms) the one-shot misdirect for id.
+func (s *Store) armMisdirect(id store.FileID) {
+	s.misMu.Lock()
+	s.misdirect = id
+	s.misMu.Unlock()
 }
 
 // Truncate sets the file size, discarding or zero-extending content.
@@ -457,11 +494,88 @@ func (s *Store) Discard() {
 		}
 		for ci, c := range n.data.chunks {
 			delete(n.data.chunks, ci)
+			delete(n.data.sums, ci)
 			putChunk(c)
 		}
 		n.size = 0
 	}
 }
+
+// CorruptChunk implements store.Corruptible: it flips one readable byte in
+// one materialized chunk — chosen deterministically from seed — without
+// resealing the checksum, modelling media bit rot.  It reports whether any
+// chunk was eligible (a store holding only synthetic/hole data has no bytes
+// to rot).
+func (s *Store) CorruptChunk(seed int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	type loc struct {
+		id store.FileID
+		ci int64
+	}
+	var locs []loc
+	ids := make([]store.FileID, 0, len(s.byID))
+	for id := range s.byID {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		n := s.byID[id]
+		if n.data == nil {
+			continue
+		}
+		cis := make([]int64, 0, len(n.data.chunks))
+		for ci := range n.data.chunks {
+			// Only bytes below the file size are ever served; rot past EOF
+			// would be undetectable and unrepairable by design.
+			if ci*chunkSize < n.size {
+				cis = append(cis, ci)
+			}
+		}
+		sort.Slice(cis, func(i, j int) bool { return cis[i] < cis[j] })
+		for _, ci := range cis {
+			locs = append(locs, loc{id, ci})
+		}
+	}
+	if len(locs) == 0 {
+		return false
+	}
+	rng := rand.New(rand.NewSource(seed))
+	l := locs[rng.Intn(len(locs))]
+	n := s.byID[l.id]
+	span := n.size - l.ci*chunkSize
+	if span > chunkSize {
+		span = chunkSize
+	}
+	n.data.chunks[l.ci][rng.Int63n(span)] ^= 0xFF
+	return true
+}
+
+// MisdirectNextRead implements store.Corruptible: it arms a one-shot
+// wrong-block read against a file chosen deterministically from seed.  Only
+// files with at least two materialized chunks are eligible — a misdirected
+// read needs a wrong block to serve.  It reports whether a victim was found.
+func (s *Store) MisdirectNextRead(seed int64) bool {
+	s.mu.RLock()
+	var ids []store.FileID
+	for id, n := range s.byID {
+		if n.data != nil && len(n.data.chunks) >= 2 {
+			ids = append(ids, id)
+		}
+	}
+	s.mu.RUnlock()
+	if len(ids) == 0 {
+		return false
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	rng := rand.New(rand.NewSource(seed))
+	s.armMisdirect(ids[rng.Intn(len(ids))])
+	return true
+}
+
+// ArmMisdirect arms a one-shot wrong-block read against a specific file
+// (test hook; fault plans go through MisdirectNextRead).
+func (s *Store) ArmMisdirect(id store.FileID) { s.armMisdirect(id) }
 
 // Stats reports the number of live (namespace-reachable) inodes.
 func (s *Store) Stats() (inodes int) {
@@ -555,11 +669,33 @@ func (s *Store) Walk(fn func(dir store.FileID, name string, at store.Attr) error
 // sparse stores file bytes in fixed-size chunks allocated on demand; holes
 // read as zeros.  Parallel-FS stripe objects are naturally sparse (each
 // storage node holds every k-th stripe unit at its logical offset).
+//
+// Every materialized chunk carries a CRC32C over its full slab, salted with
+// (file id, chunk index): reads verify it, so bit rot surfaces as
+// store.ErrCorrupt instead of silently wrong bytes, and the location salt
+// means even a byte-identical block served from the wrong place (a
+// misdirected read) fails verification when content differs per location.
+// Holes have no chunk, no sum, and nothing to rot.
 type sparse struct {
+	id     store.FileID
 	chunks map[int64][]byte
+	sums   map[int64]uint32
 }
 
 const chunkSize = 64 << 10
+
+// chunkSalt binds a chunk's checksum to its location.  File ids and chunk
+// indexes both stay far below 2^32 in this repository, so packing them into
+// one word keeps every (file, chunk) salt distinct.
+func (sp *sparse) chunkSalt(ci int64) uint64 {
+	return uint64(sp.id)<<32 | uint64(uint32(ci))
+}
+
+// reseal recomputes the checksum of a materialized chunk after a legitimate
+// mutation.
+func (sp *sparse) reseal(ci int64) {
+	sp.sums[ci] = xdr.ChecksumSalted(sp.chunkSalt(ci), sp.chunks[ci])
+}
 
 // chunkFree recycles chunk slabs across files and stores.  Client page
 // caches are dropped and rebuilt wholesale (DropCaches, close-to-open
@@ -603,7 +739,9 @@ func putChunk(c []byte) {
 	chunkFree.Unlock()
 }
 
-func newSparse() *sparse { return &sparse{chunks: make(map[int64][]byte)} }
+func newSparse(id store.FileID) *sparse {
+	return &sparse{id: id, chunks: make(map[int64][]byte), sums: make(map[int64]uint32)}
+}
 
 func (sp *sparse) writeAt(off int64, b []byte) {
 	for len(b) > 0 {
@@ -615,12 +753,18 @@ func (sp *sparse) writeAt(off int64, b []byte) {
 			sp.chunks[ci] = c
 		}
 		n := copy(c[co:], b)
+		sp.reseal(ci)
 		b = b[n:]
 		off += int64(n)
 	}
 }
 
-func (sp *sparse) readAt(off int64, b []byte) {
+// readAt fills b from off, verifying the checksum of every materialized
+// chunk it touches.  misdirect serves one touched chunk's bytes from the
+// next materialized chunk of the same file — the wrong-block model — before
+// verification, which the location-salted sums then catch; fired reports
+// whether that injection found a block to misdirect.
+func (sp *sparse) readAt(off int64, b []byte, misdirect bool) (fired bool, err error) {
 	for len(b) > 0 {
 		ci := off / chunkSize
 		co := off % chunkSize
@@ -629,6 +773,16 @@ func (sp *sparse) readAt(off int64, b []byte) {
 			n = len(b)
 		}
 		if c, ok := sp.chunks[ci]; ok {
+			if misdirect {
+				if donor, dok := sp.donorChunk(ci); dok {
+					c = donor
+					misdirect = false
+					fired = true
+				}
+			}
+			if xdr.ChecksumSalted(sp.chunkSalt(ci), c) != sp.sums[ci] {
+				return fired, store.ErrCorrupt
+			}
 			copy(b[:n], c[co:])
 		} else {
 			for i := 0; i < n; i++ {
@@ -638,6 +792,29 @@ func (sp *sparse) readAt(off int64, b []byte) {
 		b = b[n:]
 		off += int64(n)
 	}
+	return fired, nil
+}
+
+// donorChunk picks the materialized chunk that a misdirected read serves in
+// place of ci: the next index in ascending order, wrapping.  A single-chunk
+// file has no wrong block to serve and the injection stays armed.
+func (sp *sparse) donorChunk(ci int64) ([]byte, bool) {
+	idxs := make([]int64, 0, len(sp.chunks))
+	for i := range sp.chunks {
+		if i != ci {
+			idxs = append(idxs, i)
+		}
+	}
+	if len(idxs) == 0 {
+		return nil, false
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	for _, i := range idxs {
+		if i > ci {
+			return sp.chunks[i], true
+		}
+	}
+	return sp.chunks[idxs[0]], true
 }
 
 func (sp *sparse) truncate(size int64) {
@@ -646,12 +823,14 @@ func (sp *sparse) truncate(size int64) {
 		switch {
 		case ci > lastChunk:
 			delete(sp.chunks, ci)
+			delete(sp.sums, ci)
 			putChunk(c)
 		case ci == lastChunk:
 			keep := size % chunkSize
 			for i := keep; i < chunkSize; i++ {
 				c[i] = 0
 			}
+			sp.reseal(ci)
 		}
 	}
 }

@@ -55,6 +55,12 @@ var (
 	// ErrUnavailable is returned by a durable store between Crash and
 	// Recover: the node is down and its volatile state is gone.
 	ErrUnavailable = errors.New("store: backend unavailable (crashed, not yet recovered)")
+	// ErrCorrupt is returned when a read touches data whose block checksum
+	// no longer matches — bit rot, a torn write, or a misdirected read
+	// (docs/BACKENDS.md "Block checksums").  It maps to the fserr.Corrupt
+	// wire code so clients can distinguish "bad bytes" from "bad node" and
+	// read-repair from a replica.
+	ErrCorrupt = errors.New("store: data integrity error (checksum mismatch)")
 )
 
 // Metadata is the namespace repository: directories, names, attributes.
@@ -119,6 +125,28 @@ type Syncer interface {
 type Store interface {
 	Metadata
 	Content
+}
+
+// Corruptible is implemented by backends that support deterministic
+// corruption injection (docs/FAULTS.md "Corruption").  All three shipped
+// backends implement it: wal and cached forward to their materialized
+// image, modelling rot on the data blocks rather than the journal.
+type Corruptible interface {
+	// CorruptChunk flips one stored byte, chosen deterministically from
+	// seed, without updating the block's checksum.  It reports whether any
+	// materialized chunk was eligible.
+	CorruptChunk(seed int64) bool
+	// MisdirectNextRead arms a one-shot wrong-block read against a file
+	// chosen deterministically from seed, reporting whether a victim with
+	// at least two materialized blocks was found.
+	MisdirectNextRead(seed int64) bool
+}
+
+// TornWriter is implemented by journaling backends that can model a torn
+// write: the next Crash persists only a prefix of the final durable record,
+// which the record checksum then catches at Recover.
+type TornWriter interface {
+	ArmTornWrite()
 }
 
 // Recoverable is implemented by durable backends (store/wal, store/cached).

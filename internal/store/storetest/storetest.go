@@ -9,6 +9,7 @@ package storetest
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -248,6 +249,105 @@ func Run(t *testing.T, mk Factory) {
 			if n, err := s.ReadAt(ids[i], 0, got); err != nil || n != len(want) || !bytes.Equal(got, want) {
 				t.Fatalf("writer %d read back: n=%d, %v", i, n, err)
 			}
+		}
+	})
+}
+
+// RunCorruptible drives the data-integrity contract every shipped backend
+// honours: injected corruption is never served as wrong bytes — reads fail
+// with the typed store.ErrCorrupt — and a legitimate full-chunk rewrite
+// reseals the block checksum, which is exactly what read-repair and the
+// scrubber rely on.
+func RunCorruptible(t *testing.T, mk Factory) {
+	corr := func(t *testing.T, s store.Store) store.Corruptible {
+		t.Helper()
+		c, ok := s.(store.Corruptible)
+		if !ok {
+			t.Fatalf("%T does not implement store.Corruptible", s)
+		}
+		return c
+	}
+	// Two 64 KiB chunks of a non-zero pattern: enough materialized state
+	// for both the bit-rot victim walk and the misdirect donor rule.
+	const chunk = 64 << 10
+	pattern := func() []byte {
+		b := make([]byte, 2*chunk)
+		for i := range b {
+			b[i] = byte(i/997 + 13)
+		}
+		return b
+	}
+
+	t.Run("BitRotReadsTyped", func(t *testing.T) {
+		s := mk(t)
+		c := corr(t, s)
+		want := pattern()
+		f, _ := s.Create(s.Root(), "f")
+		if _, err := s.WriteAt(f.ID, 0, want); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Sync(nil); err != nil {
+			t.Fatal(err)
+		}
+		if !c.CorruptChunk(7) {
+			t.Fatal("CorruptChunk found nothing to rot (vacuous)")
+		}
+		buf := make([]byte, len(want))
+		if _, err := s.ReadAt(f.ID, 0, buf); !errors.Is(err, store.ErrCorrupt) {
+			t.Fatalf("read of rotted file: %v, want ErrCorrupt", err)
+		}
+		// Repair is an ordinary full overwrite: the write reseals the
+		// checksums, after which reads are clean and byte-identical.
+		if _, err := s.WriteAt(f.ID, 0, want); err != nil {
+			t.Fatalf("repair write: %v", err)
+		}
+		n, err := s.ReadAt(f.ID, 0, buf)
+		if err != nil || n != len(want) || !bytes.Equal(buf, want) {
+			t.Fatalf("read after repair: n=%d, %v", n, err)
+		}
+	})
+
+	t.Run("MisdirectedReadOneShot", func(t *testing.T) {
+		s := mk(t)
+		c := corr(t, s)
+		want := pattern()
+		f, _ := s.Create(s.Root(), "f")
+		if _, err := s.WriteAt(f.ID, 0, want); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Sync(nil); err != nil {
+			t.Fatal(err)
+		}
+		if !c.MisdirectNextRead(3) {
+			t.Fatal("MisdirectNextRead found no victim (vacuous)")
+		}
+		// The wrong block arrives under the right block's location-salted
+		// checksum, so it must surface as ErrCorrupt — never as silently
+		// transposed bytes.
+		buf := make([]byte, len(want))
+		if _, err := s.ReadAt(f.ID, 0, buf); !errors.Is(err, store.ErrCorrupt) {
+			t.Fatalf("misdirected read: %v, want ErrCorrupt", err)
+		}
+		// One-shot: the stored bytes were never damaged, so the retry that
+		// the clients' bounded integrity-retry policy issues succeeds.
+		n, err := s.ReadAt(f.ID, 0, buf)
+		if err != nil || n != len(want) || !bytes.Equal(buf, want) {
+			t.Fatalf("read after misdirect consumed: n=%d, %v", n, err)
+		}
+	})
+
+	t.Run("SyntheticOnlyHasNothingToRot", func(t *testing.T) {
+		s := mk(t)
+		c := corr(t, s)
+		f, _ := s.Create(s.Root(), "f")
+		if _, err := s.WriteSyntheticAt(f.ID, 0, 1<<20); err != nil {
+			t.Fatal(err)
+		}
+		if c.CorruptChunk(1) {
+			t.Fatal("CorruptChunk rotted a store with no materialized bytes")
+		}
+		if c.MisdirectNextRead(1) {
+			t.Fatal("MisdirectNextRead armed without a two-chunk victim")
 		}
 	})
 }

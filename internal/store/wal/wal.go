@@ -64,6 +64,15 @@ type Store struct {
 	durable    [][]byte
 	pending    [][]byte
 	pendingSz  int64
+	// checkpointSum is a CRC32C trailer over the whole checkpoint image
+	// (every encoded record, in order): per-record checksums catch flipped
+	// bits, this catches a truncated record list, so a damaged checkpoint
+	// fails loudly at Recover instead of replaying a partial image.
+	checkpointSum uint32
+	// tornArmed makes the next Crash persist only a prefix of the final
+	// durable record (faults.TornWrite).  The record checksum then catches
+	// the tear at Recover, which drops the record and counts it.
+	tornArmed bool
 	// logOff is the journal's append position on the disk.
 	logOff int64
 	// scratch is reused by journalling paths that read image bytes before
@@ -75,11 +84,14 @@ type Store struct {
 	records   *metrics.Counter
 	replays   *metrics.Counter
 	ckptBytes *metrics.Counter
+	tornDrops *metrics.Counter
 }
 
 var (
 	_ store.Store       = (*Store)(nil)
 	_ store.Recoverable = (*Store)(nil)
+	_ store.Corruptible = (*Store)(nil)
+	_ store.TornWriter  = (*Store)(nil)
 )
 
 // New returns an empty WAL store.
@@ -100,13 +112,16 @@ func New(cfg Config) *Store {
 			"WAL records replayed by Recover after a crash.", "node").With(cfg.Name),
 		ckptBytes: reg.CounterVec("store_wal_checkpoint_bytes_total",
 			"Bytes written re-encoding live state into checkpoints.", "node").With(cfg.Name),
+		tornDrops: reg.CounterVec("store_wal_torn_writes_total",
+			"Torn tail records detected by checksum and dropped at Recover.", "node").With(cfg.Name),
 	}
 }
 
-// appendLocked journals r into the volatile tail.  Caller holds s.mu and
-// has already applied r to the image.
+// appendLocked journals r into the volatile tail, sealed with a CRC32C
+// trailer so replay can tell a torn or rotted record from a good one.
+// Caller holds s.mu and has already applied r to the image.
 func (s *Store) appendLocked(r *record) {
-	enc := xdr.Marshal(r)
+	enc := xdr.AppendChecksum(xdr.Marshal(r))
 	s.pending = append(s.pending, enc)
 	s.pendingSz += int64(len(enc))
 	s.records.Inc()
@@ -404,9 +419,11 @@ func (s *Store) Sync(p *sim.Proc) error {
 func (s *Store) checkpointLocked() int64 {
 	var recs [][]byte
 	var bytes int64
+	var sum uint32
 	add := func(r *record) {
-		enc := xdr.Marshal(r)
+		enc := xdr.AppendChecksum(xdr.Marshal(r))
 		recs = append(recs, enc)
+		sum = xdr.ChecksumUpdate(sum, enc)
 		bytes += int64(len(enc))
 	}
 	// The allocator position comes first: replay must not re-issue ids
@@ -442,9 +459,18 @@ func (s *Store) checkpointLocked() int64 {
 		panic(fmt.Sprintf("wal %s: checkpoint: %v", s.cfg.Name, err))
 	}
 	s.checkpoint = recs
+	s.checkpointSum = sum
 	s.durable = nil
 	s.ckptBytes.Add(uint64(bytes))
 	return bytes
+}
+
+// ArmTornWrite implements store.TornWriter: the next Crash persists only a
+// prefix of the final durable record.
+func (s *Store) ArmTornWrite() {
+	s.mu.Lock()
+	s.tornArmed = true
+	s.mu.Unlock()
 }
 
 // Crash discards all volatile state: the materialized image and the
@@ -455,6 +481,18 @@ func (s *Store) Crash() {
 	defer s.mu.Unlock()
 	s.img = nil
 	s.pending, s.pendingSz = nil, 0
+	if s.tornArmed {
+		s.tornArmed = false
+		if n := len(s.durable); n > 0 {
+			// The tail of the last journal flush tore: only a prefix of its
+			// final record reached the platter.  A copy, not a reslice — the
+			// log must not alias a buffer anyone else could still grow.
+			last := s.durable[n-1]
+			torn := make([]byte, len(last)/2)
+			copy(torn, last)
+			s.durable[n-1] = torn
+		}
+	}
 }
 
 // Recover rebuilds the image by replaying the checkpoint followed by the
@@ -465,12 +503,37 @@ func (s *Store) Crash() {
 func (s *Store) Recover() (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// The checkpoint image's own trailer first: a checkpoint that lost
+	// records (truncation, partial write) must fail loudly before any of it
+	// replays, not reconstruct a silently partial namespace.
+	var cksum uint32
+	for _, enc := range s.checkpoint {
+		cksum = xdr.ChecksumUpdate(cksum, enc)
+	}
+	if cksum != s.checkpointSum {
+		return 0, fmt.Errorf("wal %s: checkpoint image checksum mismatch (%d records): %w",
+			s.cfg.Name, len(s.checkpoint), xdr.ErrChecksum)
+	}
 	img := mem.New()
 	replayed := 0
-	for _, log := range [2][][]byte{s.checkpoint, s.durable} {
-		for _, enc := range log {
+	for part, log := range [2][][]byte{s.checkpoint, s.durable} {
+		for i, enc := range log {
+			body, cerr := xdr.VerifyChecksum(enc)
+			if cerr != nil {
+				// A bad final record of the durable log is a torn write: the
+				// crash cut the last journal flush short.  Drop it — the
+				// write was never claimed durable by a completed Sync — and
+				// count the detection.  Anywhere else, a checksum failure
+				// means the log itself rotted, which nothing can repair.
+				if part == 1 && i == len(log)-1 {
+					s.tornDrops.Inc()
+					s.durable = s.durable[:i]
+					break
+				}
+				return replayed, fmt.Errorf("wal %s: corrupt record %d: %w", s.cfg.Name, replayed, cerr)
+			}
 			var r record
-			if err := xdr.Unmarshal(enc, &r); err != nil {
+			if err := xdr.Unmarshal(body, &r); err != nil {
 				return replayed, fmt.Errorf("wal %s: corrupt record %d: %w", s.cfg.Name, replayed, err)
 			}
 			if err := r.apply(img); err != nil {
@@ -482,4 +545,43 @@ func (s *Store) Recover() (int, error) {
 	s.img = img
 	s.replays.Add(uint64(replayed))
 	return replayed, nil
+}
+
+// CorruptChunk implements store.Corruptible on the materialized image: rot
+// lands on the data blocks reads are served from, never on the journal.
+func (s *Store) CorruptChunk(seed int64) bool {
+	img, err := s.image()
+	if err != nil {
+		return false
+	}
+	return img.CorruptChunk(seed)
+}
+
+// MisdirectNextRead implements store.Corruptible on the materialized image.
+func (s *Store) MisdirectNextRead(seed int64) bool {
+	img, err := s.image()
+	if err != nil {
+		return false
+	}
+	return img.MisdirectNextRead(seed)
+}
+
+// Walk forwards to the materialized image; the scrubber enumerates files
+// through this.
+func (s *Store) Walk(fn func(dir store.FileID, name string, at store.Attr) error) error {
+	img, err := s.image()
+	if err != nil {
+		return err
+	}
+	return img.Walk(fn)
+}
+
+// Extents forwards to the materialized image: the chunk-backed ranges whose
+// block checksums a scrub pass verifies.
+func (s *Store) Extents(id store.FileID) ([]mem.Extent, error) {
+	img, err := s.image()
+	if err != nil {
+		return nil, err
+	}
+	return img.Extents(id)
 }

@@ -294,6 +294,20 @@ func (m *Replicated) ReadMap(off, length, seed int64) []Extent {
 	return out
 }
 
+// LogicalEnd delegates to the inner scheme's size reconstruction: replicas
+// hold identical stripe objects, so a device's object size implies the same
+// logical end as its inner-scheme counterpart.
+func (m *Replicated) LogicalEnd(dev int, objSize int64) int64 {
+	type ender interface {
+		LogicalEnd(dev int, objSize int64) int64
+	}
+	e, ok := m.Inner.(ender)
+	if !ok {
+		return 0
+	}
+	return e.LogicalEnd(dev%m.Inner.NumDevices(), objSize)
+}
+
 // Alternates returns e re-based onto every other replica's device, in
 // replica order.  DevOff is unchanged — replicas hold identical stripe
 // objects — so an issuer can retry a failed read extent on each alternate
